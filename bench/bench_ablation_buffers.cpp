@@ -1,0 +1,100 @@
+// Ablation study of the buffer-sizing design choices DESIGN.md calls out:
+//
+//   * kernel side buffers per channel (§4: "a rare occurrence in VORX
+//     because the kernel has many side buffers") — how many are needed
+//     before the retransmission path stops costing throughput?
+//   * hardware link buffering (whole-frame slots per HPC link) — how deep
+//     before store-and-forward pipelining saturates?
+//
+// Neither value is printed in the paper; these sweeps justify the
+// defaults used throughout the reproduction (16 side buffers, 2-frame
+// links).
+#include "bench_util.hpp"
+#include "vorx/node.hpp"
+#include "vorx/system.hpp"
+
+using namespace hpcvorx;
+using vorx::Channel;
+using vorx::Subprocess;
+
+namespace {
+
+// Bursty producer / slow consumer through channels: throughput and
+// retransmission-request count vs side-buffer depth.
+std::pair<double, std::uint64_t> side_buffer_run(std::size_t buffers) {
+  sim::Simulator sim;
+  vorx::SystemConfig cfg;
+  cfg.channel_side_buffers = buffers;
+  vorx::System sys(sim, cfg);
+  constexpr int kMsgs = 200;
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("ab");
+    for (int i = 0; i < kMsgs; ++i) co_await sp.write(*ch, 512);
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("ab");
+    for (int i = 0; i < kMsgs; ++i) {
+      (void)co_await sp.read(*ch);
+      co_await sp.compute(sim::usec(700));  // slower than the sender
+    }
+  });
+  sim.run();
+  return {sim::to_usec(sim.now()) / kMsgs,
+          sys.node(1).channels().retransmit_requests()};
+}
+
+// Raw streaming throughput vs hardware link buffer depth, with the
+// paper's kilometre-scale fiber latency so propagation is visible.
+double link_buffer_run(int frames) {
+  sim::Simulator sim;
+  vorx::SystemConfig cfg;
+  cfg.fabric.link.buffer_frames = frames;
+  cfg.fabric.link.latency = sim::usec(5);  // ~1 km of fiber
+  cfg.fabric.rx_buffer_frames = frames;
+  vorx::System sys(sim, cfg);
+  constexpr int kMsgs = 500;
+  sim::SimTime first = 0, last = 0;
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    vorx::Udco* u = co_await sp.open_udco("lb");
+    first = sim.now();
+    for (int i = 0; i < kMsgs; ++i) co_await u->send(sp, 1024);
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    vorx::Udco* u = co_await sp.open_udco("lb");
+    for (int i = 0; i < kMsgs; ++i) (void)co_await u->recv(sp);
+    last = sim.now();
+  });
+  sim.run();
+  return static_cast<double>(kMsgs) * 1024 / 1e6 / sim::to_sec(last - first);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablations: side-buffer and link-buffer sizing",
+                 "design choices behind §4's \"many side buffers\" and the "
+                 "HPC's whole-frame link buffering");
+
+  bench::line("channel side buffers (bursty producer, slow consumer):");
+  bench::line("%8s %14s %18s", "buffers", "us/msg", "retransmit reqs");
+  for (std::size_t b : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto [us, retx] = side_buffer_run(b);
+    bench::line("%8zu %14.1f %18llu", b, us,
+                static_cast<unsigned long long>(retx));
+  }
+  bench::line("(the default of 16 makes exhaustion \"a rare occurrence\", as");
+  bench::line("the paper says, without unbounded kernel memory)");
+
+  bench::line("");
+  bench::line("hardware link buffer depth (raw 1024-B stream over 1 km fiber):");
+  bench::line("%8s %14s", "frames", "MB/s");
+  for (int f : {1, 2, 3, 4, 8}) {
+    bench::line("%8d %14.2f", f, link_buffer_run(f));
+  }
+  bench::line("(the curve is nearly flat: with even one whole-frame slot the");
+  bench::line("68020-era software costs dominate — exactly the paper's claim");
+  bench::line("that \"hardware communications latency in the HPC is much");
+  bench::line("smaller than the latency introduced by the communications");
+  bench::line("software\".  The reproduction uses 2 slots everywhere.)");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates the §4.1 CEMU motivation on the full application: "Guided
+// by the experiments done with the CEMU simulator using sliding-window
+// protocols, we have seen that a sliding-window protocol can be more
+// efficient than a stop-and-wait protocol, even with very low latency
+// interconnects like the HPC. ... tuning the protocol to find a proper
+// update rate must be done in an application-specific manner."
+//
+// A register-bounded circuit is partitioned across processing nodes; per
+// clock cycle each node exchanges its boundary flip-flop values.  The
+// transports under test are stop-and-wait channels vs the reader-active
+// sliding-window protocol at several window sizes; every run's trace is
+// verified against the serial logic simulation.
+#include "apps/cemu_app.hpp"
+#include "bench_util.hpp"
+
+using namespace hpcvorx;
+
+namespace {
+
+apps::CemuResult run(int blocks, apps::CemuTransport t, int window) {
+  sim::Simulator sim;
+  vorx::SystemConfig cfg;
+  cfg.nodes = blocks;
+  cfg.stations_per_cluster = 4;
+  vorx::System sys(sim, cfg);
+  apps::CemuConfig ccfg;
+  ccfg.blocks = blocks;
+  ccfg.cycles = 300;
+  ccfg.transport = t;
+  ccfg.window = window;
+  return apps::run_cemu(sim, sys, ccfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("CEMU circuit simulation: stop-and-wait vs sliding window",
+                 "section 4.1 (the CEMU sliding-window experiments) and §5 "
+                 "(message-based MOS simulation)");
+  bench::line("random register-bounded circuit, 40 gates/block, 300 clock");
+  bench::line("cycles, boundary flip-flop values exchanged every cycle;");
+  bench::line("every row's distributed trace verified against serial");
+  bench::line("");
+  bench::line("%7s | %22s | %30s", "blocks", "channels (cycles/s)",
+              "sliding window (cycles/s) by k");
+  bench::line("%7s | %22s | %8s %8s %8s", "", "", "k=2", "k=8", "k=32");
+  for (int blocks : {2, 4, 8}) {
+    const auto chan = run(blocks, apps::CemuTransport::kChannels, 0);
+    const auto w2 = run(blocks, apps::CemuTransport::kSlidingWindow, 2);
+    const auto w8 = run(blocks, apps::CemuTransport::kSlidingWindow, 8);
+    const auto w32 = run(blocks, apps::CemuTransport::kSlidingWindow, 32);
+    bench::line("%7d | %18.0f %s | %8.0f %8.0f %8.0f", blocks,
+                chan.cycles_per_sec, chan.matches_serial ? "ok " : "BAD",
+                w2.cycles_per_sec, w8.cycles_per_sec, w32.cycles_per_sec);
+    if (!w2.matches_serial || !w8.matches_serial || !w32.matches_serial) {
+      bench::line("  !! trace mismatch at %d blocks", blocks);
+    }
+  }
+  bench::line("");
+  bench::line("the sliding window wins by overlapping cycles: a producer may");
+  bench::line("run up to k cycles ahead of a consumer instead of paying a");
+  bench::line("full stop-and-wait round trip per boundary message.  The gain");
+  bench::line("saturates with k — the \"update rate\" tuning the paper calls");
+  bench::line("application-specific.");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates the §4 headline channel numbers: "the software end-to-end
+// latency between application programs running on separate 25 MHz
+// Motorola 68020 processing nodes for four byte messages is 303 usec and
+// 1024 byte messages can be sent at the rate of 1027 kbyte/sec."
+#include "bench_util.hpp"
+#include "vorx/node.hpp"
+#include "vorx/system.hpp"
+
+using namespace hpcvorx;
+using vorx::Channel;
+using vorx::Subprocess;
+
+namespace {
+
+struct Stream {
+  double us_per_msg = 0;
+  double kbytes_per_sec = 0;
+};
+
+Stream stream(std::uint32_t bytes, int msgs) {
+  sim::Simulator sim;
+  vorx::System sys(sim, vorx::SystemConfig{});
+  sim::SimTime started = 0, ended = 0;
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("stream");
+    started = sim.now();
+    for (int i = 0; i < msgs; ++i) co_await sp.write(*ch, bytes);
+    ended = sim.now();
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("stream");
+    for (int i = 0; i < msgs; ++i) (void)co_await sp.read(*ch);
+  });
+  sim.run();
+  Stream s;
+  s.us_per_msg = sim::to_usec(ended - started) / msgs;
+  s.kbytes_per_sec =
+      static_cast<double>(bytes) * msgs / 1e3 / sim::to_sec(ended - started);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Channel latency and bandwidth headline numbers",
+                 "section 4 (303 us / 4 B; 1027 kB/s at 1024 B)");
+  const Stream small = stream(4, 1000);
+  const Stream big = stream(1024, 1000);
+  bench::line("%-34s %12s %12s %8s", "metric", "measured", "paper", "dev%");
+  bench::line("%-34s %9.1f us %9.0f us %+7.1f%%",
+              "4-byte end-to-end latency", small.us_per_msg, 303.0,
+              bench::dev(small.us_per_msg, 303));
+  bench::line("%-34s %7.0f kB/s %7.0f kB/s %+7.1f%%",
+              "1024-byte stream bandwidth", big.kbytes_per_sec, 1027.0,
+              bench::dev(big.kbytes_per_sec, 1027));
+  bench::line("");
+  bench::line("bandwidth vs message size (stop-and-wait: one ack per message):");
+  bench::line("%10s %14s", "size", "kB/s");
+  for (std::uint32_t b : {16u, 64u, 128u, 256u, 512u, 1024u}) {
+    bench::line("%8u B %14.0f", b, stream(b, 500).kbytes_per_sec);
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Regenerates the §5 scheduling-cost comparison: "A context switch, which
+// includes saving both fixed and floating point registers takes 80 usec
+// using a 25 MHz Motorola 68020 with a Motorola 68882 floating point
+// coprocessor" — and the lighter structuring techniques the paper lists
+// (single subprocess with polling, coroutines, interrupt-level
+// programming).
+#include <memory>
+
+#include "bench_util.hpp"
+#include "vorx/node.hpp"
+#include "vorx/system.hpp"
+#include "vorx/udco.hpp"
+
+using namespace hpcvorx;
+using vorx::Subprocess;
+using vorx::VSemaphore;
+
+namespace {
+
+constexpr int kRounds = 500;
+
+// Two contexts hand a token back and forth; returns us per handoff.
+double pingpong_us(sim::Duration switch_cost) {
+  sim::Simulator sim;
+  vorx::System sys(sim, vorx::SystemConfig{});
+  sys.node(0).spawn_process("pp", [&](Subprocess& sp) -> sim::Task<void> {
+    auto ping = std::make_shared<VSemaphore>(sp.node(), 0);
+    auto pong = std::make_shared<VSemaphore>(sp.node(), 0);
+    for (int side = 0; side < 2; ++side) {
+      sp.process().spawn(
+          [ping, pong, side](Subprocess& t) -> sim::Task<void> {
+            for (int i = 0; i < kRounds; ++i) {
+              if (side == 0) {
+                co_await t.v(*ping);
+                co_await t.p(*pong);
+              } else {
+                co_await t.p(*ping);
+                co_await t.v(*pong);
+              }
+            }
+          },
+          sim::prio::kUserDefault, "t" + std::to_string(side), switch_cost);
+    }
+    co_return;
+  });
+  sim.run();
+  return sim::to_usec(sim.now()) / (2.0 * kRounds);
+}
+
+// Interrupt-level structuring: the entire "computation" runs in the
+// user-defined object's ISR; the subprocess suspends itself (§5).
+double interrupt_level_us() {
+  sim::Simulator sim;
+  vorx::System sys(sim, vorx::SystemConfig{});
+  sim::SimTime started = 0, ended = 0;
+  sys.node(0).spawn_process("isr-side", [&](Subprocess& sp) -> sim::Task<void> {
+    vorx::Udco* u = co_await sp.open_udco("iping");
+    u->set_isr([&, u](hw::Frame f) {
+      // Echo from interrupt level: no subprocess ever wakes.
+      if (f.seq < kRounds) {
+        hw::Frame back;
+        back.kind = vorx::msg::kUdco;
+        back.obj = u->peer_end_id();
+        back.dst = u->peer();
+        back.seq = f.seq;
+        back.payload_bytes = 4;
+        sp.node().kernel().send(std::move(back));
+      } else {
+        ended = sim.now();
+      }
+    });
+    co_return;  // the subprocess suspends; ISRs do all the work
+  });
+  sys.node(1).spawn_process("driver", [&](Subprocess& sp) -> sim::Task<void> {
+    vorx::Udco* u = co_await sp.open_udco("iping");
+    started = sim.now();
+    for (int i = 0; i < kRounds; ++i) {
+      co_await u->send(sp, 4, nullptr, static_cast<std::uint64_t>(i));
+      (void)co_await u->recv(sp);
+    }
+    co_await u->send(sp, 4, nullptr, kRounds);  // stop marker
+  });
+  sim.run();
+  return sim::to_usec(ended - started) / kRounds;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Context switching and the §5 structuring alternatives",
+                 "section 5 (80 us full switch; coroutines; interrupt level)");
+  const auto& costs = vorx::default_cost_model();
+
+  const double sub = pingpong_us(costs.subprocess_switch);
+  const double coro = pingpong_us(costs.coroutine_switch);
+  bench::line("token handoff between two execution contexts on one node:");
+  bench::line("%-42s %8.1f us/handoff", "subprocesses (full register save)",
+              sub);
+  bench::line("%-42s %8.1f us/handoff", "coroutines (switch at known points)",
+              coro);
+  bench::line("%-42s %8.1f us   (the §5 figure)", "  of which context switch",
+              sim::to_usec(costs.subprocess_switch));
+  bench::line("");
+  bench::line("remote ping-pong where one side is structured entirely at");
+  bench::line("interrupt level (no context restore on that node):");
+  const double isr = interrupt_level_us();
+  bench::line("%-42s %8.1f us/round", "ISR-echo round trip", isr);
+
+  // Reference: the same remote ping-pong with a normally-scheduled peer.
+  sim::Simulator sim;
+  vorx::System sys(sim, vorx::SystemConfig{});
+  sim::SimTime started = 0, ended = 0;
+  sys.node(0).spawn_process("echo", [&](Subprocess& sp) -> sim::Task<void> {
+    vorx::Udco* u = co_await sp.open_udco("nping");
+    for (int i = 0; i < kRounds; ++i) {
+      hw::Frame f = co_await u->recv(sp);
+      co_await u->send(sp, 4, nullptr, f.seq);
+    }
+  });
+  sys.node(1).spawn_process("driver", [&](Subprocess& sp) -> sim::Task<void> {
+    vorx::Udco* u = co_await sp.open_udco("nping");
+    started = sim.now();
+    for (int i = 0; i < kRounds; ++i) {
+      co_await u->send(sp, 4, nullptr, static_cast<std::uint64_t>(i));
+      (void)co_await u->recv(sp);
+    }
+    ended = sim.now();
+  });
+  sim.run();
+  bench::line("%-42s %8.1f us/round", "subprocess-echo round trip",
+              sim::to_usec(ended - started) / kRounds);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Regenerates the §3.3 download experiment: "it takes 12 seconds to
+// download and initialize a process on each of 70 processors ... With
+// [one shared stub and the fan-out-2 tree] it takes only two seconds to
+// download and start 70 processes."
+#include <memory>
+
+#include "bench_util.hpp"
+#include "vorx/loader.hpp"
+#include "vorx/node.hpp"
+#include "vorx/system.hpp"
+
+using namespace hpcvorx;
+using vorx::DownloadScheme;
+using vorx::LaunchStats;
+using vorx::Subprocess;
+
+namespace {
+
+LaunchStats run(int nodes, DownloadScheme scheme) {
+  sim::Simulator sim;
+  vorx::SystemConfig cfg;
+  cfg.nodes = nodes;
+  cfg.stations_per_cluster = 4;
+  vorx::System sys(sim, cfg);
+  std::vector<int> idx(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) idx[static_cast<std::size_t>(i)] = i;
+  auto stats = std::make_shared<LaunchStats>();
+  sys.host(0).spawn_process(
+      "run-cmd", [&sys, idx, scheme, stats](Subprocess& sp) -> sim::Task<void> {
+        *stats = co_await vorx::launch_application(
+            sp, sys, idx, /*image_bytes=*/256 * 1024,
+            [](Subprocess& app) -> sim::Task<void> {
+              co_await app.compute(sim::usec(10));
+            },
+            scheme);
+      });
+  sim.run();
+  return *stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Program download: per-process stubs vs shared stub + tree",
+                 "section 3.3 (12 s vs 2 s for 70 processes)");
+  bench::line("256 kB program image, download + start every process");
+  bench::line("");
+  bench::line("%6s | %18s %6s | %18s %6s | %8s", "procs", "per-process stubs",
+              "stubs", "tree download", "stubs", "speedup");
+  for (int nodes : {4, 8, 16, 32, 48, 64, 70}) {
+    const LaunchStats a = run(nodes, DownloadScheme::kPerProcessStubs);
+    const LaunchStats b = run(nodes, DownloadScheme::kSharedStubTree);
+    bench::line("%6d | %15.2f s  %6d | %15.2f s  %6d | %7.1fx", nodes,
+                sim::to_sec(a.elapsed()), a.stubs_created,
+                sim::to_sec(b.elapsed()), b.stubs_created,
+                sim::to_sec(a.elapsed()) / sim::to_sec(b.elapsed()));
+  }
+  bench::line("");
+  const LaunchStats a70 = run(70, DownloadScheme::kPerProcessStubs);
+  const LaunchStats b70 = run(70, DownloadScheme::kSharedStubTree);
+  bench::line("paper @70: 12 s vs 2 s.  measured: %.1f s (%+.0f%%) vs %.1f s "
+              "(%+.0f%%)",
+              sim::to_sec(a70.elapsed()),
+              bench::dev(sim::to_sec(a70.elapsed()), 12.0),
+              sim::to_sec(b70.elapsed()),
+              bench::dev(sim::to_sec(b70.elapsed()), 2.0));
+  return 0;
+}

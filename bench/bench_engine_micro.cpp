@@ -1,0 +1,108 @@
+// Wall-clock microbenchmarks of the simulation substrate itself
+// (google-benchmark): event-queue throughput, coroutine switching, and the
+// full simulated message path.  These measure the reproduction's own
+// performance, not the paper's numbers.
+#include <benchmark/benchmark.h>
+
+#include "sim/awaitables.hpp"
+#include "sim/cpu.hpp"
+#include "sim/task.hpp"
+#include "vorx/node.hpp"
+#include "vorx/system.hpp"
+
+using namespace hpcvorx;
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.push(i * 10, [&fired] { ++fired; });
+    }
+    while (!q.empty()) q.pop().second();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+sim::Proc chain_proc(sim::Simulator& sim, int hops, int* done) {
+  for (int i = 0; i < hops; ++i) co_await sim::delay(sim, 1);
+  ++*done;
+}
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int done = 0;
+    for (int p = 0; p < 10; ++p) chain_proc(sim, 100, &done);
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+void BM_CpuPreemptiveJobs(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Cpu cpu(sim, "bench");
+    int done = 0;
+    for (int i = 0; i < 100; ++i) {
+      [](sim::Cpu& c, int prio, int* counter) -> sim::Proc {
+        co_await c.run(prio, sim::usec(10), sim::Category::kUser);
+        ++*counter;
+      }(cpu, i % 7, &done);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CpuPreemptiveJobs);
+
+void BM_ChannelMessageRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    vorx::System sys(sim, vorx::SystemConfig{});
+    sys.node(0).spawn_process("tx", [&](vorx::Subprocess& sp)
+                                        -> sim::Task<void> {
+      vorx::Channel* ch = co_await sp.open("bm");
+      for (int i = 0; i < 50; ++i) {
+        co_await sp.write(*ch, 64);
+        (void)co_await sp.read(*ch);
+      }
+    });
+    sys.node(1).spawn_process("rx", [&](vorx::Subprocess& sp)
+                                        -> sim::Task<void> {
+      vorx::Channel* ch = co_await sp.open("bm");
+      for (int i = 0; i < 50; ++i) {
+        (void)co_await sp.read(*ch);
+        co_await sp.write(*ch, 64);
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ChannelMessageRoundTrip);
+
+void BM_HypercubeRouting(benchmark::State& state) {
+  const int n = 256;
+  int x = 0;
+  for (auto _ : state) {
+    for (int s = 0; s < n; s += 7) {
+      for (int t = 0; t < n; t += 5) {
+        if (s != t) x += hw::next_hypercube_hop(s, t, n);
+      }
+    }
+  }
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_HypercubeRouting);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Regenerates Figure 1: "A Typical Local Area Multiprocessor System" —
+// builds the 1988 production configuration (70 processing nodes + 10 SUN-3
+// workstations on the HPC interconnect), renders the topology, and checks
+// the §1 scaling claims (12-port clusters; 1024 nodes from 256 clusters
+// using 8 cube ports + 4 node ports each).
+#include <map>
+
+#include "bench_util.hpp"
+#include "hw/hypercube.hpp"
+#include "vorx/node.hpp"
+#include "vorx/system.hpp"
+
+using namespace hpcvorx;
+
+namespace {
+
+void render_system(vorx::System& sys) {
+  hw::Fabric& f = sys.fabric();
+  bench::line("");
+  bench::line("  +----------------------------------------------------------+");
+  bench::line("  |                    HPC interconnect                      |");
+  bench::line("  |   %3d clusters (12 ports, 160 Mbit/s per direction),     |",
+              f.num_clusters());
+  bench::line("  |   wired as an incomplete hypercube of dimension %d        |",
+              hw::dimension_of(f.num_clusters()));
+  bench::line("  +-----+-------------------------------------+--------------+");
+  bench::line("        |                                     |");
+  bench::line("  processing-node pool                 local-area resources");
+  bench::line("  %3d nodes (68020-class)              %2d host workstations",
+              sys.num_nodes(), sys.num_hosts());
+  bench::line("");
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 1 — A Typical Local Area Multiprocessor System",
+                 "Figure 1 + the §1 interconnect-scaling claims");
+
+  // The paper's operational system: 70 nodes + 10 workstations.
+  sim::Simulator sim;
+  vorx::SystemConfig cfg;
+  cfg.nodes = 70;
+  cfg.hosts = 10;
+  cfg.stations_per_cluster = 4;
+  vorx::System sys(sim, cfg);
+  render_system(sys);
+
+  // Topology statistics: route lengths between every pair of stations.
+  hw::Fabric& f = sys.fabric();
+  std::map<int, int> histo;
+  int max_len = 0;
+  long total = 0, pairs = 0;
+  const int stations = sys.num_nodes() + sys.num_hosts();
+  for (int a = 0; a < stations; ++a) {
+    for (int b = 0; b < stations; ++b) {
+      if (a == b) continue;
+      const int len = f.route_length(a, b);
+      ++histo[len];
+      total += len;
+      ++pairs;
+      max_len = std::max(max_len, len);
+    }
+  }
+  bench::line("route length histogram (cluster traversals per message):");
+  for (const auto& [len, count] : histo) {
+    bench::line("  %d hops: %6d station pairs", len, count);
+  }
+  bench::line("  mean %.2f, max %d (hardware latency stays far below the",
+              static_cast<double>(total) / static_cast<double>(pairs), max_len);
+  bench::line("  ~300 us software latency, as the paper requires)");
+
+  // §1 claim: "A hypercube-based system with 1024 nodes can be built with
+  // 256 clusters by using 8 of the 12 ports on each cluster for
+  // connections to other clusters and the other four for processing
+  // nodes."
+  sim::Simulator sim2;
+  auto big = hw::Fabric::hypercube(sim2, 1024, 4);
+  bench::line("");
+  bench::line("scaling check (paper: 1024 nodes / 256 clusters / dim 8):");
+  bench::line("  built %d stations on %d clusters, dimension %d, %s",
+              big->num_stations(), big->num_clusters(),
+              hw::dimension_of(big->num_clusters()),
+              big->num_clusters() == 256 ? "MATCHES" : "MISMATCH");
+
+  // And a delivered-frame sanity pass across the production system: one
+  // frame between the extreme stations in each direction.
+  int delivered = 0;
+  for (auto [a, b] : {std::pair{0, 69}, {69, 0}, {0, 79}, {79, 0}}) {
+    sys.station(b).kernel().register_handler(
+        vorx::msg::kRaw, [&](hw::Frame) { ++delivered; });
+    hw::Frame frame;
+    frame.kind = vorx::msg::kRaw;
+    frame.dst = b;
+    frame.payload_bytes = 64;
+    sys.station(a).kernel().send(std::move(frame));
+    sim.run();
+  }
+  bench::line("");
+  bench::line("end-to-end delivery across the figure's system: %d/4 frames",
+              delivered);
+  return 0;
+}

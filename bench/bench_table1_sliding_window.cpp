@@ -1,0 +1,86 @@
+// Regenerates Table 1: "Message Latency for Reader-Active Communications
+// Protocol" — the user-level sliding-window protocol of §4.1, swept over
+// the receiver's buffer count and the (fixed, known) message size.
+//
+// Paper values (usecs/msg):
+//   bufs     4B   64B  256B  1024B
+//      1    414   451   574   1071
+//      2    290   317   412    787
+//      4    227   251   330    644
+//      8    196   218   289    573
+//     16    179   200   267    535
+//     32    172   192   257    518
+//     64    164   184   248    504
+#include "bench_util.hpp"
+#include "vorx/node.hpp"
+#include "vorx/protocols/sliding_window.hpp"
+#include "vorx/system.hpp"
+
+using namespace hpcvorx;
+using vorx::SlidingWindowReceiver;
+using vorx::SlidingWindowSender;
+using vorx::Subprocess;
+using vorx::Udco;
+
+namespace {
+
+double measure(int buffers, std::uint32_t bytes) {
+  sim::Simulator sim;
+  vorx::System sys(sim, vorx::SystemConfig{});
+  constexpr int kMsgs = 1000;
+  sim::SimTime started = 0, ended = 0;
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Udco* u = co_await sp.open_udco("swp");
+    SlidingWindowSender tx(*u);
+    started = sim.now();
+    for (int i = 0; i < kMsgs; ++i) co_await tx.send(sp, bytes);
+    ended = sim.now();
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Udco* u = co_await sp.open_udco("swp");
+    SlidingWindowReceiver rx(*u, buffers);
+    co_await rx.start(sp);
+    for (int i = 0; i < kMsgs; ++i) (void)co_await rx.recv(sp);
+  });
+  sim.run();
+  return sim::to_usec(ended - started) / kMsgs;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Table 1 — Message Latency for Reader-Active Communications Protocol",
+      "Table 1 (sliding-window protocol over a user-defined object, 1000 "
+      "messages per cell)");
+  const double paper[7][4] = {{414, 451, 574, 1071}, {290, 317, 412, 787},
+                              {227, 251, 330, 644},  {196, 218, 289, 573},
+                              {179, 200, 267, 535},  {172, 192, 257, 518},
+                              {164, 184, 248, 504}};
+  const int bufs[] = {1, 2, 4, 8, 16, 32, 64};
+  const std::uint32_t sizes[] = {4, 64, 256, 1024};
+
+  bench::line("%7s | %22s | %22s | %22s | %22s", "buffers", "4 B (meas/paper)",
+              "64 B (meas/paper)", "256 B (meas/paper)", "1024 B (meas/paper)");
+  for (int r = 0; r < 7; ++r) {
+    char row[256];
+    int off = std::snprintf(row, sizeof row, "%7d |", bufs[r]);
+    for (int c = 0; c < 4; ++c) {
+      const double us = measure(bufs[r], sizes[c]);
+      off += std::snprintf(row + off, sizeof row - static_cast<size_t>(off),
+                           " %9.0f /%5.0f us    |", us, paper[r][c]);
+    }
+    bench::line("%s", row);
+  }
+  bench::line("");
+  bench::line(
+      "Shape notes: one buffer is worse than channels (414 vs 303 us in the");
+  bench::line(
+      "paper); two buffers already beat them; more buffers approach the");
+  bench::line(
+      "receiver-limited floor (~164 us at 4 B).  This reproduction reaches");
+  bench::line(
+      "the floor at smaller k than the paper's hardware did; the endpoints");
+  bench::line("and the crossover against channels match (see EXPERIMENTS.md).");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared output helpers for the reproduction benchmarks.  Every bench
+// prints the rows/series of the paper artifact it regenerates, with the
+// paper's value alongside where one exists.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace hpcvorx::bench {
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void line(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vprintf(fmt, ap);
+  va_end(ap);
+  std::printf("\n");
+}
+
+/// Percent deviation of measured from paper, for side-by-side columns.
+inline double dev(double measured, double paper) {
+  return paper != 0 ? 100.0 * (measured - paper) / paper : 0.0;
+}
+
+}  // namespace hpcvorx::bench

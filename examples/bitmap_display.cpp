@@ -1,0 +1,37 @@
+// The §4.1 real-time display scenario: a processing node refreshes a
+// remote workstation's 900x900 monochrome frame buffer, with all flow
+// control left to the HPC hardware.
+//
+//   ./build/examples/bitmap_display [frames]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/bitmap_app.hpp"
+
+using namespace hpcvorx;
+
+int main(int argc, char** argv) {
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  for (const bool channels : {false, true}) {
+    sim::Simulator sim;
+    vorx::System sys(sim, vorx::SystemConfig{});
+    apps::BitmapConfig cfg;
+    cfg.frames = frames;
+    cfg.use_channels = channels;
+    cfg.carry_pixels = frames <= 8;  // checksum the pixels on short runs
+    const apps::BitmapResult res = apps::run_bitmap(sim, sys, cfg);
+
+    std::printf("%s:\n", channels ? "stop-and-wait channels"
+                                  : "raw streaming (hardware flow control)");
+    std::printf("  %d frames of 900x900 bi-level pixels (%.1f kB each)\n",
+                frames, 900.0 * 900 / 8 / 1e3);
+    std::printf("  bandwidth  %.2f Mbyte/s   refresh  %.1f frames/s   %s\n\n",
+                res.mbytes_per_sec, res.frames_per_sec,
+                res.checksum_ok ? "pixels verified" : "PIXELS CORRUPT");
+  }
+  std::printf(
+      "Paper: 3.2 Mbyte/s raw — enough for 30 refreshes/s — while channels\n"
+      "top out near their 1 Mbyte/s stop-and-wait ceiling.\n");
+  return 0;
+}

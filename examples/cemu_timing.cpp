@@ -1,0 +1,46 @@
+// A CEMU-style distributed circuit simulation (§4.1/§5): partition a
+// register-bounded netlist across the node pool, exchange boundary
+// flip-flop values each clock cycle, and compare communication protocols.
+//
+//   ./build/examples/cemu_timing [blocks] [cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/cemu_app.hpp"
+
+using namespace hpcvorx;
+
+int main(int argc, char** argv) {
+  const int blocks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int cycles = argc > 2 ? std::atoi(argv[2]) : 250;
+
+  std::printf(
+      "gate-level simulation of a %d-block register-bounded circuit\n"
+      "(40 gates/block, 8 flip-flops/block), %d clock cycles\n\n",
+      blocks, cycles);
+
+  for (const auto& [label, transport, window] :
+       {std::tuple{"stop-and-wait channels", apps::CemuTransport::kChannels, 0},
+        std::tuple{"sliding window, k=8", apps::CemuTransport::kSlidingWindow,
+                   8}}) {
+    sim::Simulator sim;
+    vorx::SystemConfig scfg;
+    scfg.nodes = blocks;
+    vorx::System sys(sim, scfg);
+    apps::CemuConfig cfg;
+    cfg.blocks = blocks;
+    cfg.cycles = cycles;
+    cfg.transport = transport;
+    cfg.window = window;
+    const apps::CemuResult res = apps::run_cemu(sim, sys, cfg);
+    std::printf("%-24s %8.0f circuit-cycles/s   %llu boundary msgs   %s\n",
+                label, res.cycles_per_sec,
+                static_cast<unsigned long long>(res.boundary_messages),
+                res.matches_serial ? "trace verified" : "TRACE MISMATCH");
+  }
+  std::printf(
+      "\nThe CEMU lesson (§4.1): for fine-grained per-cycle traffic, a\n"
+      "window lets fast blocks run ahead instead of stalling on every\n"
+      "stop-and-wait acknowledgement.\n");
+  return 0;
+}

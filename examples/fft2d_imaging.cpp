@@ -1,0 +1,44 @@
+// The §4.2 image-processing scenario: a 2-D FFT distributed over a pool of
+// processing nodes, run with both transpose-exchange strategies.
+//
+//   ./build/examples/fft2d_imaging [n] [p]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/fft2d_app.hpp"
+
+using namespace hpcvorx;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int p = argc > 2 ? std::atoi(argv[2]) : 8;
+  std::printf("2-D FFT of a %dx%d image on %d processing nodes\n\n", n, n, p);
+
+  for (const bool multicast : {false, true}) {
+    sim::Simulator sim;
+    vorx::SystemConfig scfg;
+    scfg.nodes = p;
+    vorx::System sys(sim, scfg);
+
+    apps::Fft2dConfig cfg;
+    cfg.n = n;
+    cfg.p = p;
+    cfg.use_multicast = multicast;
+    const apps::Fft2dResult res = apps::run_fft2d(sim, sys, cfg);
+
+    std::printf("%s exchange:\n", multicast ? "multicast   " : "personalized");
+    std::printf("  total time        %s\n",
+                sim::format_duration(res.elapsed).c_str());
+    std::printf("  exchange time     %s\n",
+                sim::format_duration(res.exchange_elapsed).c_str());
+    std::printf("  data read         %.1f kB (needed %.1f kB)\n",
+                res.bytes_received / 1e3, res.bytes_needed / 1e3);
+    std::printf("  matches serial    %s  (checksum %016llx)\n\n",
+                res.matches_serial ? "yes" : "NO",
+                static_cast<unsigned long long>(res.result_checksum));
+  }
+  std::printf(
+      "Lesson (§4.2): multicast forces every node to read the whole matrix;\n"
+      "sending each receiver only its columns wins as soon as P grows.\n");
+  return 0;
+}

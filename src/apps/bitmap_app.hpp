@@ -1,0 +1,42 @@
+// Real-time bitmap streaming to a workstation frame buffer (§4.1).
+//
+// "we wanted to obtain the maximum possible communications bandwidth from
+// the HPC.  We did so by having the processor originating the bitmap image
+// send it to the HPC interconnect as fast as it could and for the
+// workstation receiving the bitmap to copy it from the HPC directly to its
+// frame buffer.  Because all flow control was done by the HPC hardware,
+// the protocol overhead was only the few statements needed to determine
+// where to place the incoming bitmap data in the frame buffer."
+#pragma once
+
+#include <cstdint>
+
+#include "apps/bitmap.hpp"
+#include "hw/framebuffer.hpp"
+#include "vorx/system.hpp"
+
+namespace hpcvorx::apps {
+
+struct BitmapConfig {
+  int width = 900;
+  int height = 900;
+  int frames = 4;
+  bool use_channels = false;   // false: raw no-flow-control streaming
+  bool carry_pixels = true;    // carry real bytes for checksum verification
+  // Workstation cost to place one received byte into display memory.
+  sim::Duration fb_copy_per_byte = 250;  // ns/B
+};
+
+struct BitmapResult {
+  sim::Duration elapsed = 0;
+  std::uint64_t bytes = 0;
+  double mbytes_per_sec = 0;
+  double frames_per_sec = 0;
+  bool checksum_ok = false;   // frame buffer holds the last frame exactly
+};
+
+/// Streams frames from processing node 0 to workstation host 0.
+[[nodiscard]] BitmapResult run_bitmap(sim::Simulator& sim, vorx::System& sys,
+                                      const BitmapConfig& cfg);
+
+}  // namespace hpcvorx::apps

@@ -1,0 +1,54 @@
+// Distributed CEMU-style circuit simulation (§4.1/§5, ref [15]).
+//
+// The circuit's register-bounded blocks are placed one per processing
+// node.  Every clock cycle each node latches its flip-flops, exchanges the
+// boundary DFF values with the blocks that read them, then evaluates its
+// combinational gates.  The per-cycle boundary messages are small and
+// frequent — exactly the traffic that drove the CEMU group to
+// sliding-window protocols: "Guided by the experiments done with the CEMU
+// simulator using sliding-window protocols, we have seen that a
+// sliding-window protocol can be more efficient than a stop-and-wait
+// protocol, even with very low latency interconnects like the HPC."
+//
+// With the sliding-window transport a producer may run several cycles
+// ahead of a consumer (bounded by the window), which is what buys the
+// overlap; with stop-and-wait channels every boundary message costs a
+// full software round trip.  The distributed trace checksum is verified
+// against Circuit::simulate_serial().
+#pragma once
+
+#include <cstdint>
+
+#include "apps/logic.hpp"
+#include "vorx/system.hpp"
+
+namespace hpcvorx::apps {
+
+enum class CemuTransport {
+  kChannels,       // stop-and-wait channel per boundary pair
+  kSlidingWindow,  // reader-active window over user-defined objects
+};
+
+struct CemuConfig {
+  int blocks = 4;           // = processing nodes used
+  int gates_per_block = 40;
+  int dffs_per_block = 8;
+  int primary_inputs = 6;
+  int cycles = 200;
+  CemuTransport transport = CemuTransport::kSlidingWindow;
+  int window = 8;           // sliding-window buffer count
+  std::uint64_t seed = 21;
+};
+
+struct CemuResult {
+  sim::Duration elapsed = 0;
+  double cycles_per_sec = 0;     // simulated-circuit cycles per virtual sec
+  std::uint64_t trace = 0;       // distributed trace checksum
+  bool matches_serial = false;
+  std::uint64_t boundary_messages = 0;
+};
+
+[[nodiscard]] CemuResult run_cemu(sim::Simulator& sim, vorx::System& sys,
+                                  const CemuConfig& cfg);
+
+}  // namespace hpcvorx::apps

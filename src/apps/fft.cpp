@@ -1,0 +1,106 @@
+#include "apps/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "sim/random.hpp"
+
+namespace hpcvorx::apps {
+
+void fft(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(n != 0 && (n & (n - 1)) == 0 && "FFT size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = 2 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n) *
+                           (inverse ? 1 : -1);
+      acc += in[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+void fft2d(std::vector<Complex>& image, int n) {
+  assert(static_cast<int>(image.size()) == n * n);
+  for (int r = 0; r < n; ++r) {
+    fft(std::span<Complex>(image.data() + static_cast<std::size_t>(r) * n,
+                           static_cast<std::size_t>(n)));
+  }
+  std::vector<Complex> col(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    for (int r = 0; r < n; ++r) {
+      col[static_cast<std::size_t>(r)] =
+          image[static_cast<std::size_t>(r) * n + c];
+    }
+    fft(col);
+    for (int r = 0; r < n; ++r) {
+      image[static_cast<std::size_t>(r) * n + c] =
+          col[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+sim::Duration fft_cost(int n) {
+  int log2n = 0;
+  while ((1 << log2n) < n) ++log2n;
+  return sim::usec(40) * (n / 2) * log2n;
+}
+
+std::vector<Complex> make_test_image(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<Complex> img(static_cast<std::size_t>(n) * n);
+  for (auto& px : img) {
+    px = Complex(static_cast<double>(rng.below(256)), 0.0);
+  }
+  return img;
+}
+
+std::uint64_t checksum(std::span<const Complex> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Complex& c : data) {
+    unsigned char bytes[2 * sizeof(double)];
+    const double re = c.real();
+    const double im = c.imag();
+    std::memcpy(bytes, &re, sizeof re);
+    std::memcpy(bytes + sizeof re, &im, sizeof im);
+    for (unsigned char b : bytes) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace hpcvorx::apps

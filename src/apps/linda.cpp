@@ -1,0 +1,203 @@
+#include "apps/linda.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <memory>
+
+#include "vorx/node.hpp"
+
+namespace hpcvorx::apps::linda {
+
+namespace {
+
+constexpr std::uint8_t kOpOut = 1;
+constexpr std::uint8_t kOpIn = 2;
+constexpr std::uint8_t kOpRd = 3;
+
+// Wire format: [op u8][arity u8][wildcard-mask u8][fields i64 ...].
+hw::Payload encode(std::uint8_t op, const Tuple& t, const Pattern* p) {
+  const std::size_t arity = p != nullptr ? p->fields.size() : t.size();
+  assert(arity <= 8);
+  std::vector<std::byte> bytes(3 + arity * 8);
+  bytes[0] = static_cast<std::byte>(op);
+  bytes[1] = static_cast<std::byte>(arity);
+  std::uint8_t mask = 0;
+  for (std::size_t i = 0; i < arity; ++i) {
+    std::int64_t v = 0;
+    if (p != nullptr) {
+      if (p->fields[i].has_value()) {
+        v = *p->fields[i];
+      } else {
+        mask |= static_cast<std::uint8_t>(1u << i);
+      }
+    } else {
+      v = t[i];
+    }
+    std::memcpy(bytes.data() + 3 + i * 8, &v, 8);
+  }
+  bytes[2] = static_cast<std::byte>(mask);
+  return hw::make_payload(std::move(bytes));
+}
+
+struct Request {
+  std::uint8_t op;
+  Tuple tuple;      // kOpOut
+  Pattern pattern;  // kOpIn / kOpRd
+};
+
+Request decode(const hw::Payload& data) {
+  Request r{};
+  const auto& b = *data;
+  r.op = static_cast<std::uint8_t>(b[0]);
+  const auto arity = static_cast<std::size_t>(b[1]);
+  const auto mask = static_cast<std::uint8_t>(b[2]);
+  for (std::size_t i = 0; i < arity; ++i) {
+    std::int64_t v = 0;
+    std::memcpy(&v, b.data() + 3 + i * 8, 8);
+    if (r.op == kOpOut) {
+      r.tuple.push_back(v);
+    } else if ((mask & (1u << i)) != 0) {
+      r.pattern.fields.push_back(std::nullopt);
+    } else {
+      r.pattern.fields.push_back(v);
+    }
+  }
+  return r;
+}
+
+hw::Payload encode_tuple_reply(const Tuple& t) {
+  std::vector<std::byte> bytes(1 + t.size() * 8);
+  bytes[0] = static_cast<std::byte>(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    std::memcpy(bytes.data() + 1 + i * 8, &t[i], 8);
+  }
+  return hw::make_payload(std::move(bytes));
+}
+
+Tuple decode_tuple_reply(const hw::Payload& data) {
+  Tuple t;
+  const auto n = static_cast<std::size_t>((*data)[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t v = 0;
+    std::memcpy(&v, data->data() + 1 + i * 8, 8);
+    t.push_back(v);
+  }
+  return t;
+}
+
+// Server-side shared store.
+struct Space {
+  std::list<Tuple> tuples;
+  struct Waiter {
+    Pattern pattern;
+    bool take;               // in vs rd
+    vorx::Channel* reply_to;
+  };
+  std::deque<Waiter> waiters;
+};
+
+sim::Task<void> reply_tuple(vorx::Subprocess& sp, vorx::Channel& ch,
+                            const Tuple& t) {
+  hw::Payload payload = encode_tuple_reply(t);
+  const auto n = static_cast<std::uint32_t>(payload->size());
+  co_await sp.write(ch, n, std::move(payload));
+}
+
+// Serves one client connection against the shared space.
+sim::Task<void> serve_client(vorx::Subprocess& sp, vorx::Channel* ch,
+                             std::shared_ptr<Space> space) {
+  for (;;) {
+    vorx::ChannelMsg m = co_await sp.read(*ch);
+    Request req = decode(m.data);
+    switch (req.op) {
+      case kOpOut: {
+        // Satisfy blocked in()/rd() waiters first, in FIFO order.  One
+        // tuple satisfies any number of rd()s plus at most one in().
+        bool consumed = false;
+        for (auto it = space->waiters.begin(); it != space->waiters.end();) {
+          if (consumed || !it->pattern.matches(req.tuple)) {
+            ++it;
+            continue;
+          }
+          co_await reply_tuple(sp, *it->reply_to, req.tuple);
+          consumed = it->take;
+          it = space->waiters.erase(it);
+        }
+        if (!consumed) space->tuples.push_back(req.tuple);
+        co_await sp.write(*ch, 1);  // out() completion ack
+        break;
+      }
+      case kOpIn:
+      case kOpRd: {
+        const bool take = req.op == kOpIn;
+        bool served = false;
+        for (auto it = space->tuples.begin(); it != space->tuples.end(); ++it) {
+          if (req.pattern.matches(*it)) {
+            Tuple t = *it;
+            if (take) space->tuples.erase(it);
+            co_await reply_tuple(sp, *ch, t);
+            served = true;
+            break;
+          }
+        }
+        if (!served) {
+          space->waiters.push_back(Space::Waiter{req.pattern, take, ch});
+        }
+        break;
+      }
+      default:
+        assert(false && "bad linda opcode");
+    }
+  }
+}
+
+}  // namespace
+
+vorx::AppFn make_server(std::string space_name) {
+  return [space_name](vorx::Subprocess& sp) -> sim::Task<void> {
+    auto space = std::make_shared<Space>();
+    vorx::ServerPort* port = co_await sp.open_server(space_name);
+    for (;;) {
+      vorx::Channel* ch = co_await sp.accept(*port);
+      // One serving subprocess per client: a blocked in() must not stall
+      // other clients (the §5 structuring lesson).
+      sp.process().spawn(
+          [ch, space](vorx::Subprocess& server_sp) -> sim::Task<void> {
+            co_await serve_client(server_sp, ch, space);
+          },
+          sim::prio::kUserDefault, "linda-serve");
+    }
+  };
+}
+
+sim::Task<Client> Client::connect(vorx::Subprocess& sp,
+                                  std::string space_name) {
+  vorx::Channel* ch = co_await sp.open(space_name);
+  co_return Client(ch);
+}
+
+sim::Task<Tuple> Client::request(vorx::Subprocess& sp, std::uint8_t op,
+                                 const Tuple& t, const Pattern* p) {
+  hw::Payload payload = encode(op, t, p);
+  const auto n = static_cast<std::uint32_t>(payload->size());
+  co_await sp.write(*ch_, n, std::move(payload));
+  vorx::ChannelMsg reply = co_await sp.read(*ch_);
+  if (op == kOpOut) co_return Tuple{};
+  co_return decode_tuple_reply(reply.data);
+}
+
+sim::Task<void> Client::out(vorx::Subprocess& sp, Tuple t) {
+  (void)co_await request(sp, kOpOut, t, nullptr);
+}
+
+sim::Task<Tuple> Client::in(vorx::Subprocess& sp, Pattern p) {
+  return request(sp, kOpIn, {}, &p);
+}
+
+sim::Task<Tuple> Client::rd(vorx::Subprocess& sp, Pattern p) {
+  return request(sp, kOpRd, {}, &p);
+}
+
+}  // namespace hpcvorx::apps::linda

@@ -1,0 +1,67 @@
+// A Linda tuple space over VORX channels.
+//
+// §4.1: "when using Meglos, the implementors of Linda needed a different
+// type of semantics" — the S/NET Linda kernel (Carriero & Gelernter) lived
+// below the channel layer.  This port takes the opposite, portable route
+// the paper recommends trying first: implement the tuple space with the
+// standard communications environment (a server process reached through a
+// reusable server channel name), measure, and only then reach for
+// user-defined objects.
+//
+// Tuples are fixed arity-<=8 integer records; patterns match with
+// wildcards.  out() stores a tuple; in() removes a matching tuple; rd()
+// copies one.  in()/rd() block until a match exists, with FIFO fairness
+// among equal waiters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vorx/process.hpp"
+
+namespace hpcvorx::apps::linda {
+
+using Tuple = std::vector<std::int64_t>;
+
+struct Pattern {
+  std::vector<std::optional<std::int64_t>> fields;
+  [[nodiscard]] bool matches(const Tuple& t) const {
+    if (t.size() != fields.size()) return false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (fields[i].has_value() && *fields[i] != t[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// Shorthand: actual value.
+[[nodiscard]] inline std::optional<std::int64_t> eq(std::int64_t v) { return v; }
+/// Shorthand: wildcard.
+[[nodiscard]] inline std::optional<std::int64_t> any() { return std::nullopt; }
+
+/// Returns the server's application function.  Spawn it as a process; it
+/// accepts clients on the given name forever (it parks on accept when the
+/// simulation drains — harmless).
+[[nodiscard]] vorx::AppFn make_server(std::string space_name);
+
+/// Client side: a connection to the tuple-space server.
+class Client {
+ public:
+  /// Opens a connection (the server must be running somewhere).
+  [[nodiscard]] static sim::Task<Client> connect(vorx::Subprocess& sp,
+                                                 std::string space_name);
+
+  [[nodiscard]] sim::Task<void> out(vorx::Subprocess& sp, Tuple t);
+  [[nodiscard]] sim::Task<Tuple> in(vorx::Subprocess& sp, Pattern p);
+  [[nodiscard]] sim::Task<Tuple> rd(vorx::Subprocess& sp, Pattern p);
+
+ private:
+  explicit Client(vorx::Channel* ch) : ch_(ch) {}
+  [[nodiscard]] sim::Task<Tuple> request(vorx::Subprocess& sp,
+                                         std::uint8_t op, const Tuple& t,
+                                         const Pattern* p);
+  vorx::Channel* ch_;
+};
+
+}  // namespace hpcvorx::apps::linda

@@ -1,0 +1,110 @@
+#include "apps/sparse.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace hpcvorx::apps {
+
+void CsrMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+  matvec_rows(0, n_, x, y);
+}
+
+void CsrMatrix::matvec_rows(int r0, int r1, std::span<const double> x,
+                            std::span<double> y) const {
+  assert(static_cast<int>(x.size()) == n_);
+  assert(static_cast<int>(y.size()) == n_);
+  for (int r = r0; r < r1; ++r) {
+    double acc = 0;
+    for (int i = row_ptr_[static_cast<std::size_t>(r)];
+         i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i) {
+      acc += val_[static_cast<std::size_t>(i)] *
+             x[static_cast<std::size_t>(col_[static_cast<std::size_t>(i)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+CsrMatrix make_grid_laplacian(int nx, int ny, double diag_shift) {
+  const int n = nx * ny;
+  std::vector<int> row_ptr{0};
+  std::vector<int> col;
+  std::vector<double> val;
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const int r = y * nx + x;
+      // Row entries in column order for determinism.
+      if (y > 0) {
+        col.push_back(r - nx);
+        val.push_back(-1.0);
+      }
+      if (x > 0) {
+        col.push_back(r - 1);
+        val.push_back(-1.0);
+      }
+      col.push_back(r);
+      val.push_back(4.0 + diag_shift);
+      if (x + 1 < nx) {
+        col.push_back(r + 1);
+        val.push_back(-1.0);
+      }
+      if (y + 1 < ny) {
+        col.push_back(r + nx);
+        val.push_back(-1.0);
+      }
+      row_ptr.push_back(static_cast<int>(col.size()));
+    }
+  }
+  return CsrMatrix(n, std::move(row_ptr), std::move(col), std::move(val));
+}
+
+std::vector<double> make_rhs(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (double& v : b) v = rng.uniform() * 2.0 - 1.0;
+  return b;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            double tol, int max_iter) {
+  const auto n = static_cast<std::size_t>(a.n());
+  CgResult res;
+  res.x.assign(n, 0.0);
+  std::vector<double> r(b.begin(), b.end());
+  std::vector<double> p = r;
+  std::vector<double> ap(n);
+  double rr = dot(r, r);
+  const double stop = tol * tol * dot(b, b);
+  for (int it = 0; it < max_iter; ++it) {
+    if (rr <= stop) {
+      res.converged = true;
+      break;
+    }
+    a.matvec(p, ap);
+    const double alpha = rr / dot(p, ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+    res.iterations = it + 1;
+  }
+  res.converged = res.converged || rr <= stop;
+  res.residual = std::sqrt(rr);
+  return res;
+}
+
+}  // namespace hpcvorx::apps

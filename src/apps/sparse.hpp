@@ -1,0 +1,81 @@
+// Sparse linear algebra for the parallel-SPICE experiment (§4.1).
+//
+// "User-defined communications objects were successfully used in a
+// parallel implementation of SPICE that needed very low latency
+// communications to solve large sparse linear systems."
+//
+// The kernels here — CSR matrices, 5-point grid Laplacians (the classic
+// circuit-like SPD structure), and a conjugate-gradient solver — are what
+// the simulated nodes execute in spice_app; the distributed solve is
+// verified against the serial solver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hpcvorx::apps {
+
+/// Compressed-sparse-row square matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix(int n, std::vector<int> row_ptr, std::vector<int> col,
+            std::vector<double> val)
+      : n_(n), row_ptr_(std::move(row_ptr)), col_(std::move(col)),
+        val_(std::move(val)) {}
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::size_t nnz() const { return val_.size(); }
+
+  /// y = A x (whole matrix).
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// y[r0..r1) = (A x)[r0..r1) — the row-block form the distributed solver
+  /// uses.
+  void matvec_rows(int r0, int r1, std::span<const double> x,
+                   std::span<double> y) const;
+
+  [[nodiscard]] const std::vector<int>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const std::vector<int>& col() const { return col_; }
+  [[nodiscard]] const std::vector<double>& val() const { return val_; }
+
+ private:
+  int n_;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_;
+  std::vector<double> val_;
+};
+
+/// SPD 5-point Laplacian on an nx x ny grid with a diagonal shift — the
+/// standard stand-in for a nodal circuit conductance matrix.
+[[nodiscard]] CsrMatrix make_grid_laplacian(int nx, int ny,
+                                            double diag_shift = 0.1);
+
+/// Deterministic right-hand side.
+[[nodiscard]] std::vector<double> make_rhs(int n, std::uint64_t seed);
+
+struct CgResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double residual = 0;
+  bool converged = false;
+};
+
+/// Serial conjugate gradients (reference for the distributed solver).
+[[nodiscard]] CgResult conjugate_gradient(const CsrMatrix& a,
+                                          std::span<const double> b,
+                                          double tol = 1e-10,
+                                          int max_iter = 1000);
+
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double norm2(std::span<const double> v);
+
+/// Virtual-time cost of `flops` floating-point operations on the 68882
+/// (~0.1 MFLOPS for mixed loads => 10 us per flop).
+[[nodiscard]] constexpr sim::Duration flop_cost(std::int64_t flops) {
+  return flops * sim::usec(10);
+}
+
+}  // namespace hpcvorx::apps

@@ -1,0 +1,241 @@
+#include "apps/spice_app.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "vorx/node.hpp"
+#include "vorx/udco.hpp"
+
+namespace hpcvorx::apps {
+
+namespace {
+
+hw::Payload pack_doubles(const double* src, std::size_t count) {
+  std::vector<std::byte> bytes(count * sizeof(double));
+  std::memcpy(bytes.data(), src, bytes.size());
+  return hw::make_payload(std::move(bytes));
+}
+
+void unpack_doubles(const hw::Payload& data, double* dst, std::size_t count) {
+  assert(data->size() == count * sizeof(double));
+  std::memcpy(dst, data->data(), data->size());
+}
+
+// One point-to-point connection over either transport.
+struct Pipe {
+  vorx::Udco* u = nullptr;
+  vorx::Channel* c = nullptr;
+
+  sim::Task<void> send(vorx::Subprocess& sp, const double* v, std::size_t n) {
+    const auto bytes = static_cast<std::uint32_t>(n * sizeof(double));
+    if (u != nullptr) {
+      co_await u->send(sp, bytes, pack_doubles(v, n));
+    } else {
+      co_await sp.write(*c, bytes, pack_doubles(v, n));
+    }
+  }
+
+  sim::Task<void> recv(vorx::Subprocess& sp, double* v, std::size_t n) {
+    if (u != nullptr) {
+      hw::Frame f = co_await u->recv(sp);
+      unpack_doubles(f.data, v, n);
+    } else {
+      vorx::ChannelMsg m = co_await sp.read(*c);
+      unpack_doubles(m.data, v, n);
+    }
+  }
+};
+
+struct Shared {
+  SpiceConfig cfg;
+  const CsrMatrix* a = nullptr;
+  const std::vector<double>* b = nullptr;
+  std::vector<double> x;  // assembled distributed solution
+  int iterations = 0;
+  double residual = 0;
+  bool converged = false;
+  std::uint64_t halo_messages = 0;
+};
+
+// Opens a pipe to `peer` named canonically; both ends call this.
+sim::Task<Pipe> open_pipe(vorx::Subprocess& sp, bool use_channels,
+                          const std::string& tag, int a, int b) {
+  const std::string name = tag + std::to_string(std::min(a, b)) + "_" +
+                           std::to_string(std::max(a, b));
+  Pipe p;
+  if (use_channels) {
+    p.c = co_await sp.open(name);
+  } else {
+    p.u = co_await sp.open_udco(name);
+  }
+  co_return p;
+}
+
+sim::Task<void> spice_node(vorx::Subprocess& sp, std::shared_ptr<Shared> st,
+                           int me, std::shared_ptr<sim::Gate> done) {
+  const SpiceConfig& cfg = st->cfg;
+  const int nx = cfg.nx;
+  const int p = cfg.p;
+  const int rows_per = cfg.ny / p;        // grid rows per node
+  const int block = nx * rows_per;        // unknowns per node
+  const int n = nx * cfg.ny;
+  const int lo = me * block;
+  const int hi = lo + block;
+  const CsrMatrix& a = *st->a;
+
+  // Connections: halo pipes to grid neighbours, reduction pipe to rank 0.
+  Pipe up, down, red;
+  if (me > 0) up = co_await open_pipe(sp, cfg.use_channels, "halo", me - 1, me);
+  if (me + 1 < p) {
+    down = co_await open_pipe(sp, cfg.use_channels, "halo", me, me + 1);
+  }
+  std::vector<Pipe> red_links;  // rank 0 only: to every other rank
+  if (me == 0) {
+    for (int k = 1; k < p; ++k) {
+      red_links.push_back(
+          co_await open_pipe(sp, cfg.use_channels, "red", 0, k));
+    }
+  } else {
+    red = co_await open_pipe(sp, cfg.use_channels, "red", 0, me);
+  }
+
+  // Sum-reduce a local scalar across all nodes (rank-ordered for
+  // determinism), then broadcast the total.
+  auto allreduce = [&](double local) -> sim::Task<double> {
+    if (p == 1) co_return local;
+    if (me == 0) {
+      double total = local;
+      for (int k = 1; k < p; ++k) {
+        double v = 0;
+        co_await red_links[static_cast<std::size_t>(k - 1)].recv(sp, &v, 1);
+        total += v;
+      }
+      for (int k = 1; k < p; ++k) {
+        co_await red_links[static_cast<std::size_t>(k - 1)].send(sp, &total, 1);
+      }
+      co_return total;
+    }
+    co_await red.send(sp, &local, 1);
+    double total = 0;
+    co_await red.recv(sp, &total, 1);
+    co_return total;
+  };
+
+  // Exchange one halo row (nx doubles) of `v` with both neighbours.
+  auto halo_exchange = [&](std::vector<double>& v) -> sim::Task<void> {
+    if (me > 0) {
+      co_await up.send(sp, v.data() + lo, static_cast<std::size_t>(nx));
+      ++st->halo_messages;
+    }
+    if (me + 1 < p) {
+      co_await down.send(sp, v.data() + hi - nx, static_cast<std::size_t>(nx));
+      ++st->halo_messages;
+    }
+    if (me > 0) {
+      co_await up.recv(sp, v.data() + lo - nx, static_cast<std::size_t>(nx));
+    }
+    if (me + 1 < p) {
+      co_await down.recv(sp, v.data() + hi, static_cast<std::size_t>(nx));
+    }
+  };
+
+  auto local_dot = [&](const std::vector<double>& u2,
+                       const std::vector<double>& v2) {
+    double acc = 0;
+    for (int i = lo; i < hi; ++i) {
+      acc += u2[static_cast<std::size_t>(i)] * v2[static_cast<std::size_t>(i)];
+    }
+    return acc;
+  };
+
+  // CG state: full-length vectors, only [lo, hi) + halos meaningful.
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> r(st->b->begin(), st->b->end());
+  std::vector<double> pv = r;
+  std::vector<double> ap(static_cast<std::size_t>(n), 0.0);
+
+  co_await sp.compute(flop_cost(2 * block));  // local dot flops
+  double rr = co_await allreduce(local_dot(r, r));
+  const double stop = cfg.tol * cfg.tol * (co_await allreduce(local_dot(r, r)));
+
+  int it = 0;
+  for (; it < cfg.max_iter && rr > stop; ++it) {
+    co_await halo_exchange(pv);
+    // Local sparse matvec: ~9 flops per 5-point row.
+    co_await sp.compute(flop_cost(9 * block));
+    a.matvec_rows(lo, hi, pv, ap);
+    co_await sp.compute(flop_cost(2 * block));
+    const double pap = co_await allreduce(local_dot(pv, ap));
+    const double alpha = rr / pap;
+    co_await sp.compute(flop_cost(4 * block));
+    for (int i = lo; i < hi; ++i) {
+      x[static_cast<std::size_t>(i)] += alpha * pv[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i)] -= alpha * ap[static_cast<std::size_t>(i)];
+    }
+    co_await sp.compute(flop_cost(2 * block));
+    const double rr_new = co_await allreduce(local_dot(r, r));
+    const double beta = rr_new / rr;
+    co_await sp.compute(flop_cost(2 * block));
+    for (int i = lo; i < hi; ++i) {
+      pv[static_cast<std::size_t>(i)] =
+          r[static_cast<std::size_t>(i)] + beta * pv[static_cast<std::size_t>(i)];
+    }
+    rr = rr_new;
+  }
+
+  // Publish my block of the solution.
+  for (int i = lo; i < hi; ++i) {
+    st->x[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+  }
+  if (me == 0) {
+    st->iterations = it;
+    st->residual = std::sqrt(rr);
+    st->converged = rr <= stop;
+  }
+  done->arrive();
+}
+
+}  // namespace
+
+SpiceResult run_spice(sim::Simulator& sim, vorx::System& sys,
+                      const SpiceConfig& cfg) {
+  assert(cfg.ny % cfg.p == 0 && sys.num_nodes() >= cfg.p);
+  const CsrMatrix a = make_grid_laplacian(cfg.nx, cfg.ny);
+  const std::vector<double> b = make_rhs(a.n(), cfg.seed);
+
+  auto st = std::make_shared<Shared>();
+  st->cfg = cfg;
+  st->a = &a;
+  st->b = &b;
+  st->x.assign(static_cast<std::size_t>(a.n()), 0.0);
+
+  auto done = std::make_shared<sim::Gate>(sim, static_cast<std::size_t>(cfg.p));
+  const sim::SimTime started = sim.now();
+  for (int i = 0; i < cfg.p; ++i) {
+    sys.node(i).spawn_process(
+        "spice." + std::to_string(i),
+        [st, i, done](vorx::Subprocess& sp) -> sim::Task<void> {
+          co_await spice_node(sp, st, i, done);
+        });
+  }
+  sim.run();
+
+  SpiceResult res;
+  res.elapsed = sim.now() - started;
+  res.iterations = st->iterations;
+  res.residual = st->residual;
+  res.converged = st->converged;
+  res.halo_messages = st->halo_messages;
+
+  const CgResult serial = conjugate_gradient(a, b, cfg.tol, cfg.max_iter);
+  double diff = 0;
+  for (std::size_t i = 0; i < st->x.size(); ++i) {
+    diff = std::max(diff, std::fabs(st->x[i] - serial.x[i]));
+  }
+  res.matches_serial = serial.converged == res.converged && diff < 1e-6;
+  return res;
+}
+
+}  // namespace hpcvorx::apps

@@ -1,0 +1,147 @@
+#include "hw/cluster.hpp"
+
+#include <algorithm>
+
+namespace hpcvorx::hw {
+
+Cluster::Cluster(sim::Simulator& sim, std::string name, int num_ports)
+    : sim_(sim),
+      name_(std::move(name)),
+      ins_(num_ports, nullptr),
+      outs_(num_ports, nullptr),
+      rr_next_(num_ports, 0) {}
+
+void Cluster::attach_in(int port, Link* in) {
+  assert(port >= 0 && port < num_ports() && ins_[port] == nullptr);
+  ins_[port] = in;
+  in->set_deliver_cb([this, port] { on_input(port); });
+}
+
+void Cluster::attach_out(int port, Link* out) {
+  assert(port >= 0 && port < num_ports() && outs_[port] == nullptr);
+  outs_[port] = out;
+  out->set_ready_cb([this, port] { try_output(port); });
+}
+
+void Cluster::set_route(StationId dst, int out_port) {
+  assert(dst >= 0);
+  if (static_cast<std::size_t>(dst) >= route_.size()) {
+    route_.resize(static_cast<std::size_t>(dst) + 1, -1);
+  }
+  route_[static_cast<std::size_t>(dst)] = out_port;
+}
+
+void Cluster::set_multicast_route(std::uint64_t gid,
+                                  std::vector<int> out_ports) {
+  mcast_routes_[gid] = std::move(out_ports);
+}
+
+const std::vector<int>* Cluster::mcast_route_for(const Frame& f) const {
+  auto it = mcast_routes_.find(f.group);
+  assert(it != mcast_routes_.end() &&
+         "group frame at a cluster with no multicast route");
+  return &it->second;
+}
+
+int Cluster::route_for(const Frame& f) const {
+  assert(f.dst >= 0 && static_cast<std::size_t>(f.dst) < route_.size() &&
+         route_[static_cast<std::size_t>(f.dst)] >= 0 &&
+         "frame addressed to a station this cluster has no route for");
+  return route_[static_cast<std::size_t>(f.dst)];
+}
+
+void Cluster::on_input(int in_port) {
+  const Frame* head = ins_[in_port]->peek();
+  if (head == nullptr) return;  // already forwarded by a nested callback
+  if (head->group != 0) {
+    forward_head(in_port);
+    return;
+  }
+  try_output(route_for(*head));
+}
+
+// Attempts to forward the head frame of `in_port`; handles both unicast
+// and multicast heads.  Returns true if the head was consumed.
+bool Cluster::forward_head(int in_port) {
+  const Frame* head = ins_[in_port]->peek();
+  if (head == nullptr) return false;
+  if (head->group == 0) {
+    try_output(route_for(*head));
+    return ins_[in_port]->peek() != head;
+  }
+  // Hardware multicast: the frame is replicated to every port in the
+  // group's replication set, and may proceed only when *all* of them can
+  // accept a whole frame (replication cannot be half-done).
+  const std::vector<int>& ports = *mcast_route_for(*head);
+  for (int p : ports) {
+    if (outs_[static_cast<std::size_t>(p)] == nullptr ||
+        !outs_[static_cast<std::size_t>(p)]->ready()) {
+      return false;
+    }
+  }
+  Frame f = *ins_[in_port]->take();
+  ++f.hops;
+  for (int p : ports) {
+    ++forwarded_;
+    outs_[static_cast<std::size_t>(p)]->send(f);
+  }
+  // The next head may be unicast or multicast; give it a chance now.
+  if (const Frame* next = ins_[in_port]->peek()) {
+    if (next->group != 0) {
+      forward_head(in_port);
+    } else {
+      try_output(route_for(*next));
+    }
+  }
+  return true;
+}
+
+void Cluster::try_output(int out_port) {
+  Link* out = outs_[out_port];
+  if (out == nullptr) return;
+  // Keep forwarding while the output link can accept frames and some input
+  // port's head-of-line frame routes here.  Scanning starts at the
+  // round-robin cursor so all inputs get fair service under contention.
+  while (out->ready()) {
+    const int n = num_ports();
+    int chosen = -1;
+    for (int i = 0; i < n; ++i) {
+      const int p = (rr_next_[out_port] + i) % n;
+      if (ins_[p] == nullptr) continue;
+      const Frame* head = ins_[p]->peek();
+      if (head == nullptr) continue;
+      if (head->group != 0) {
+        // A multicast head whose replication set includes this port may
+        // now be able to go (this port just became ready).
+        const std::vector<int>& ports = *mcast_route_for(*head);
+        if (std::find(ports.begin(), ports.end(), out_port) != ports.end()) {
+          if (forward_head(p) && !out->ready()) return;
+        }
+        continue;
+      }
+      if (route_for(*head) == out_port) {
+        chosen = p;
+        break;
+      }
+    }
+    if (chosen < 0) return;
+    rr_next_[out_port] = (chosen + 1) % n;
+    Frame f = *ins_[chosen]->take();  // frees the input slot upstream
+    ++f.hops;
+    ++forwarded_;
+    out->send(f);
+    // Head-of-line unblocking: the frame now at the head of this input may
+    // route to a *different* output that has been idle all along (so its
+    // ready callback will never fire).  Kick that output's arbiter.
+    if (const Frame* next_head = ins_[chosen]->peek()) {
+      if (next_head->group != 0) {
+        forward_head(chosen);
+      } else {
+        const int other = route_for(*next_head);
+        if (other != out_port) try_output(other);
+      }
+    }
+  }
+}
+
+}  // namespace hpcvorx::hw

@@ -1,0 +1,74 @@
+// A self-routing HPC cluster: a 12-port star switch.
+//
+// §1 of the paper: "The HPC consists of several self-routing star networks
+// called clusters, each of which contains twelve ports.  A port contains
+// independent input and output sections that simultaneously run at
+// 160 Mbit/sec and can connect to either a workstation, a processing node,
+// or to another cluster."
+//
+// The switch is input-buffered (each incoming link's downstream buffer is
+// the port's input fifo) and forwards whole frames.  Every output port has
+// a round-robin arbiter over the input ports — the "fair hardware
+// scheduling mechanism [that] ensures that every sender is eventually
+// serviced" (§2).  Routing is table-driven: the Fabric programs, for every
+// destination station, which output port a frame must leave through.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/link.hpp"
+
+namespace hpcvorx::hw {
+
+inline constexpr int kClusterPorts = 12;
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, std::string name, int num_ports = kClusterPorts);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Attaches the incoming link whose downstream buffer is this port's
+  /// input fifo.  The cluster subscribes to its delivery callback.
+  void attach_in(int port, Link* in);
+
+  /// Attaches the outgoing link transmitted by this port.  The cluster
+  /// subscribes to its ready callback.
+  void attach_out(int port, Link* out);
+
+  /// Programs the route for frames addressed to `dst`.
+  void set_route(StationId dst, int out_port);
+
+  /// Programs the replication set for hardware-multicast group `gid`: the
+  /// output ports a group frame leaves through (tree children and/or
+  /// local member stations).
+  void set_multicast_route(std::uint64_t gid, std::vector<int> out_ports);
+
+  [[nodiscard]] int num_ports() const { return static_cast<int>(outs_.size()); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Frames forwarded through this cluster (diagnostics).
+  [[nodiscard]] std::uint64_t frames_forwarded() const { return forwarded_; }
+
+ private:
+  [[nodiscard]] int route_for(const Frame& f) const;
+  [[nodiscard]] const std::vector<int>* mcast_route_for(const Frame& f) const;
+  bool forward_head(int in_port);  // returns whether the head was consumed
+  void on_input(int in_port);
+  void try_output(int out_port);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::vector<Link*> ins_;
+  std::vector<Link*> outs_;
+  std::vector<int> rr_next_;       // per-output round-robin cursor
+  std::vector<int> route_;         // station id -> output port (-1 unset)
+  std::unordered_map<std::uint64_t, std::vector<int>> mcast_routes_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace hpcvorx::hw

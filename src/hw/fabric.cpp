@@ -1,0 +1,167 @@
+#include "hw/fabric.hpp"
+
+#include <cassert>
+#include <set>
+
+namespace hpcvorx::hw {
+
+void Endpoint::transmit(Frame f) {
+  assert(tx_ready() && "Endpoint::transmit while not tx_ready");
+  assert(f.payload_bytes <= kMaxPayloadBytes &&
+         "HPC frames are limited to 1060 payload bytes");
+  assert(f.dst >= 0 || f.group != 0);
+  f.src = id_;
+  f.injected_at = sim_->now();
+  ++frames_sent_;
+  out_->send(std::move(f));
+}
+
+Link* Fabric::new_link(std::string name, int buffer_frames) {
+  Link::Params p = params_.link;
+  p.buffer_frames = buffer_frames;
+  links_.push_back(std::make_unique<Link>(sim_, std::move(name), p));
+  return links_.back().get();
+}
+
+void Fabric::add_station(int cluster_index, int local_port) {
+  const StationId id = static_cast<StationId>(endpoints_.size());
+  auto ep = std::make_unique<Endpoint>();
+  ep->sim_ = &sim_;
+  ep->id_ = id;
+
+  Cluster& cl = *clusters_[cluster_index];
+  // Station -> cluster: the downstream buffer is the cluster's input fifo.
+  Link* up = new_link("s" + std::to_string(id) + ">c" +
+                          std::to_string(cluster_index),
+                      params_.link.buffer_frames);
+  cl.attach_in(local_port, up);
+  ep->out_ = up;
+  // Cluster -> station: the downstream buffer is the endpoint's receive
+  // section.
+  Link* down = new_link("c" + std::to_string(cluster_index) + ">s" +
+                            std::to_string(id),
+                        params_.rx_buffer_frames);
+  cl.attach_out(local_port, down);
+  ep->in_ = down;
+
+  endpoints_.push_back(std::move(ep));
+  station_cluster_.push_back(cluster_index);
+  station_local_port_.push_back(local_port);
+}
+
+void Fabric::program_routes() {
+  const int n_clusters = num_clusters();
+  for (int c = 0; c < n_clusters; ++c) {
+    for (StationId d = 0; d < num_stations(); ++d) {
+      const int dc = station_cluster_[static_cast<std::size_t>(d)];
+      if (dc == c) {
+        clusters_[c]->set_route(d, station_local_port_[static_cast<std::size_t>(d)]);
+      } else {
+        const int next = next_hypercube_hop(c, dc, n_clusters);
+        const int dim = dimension_of((c ^ next) + 1) - 1;  // log2 of the bit
+        clusters_[c]->set_route(d, dim);
+      }
+    }
+  }
+}
+
+std::unique_ptr<Fabric> Fabric::single_cluster(sim::Simulator& sim,
+                                               int stations, Params params) {
+  assert(stations >= 1 && stations <= params.ports_per_cluster);
+  std::unique_ptr<Fabric> f(new Fabric(sim, params));
+  f->clusters_.push_back(
+      std::make_unique<Cluster>(sim, "c0", params.ports_per_cluster));
+  for (int s = 0; s < stations; ++s) f->add_station(0, s);
+  f->program_routes();
+  return f;
+}
+
+std::unique_ptr<Fabric> Fabric::hypercube(sim::Simulator& sim, int stations,
+                                          int stations_per_cluster,
+                                          Params params) {
+  assert(stations >= 1 && stations_per_cluster >= 1);
+  const int n_clusters =
+      (stations + stations_per_cluster - 1) / stations_per_cluster;
+  const int dims = dimension_of(n_clusters);
+  assert(dims + stations_per_cluster <= params.ports_per_cluster &&
+         "cluster port budget exceeded: dims + stations/cluster > ports");
+
+  std::unique_ptr<Fabric> f(new Fabric(sim, params));
+  f->stations_per_cluster_ = stations_per_cluster;
+  for (int c = 0; c < n_clusters; ++c) {
+    f->clusters_.push_back(std::make_unique<Cluster>(
+        sim, "c" + std::to_string(c), params.ports_per_cluster));
+  }
+  // Inter-cluster links: port b of cluster c carries dimension b.  Each
+  // direction is an independent link (full-duplex port sections).
+  for (int c = 0; c < n_clusters; ++c) {
+    for (int b = 0; b < dims; ++b) {
+      const int m = c ^ (1 << b);
+      if (m >= n_clusters || m < c) continue;  // build each pair once
+      Link* cm = f->new_link("c" + std::to_string(c) + ">c" + std::to_string(m),
+                             params.link.buffer_frames);
+      f->clusters_[c]->attach_out(b, cm);
+      f->clusters_[m]->attach_in(b, cm);
+      Link* mc = f->new_link("c" + std::to_string(m) + ">c" + std::to_string(c),
+                             params.link.buffer_frames);
+      f->clusters_[m]->attach_out(b, mc);
+      f->clusters_[c]->attach_in(b, mc);
+    }
+  }
+  for (int s = 0; s < stations; ++s) {
+    f->add_station(s / stations_per_cluster, dims + s % stations_per_cluster);
+  }
+  f->program_routes();
+  return f;
+}
+
+std::unique_ptr<Fabric> Fabric::make(sim::Simulator& sim, int stations,
+                                     int stations_per_cluster, Params params) {
+  if (stations <= params.ports_per_cluster) {
+    return single_cluster(sim, stations, params);
+  }
+  return hypercube(sim, stations, stations_per_cluster, params);
+}
+
+int Fabric::cluster_of(StationId s) const {
+  return station_cluster_.at(static_cast<std::size_t>(s));
+}
+
+void Fabric::add_multicast_group(std::uint64_t gid, StationId root,
+                                 const std::vector<StationId>& members) {
+  const int n_clusters = num_clusters();
+  const int root_cluster = cluster_of(root);
+  // Per-cluster replication set: union of the root->member unicast routes
+  // (tree edges become inter-cluster ports; member clusters add the
+  // members' local ports).
+  std::vector<std::set<int>> ports(static_cast<std::size_t>(n_clusters));
+  for (StationId m : members) {
+    if (m == root) continue;  // the root's kernel delivers locally
+    const int mc = cluster_of(m);
+    int c = root_cluster;
+    while (c != mc) {
+      const int next = next_hypercube_hop(c, mc, n_clusters);
+      const int dim = dimension_of((c ^ next) + 1) - 1;
+      ports[static_cast<std::size_t>(c)].insert(dim);
+      c = next;
+    }
+    ports[static_cast<std::size_t>(mc)].insert(
+        station_local_port_[static_cast<std::size_t>(m)]);
+  }
+  for (int c = 0; c < n_clusters; ++c) {
+    if (!ports[static_cast<std::size_t>(c)].empty() || c == root_cluster) {
+      clusters_[static_cast<std::size_t>(c)]->set_multicast_route(
+          gid, std::vector<int>(ports[static_cast<std::size_t>(c)].begin(),
+                                ports[static_cast<std::size_t>(c)].end()));
+    }
+  }
+}
+
+int Fabric::route_length(StationId a, StationId b) const {
+  const int ca = cluster_of(a);
+  const int cb = cluster_of(b);
+  // Entry cluster + one cluster per inter-cluster hop.
+  return 1 + hamming_distance(ca, cb);
+}
+
+}  // namespace hpcvorx::hw

@@ -1,0 +1,137 @@
+// The HPC interconnect: endpoints, clusters, and topology construction.
+//
+// A Fabric assembles Links and Clusters into one of the configurations the
+// paper describes:
+//   * single_cluster — up to 12 stations on one cluster (the minimal HPC);
+//   * hypercube — clusters joined as an incomplete hypercube, with the low
+//     `dims` ports of every cluster used for inter-cluster links and the
+//     remaining ports for stations (the 1024-node example in §1 uses 256
+//     clusters with 8 cube ports and 4 station ports each).
+//
+// Stations (processing nodes and host workstations look identical to the
+// hardware) send and receive whole frames through an Endpoint, which
+// models the node's HPC interface: a transmit section with a
+// space-available interrupt and a receive section with a small whole-frame
+// buffer and a receive interrupt.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.hpp"
+#include "hw/hypercube.hpp"
+#include "hw/link.hpp"
+
+namespace hpcvorx::hw {
+
+class Fabric;
+
+/// A station's interface to the interconnect.
+class Endpoint {
+ public:
+  [[nodiscard]] StationId id() const { return id_; }
+
+  /// True when a frame may be injected now (transmitter free and the
+  /// first-hop buffer has space — hardware flow control, §2).
+  [[nodiscard]] bool tx_ready() const { return out_->ready(); }
+
+  /// Injects a frame.  Precondition: tx_ready().  Stamps src/injected_at.
+  void transmit(Frame f);
+
+  /// Fired whenever transmission may have become possible: the paper's
+  /// "the processor receives an interrupt when room becomes available".
+  void set_tx_ready_cb(std::function<void()> cb) {
+    out_->set_ready_cb(std::move(cb));
+  }
+
+  [[nodiscard]] const Frame* rx_peek() const { return in_->peek(); }
+
+  /// Removes the head received frame, freeing the hardware buffer slot.
+  std::optional<Frame> rx_take() { return in_->take(); }
+
+  /// Fired on each frame arrival: the receive interrupt.
+  void set_rx_cb(std::function<void()> cb) { in_->set_deliver_cb(std::move(cb)); }
+
+  [[nodiscard]] std::size_t rx_buffered() const { return in_->buffered(); }
+
+  /// Frames this endpoint has injected (diagnostics).
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  friend class Fabric;
+  sim::Simulator* sim_ = nullptr;
+  StationId id_ = -1;
+  Link* out_ = nullptr;  // station -> cluster
+  Link* in_ = nullptr;   // cluster -> station
+  std::uint64_t frames_sent_ = 0;
+};
+
+/// Fabric-wide construction parameters.
+struct FabricParams {
+  Link::Params link;            // applies to every link in the fabric
+  int ports_per_cluster = kClusterPorts;
+  int rx_buffer_frames = 2;     // endpoint receive-section buffer
+};
+
+class Fabric {
+ public:
+  using Params = FabricParams;
+
+  /// All `stations` on one cluster.  Requires stations <= ports_per_cluster.
+  static std::unique_ptr<Fabric> single_cluster(sim::Simulator& sim,
+                                                int stations,
+                                                Params params = Params());
+
+  /// Incomplete hypercube of ceil(stations / stations_per_cluster)
+  /// clusters.  Requires stations_per_cluster + dimension <= ports.
+  static std::unique_ptr<Fabric> hypercube(sim::Simulator& sim, int stations,
+                                           int stations_per_cluster,
+                                           Params params = Params());
+
+  /// Picks single_cluster when everything fits on one cluster, else a
+  /// hypercube with the given stations-per-cluster.
+  static std::unique_ptr<Fabric> make(sim::Simulator& sim, int stations,
+                                      int stations_per_cluster = 4,
+                                      Params params = Params());
+
+  [[nodiscard]] Endpoint& endpoint(StationId s) { return *endpoints_.at(s); }
+  [[nodiscard]] int num_stations() const {
+    return static_cast<int>(endpoints_.size());
+  }
+  [[nodiscard]] int num_clusters() const {
+    return static_cast<int>(clusters_.size());
+  }
+  [[nodiscard]] int cluster_of(StationId s) const;
+  [[nodiscard]] const Cluster& cluster(int c) const { return *clusters_.at(c); }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Cluster hops a frame between the two stations traverses.
+  [[nodiscard]] int route_length(StationId a, StationId b) const;
+
+  /// Programs hardware multicast group `gid`: a frame injected by `root`
+  /// with Frame::group == gid is replicated inside the clusters along the
+  /// union of root->member routes and delivered to every member except the
+  /// root itself.  Concurrent group frames are flow-controlled by the
+  /// hardware like any others; the software layer keeps at most one
+  /// multicast outstanding per group.
+  void add_multicast_group(std::uint64_t gid, StationId root,
+                           const std::vector<StationId>& members);
+
+ private:
+  Fabric(sim::Simulator& sim, Params params) : sim_(sim), params_(params) {}
+  Link* new_link(std::string name, int buffer_frames);
+  void add_station(int cluster_index, int local_port);
+  void program_routes();
+
+  sim::Simulator& sim_;
+  Params params_;
+  int stations_per_cluster_ = 0;  // 0 => single cluster
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<int> station_cluster_;     // station -> cluster index
+  std::vector<int> station_local_port_;  // station -> port on its cluster
+};
+
+}  // namespace hpcvorx::hw

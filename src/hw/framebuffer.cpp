@@ -1,0 +1,29 @@
+#include "hw/framebuffer.hpp"
+
+#include <algorithm>
+
+namespace hpcvorx::hw {
+
+void FrameBuffer::write_bytes(std::size_t offset, std::span<const std::byte> data) {
+  const std::size_t n = frame_bytes();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    pixels_[(offset + i) % n] = data[i];
+  }
+  bytes_written_ += data.size();
+}
+
+void FrameBuffer::write_length(std::size_t offset, std::size_t len) {
+  (void)offset;
+  bytes_written_ += len;
+}
+
+std::uint64_t FrameBuffer::checksum() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : pixels_) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hpcvorx::hw

@@ -1,0 +1,60 @@
+// A workstation frame buffer for the real-time bitmap experiments (§4.1).
+//
+// The paper streams 900×900 bi-level frames from a processing node
+// straight into a workstation's display memory at 3.2 Mbyte/s.  This model
+// keeps the pixel bytes (so tests can checksum end-to-end integrity) and
+// counts refresh completions so the benchmark can report frames/second.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcvorx::hw {
+
+class FrameBuffer {
+ public:
+  /// `bits_per_pixel` is 1 for the paper's monochrome display.
+  FrameBuffer(int width, int height, int bits_per_pixel = 1)
+      : width_(width),
+        height_(height),
+        bits_per_pixel_(bits_per_pixel),
+        pixels_(frame_bytes(), std::byte{0}) {}
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  /// Bytes in one full frame.
+  [[nodiscard]] std::size_t frame_bytes() const {
+    return (static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_) *
+                static_cast<std::size_t>(bits_per_pixel_) +
+            7) /
+           8;
+  }
+
+  /// Copies incoming scan data at `offset` (wraps per frame).  The caller
+  /// models the copy's CPU cost; the buffer just stores and counts.
+  void write_bytes(std::size_t offset, std::span<const std::byte> data);
+
+  /// Write without content (timing-only streams).
+  void write_length(std::size_t offset, std::size_t len);
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t frames_completed() const {
+    return bytes_written_ / frame_bytes();
+  }
+
+  /// FNV-1a over current pixel contents (end-to-end integrity checks).
+  [[nodiscard]] std::uint64_t checksum() const;
+
+  [[nodiscard]] std::span<const std::byte> pixels() const { return pixels_; }
+
+ private:
+  int width_;
+  int height_;
+  int bits_per_pixel_;
+  std::vector<std::byte> pixels_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace hpcvorx::hw

@@ -1,0 +1,82 @@
+// Incomplete-hypercube routing for the HPC cluster network.
+//
+// §1 of the paper: "we have chosen to connect the clusters in the shape of
+// an incomplete hypercube", citing Katseff, "Incomplete Hypercubes", IEEE
+// Trans. Computers 37(5), 1988.  An incomplete hypercube on N labels is
+// the induced subgraph of the dim-cube on labels {0..N-1}; N need not be a
+// power of two.
+//
+// Routing uses the classic incomplete-hypercube construction: correct the
+// 1→0 address bits from the most significant down (every intermediate
+// label only loses bits, so it stays < the source), then correct the 0→1
+// bits from the least significant up (every intermediate is a subset of
+// the destination's bits, so it stays <= the destination).  Every
+// intermediate label is therefore a valid cluster, the path length equals
+// the Hamming distance, and — because the (direction, dimension) pairs are
+// visited in a globally consistent order — the route set is deadlock-free
+// under whole-frame buffering.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+namespace hpcvorx::hw {
+
+/// Number of address bits needed for N labels (dimension of the enclosing
+/// cube).  dimension_of(1) == 0.
+[[nodiscard]] constexpr int dimension_of(int n) {
+  assert(n >= 1);
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+/// True if labels a and b are adjacent in the hypercube (differ in one bit).
+[[nodiscard]] constexpr bool hypercube_adjacent(int a, int b) {
+  const unsigned d = static_cast<unsigned>(a ^ b);
+  return d != 0 && (d & (d - 1)) == 0;
+}
+
+/// The next label on the route from `from` to `to` in an incomplete
+/// hypercube with `n` labels.  Preconditions: 0 <= from,to < n, from != to.
+/// The returned label is always < n and adjacent to `from`.
+[[nodiscard]] constexpr int next_hypercube_hop(int from, int to, int n) {
+  assert(from >= 0 && from < n && to >= 0 && to < n && from != to);
+  const int diff = from ^ to;
+  // Phase 1: clear bits set in `from` but not `to`, MSB first.
+  for (int b = dimension_of(n) - 1; b >= 0; --b) {
+    const int mask = 1 << b;
+    if ((diff & mask) != 0 && (from & mask) != 0) return from ^ mask;
+  }
+  // Phase 2: set bits present in `to` but not `from`, LSB first.
+  for (int b = 0;; ++b) {
+    const int mask = 1 << b;
+    if ((diff & mask) != 0) {
+      assert((to & mask) != 0);
+      return from ^ mask;
+    }
+  }
+}
+
+/// The full route from `from` to `to` (excluding `from`, including `to`).
+[[nodiscard]] inline std::vector<int> hypercube_route(int from, int to, int n) {
+  std::vector<int> route;
+  while (from != to) {
+    from = next_hypercube_hop(from, to, n);
+    route.push_back(from);
+  }
+  return route;
+}
+
+/// Hamming distance between labels (== route length).
+[[nodiscard]] constexpr int hamming_distance(int a, int b) {
+  unsigned d = static_cast<unsigned>(a ^ b);
+  int c = 0;
+  while (d != 0) {
+    d &= d - 1;
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace hpcvorx::hw

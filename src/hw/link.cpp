@@ -1,0 +1,33 @@
+#include "hw/link.hpp"
+
+namespace hpcvorx::hw {
+
+void Link::send(Frame f) {
+  assert(ready() && "Link::send called while not ready");
+  tx_busy_ = true;
+  ++in_flight_;
+  const sim::Duration ser =
+      static_cast<sim::Duration>(f.wire_bytes()) * p_.ns_per_byte;
+  // Transmitter frees after serialization; the frame lands one propagation
+  // latency later.
+  sim_.schedule_after(ser, [this] {
+    tx_busy_ = false;
+    notify_ready();
+  });
+  sim_.schedule_after(ser + p_.latency, [this, f = std::move(f)]() mutable {
+    --in_flight_;
+    buffer_.push_back(std::move(f));
+    ++frames_carried_;
+    if (deliver_cb_) deliver_cb_();
+  });
+}
+
+std::optional<Frame> Link::take() {
+  if (buffer_.empty()) return std::nullopt;
+  Frame f = std::move(buffer_.front());
+  buffer_.pop_front();
+  notify_ready();
+  return f;
+}
+
+}  // namespace hpcvorx::hw

@@ -1,0 +1,94 @@
+// A unidirectional HPC link with hardware flow control.
+//
+// §2 of the paper: "Each HPC link ... refuses to accept a message unless
+// the hardware has room to buffer an entire message, forcing the sender to
+// wait until the space is available."  A Link therefore owns the
+// downstream whole-frame buffer; a frame may start transmission only when
+// a buffer slot can be reserved, so frames are never lost.
+//
+// Timing: a frame occupies the transmitter for wire_bytes * ns_per_byte
+// (serialization at 160 Mbit/s = 50 ns/byte) and lands in the downstream
+// buffer a propagation latency later.  The upstream entity is notified via
+// ready_cb whenever the link may have become ready (this is the source of
+// the "room became available" transmit interrupt on node output links).
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+
+#include "hw/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpcvorx::hw {
+
+class Link {
+ public:
+  struct Params {
+    sim::Duration ns_per_byte = 50;        // 160 Mbit/s
+    sim::Duration latency = sim::usec(0.5);  // propagation + port logic
+    int buffer_frames = 2;                 // downstream whole-frame slots
+  };
+
+  Link(sim::Simulator& sim, std::string name, Params p)
+      : sim_(sim), name_(std::move(name)), p_(p) {
+    assert(p_.buffer_frames >= 1);
+  }
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// True when a frame may be sent now: the transmitter is free and a
+  /// downstream buffer slot can be reserved.
+  [[nodiscard]] bool ready() const {
+    return !tx_busy_ &&
+           in_flight_ + buffer_.size() <
+               static_cast<std::size_t>(p_.buffer_frames);
+  }
+
+  /// Starts transmitting `f`.  Precondition: ready().
+  void send(Frame f);
+
+  /// Invoked whenever the link may have become ready (the consumer must
+  /// re-check ready()).  Models the transmit-space-available interrupt.
+  void set_ready_cb(std::function<void()> cb) { ready_cb_ = std::move(cb); }
+
+  // ---- downstream (receiving) side ----
+
+  /// Frame at the head of the downstream buffer, or nullptr.
+  [[nodiscard]] const Frame* peek() const {
+    return buffer_.empty() ? nullptr : &buffer_.front();
+  }
+
+  /// Removes the head frame, freeing a buffer slot (which may allow the
+  /// upstream transmitter to proceed).
+  std::optional<Frame> take();
+
+  /// Invoked each time a frame lands in the downstream buffer.
+  void set_deliver_cb(std::function<void()> cb) { deliver_cb_ = std::move(cb); }
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Params& params() const { return p_; }
+
+  /// Cumulative frames delivered downstream (diagnostics).
+  [[nodiscard]] std::uint64_t frames_carried() const { return frames_carried_; }
+
+ private:
+  void notify_ready() {
+    if (ready_cb_ && ready()) ready_cb_();
+  }
+
+  sim::Simulator& sim_;
+  std::string name_;
+  Params p_;
+  bool tx_busy_ = false;
+  std::size_t in_flight_ = 0;  // reserved slots for frames still propagating
+  std::deque<Frame> buffer_;
+  std::function<void()> ready_cb_;
+  std::function<void()> deliver_cb_;
+  std::uint64_t frames_carried_ = 0;
+};
+
+}  // namespace hpcvorx::hw

@@ -1,0 +1,252 @@
+// Synchronization and communication primitives for simulated processes:
+//
+//   Event     — latched broadcast condition (set / reset / wait)
+//   Semaphore — counting semaphore with FIFO handoff
+//   Gate      — arrive/wait completion barrier ("join N processes")
+//   Mailbox<T>— bounded FIFO with blocking send/recv (direct handoff)
+//
+// All wakeups are direct handoffs: a released permit or delivered item is
+// assigned to the specific waiter before its resume event is scheduled, so
+// there are no spurious wakeups and FIFO fairness is exact.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace hpcvorx::sim {
+
+/// Latched broadcast condition.  wait() completes immediately once set()
+/// has been called; reset() re-arms it.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  // Note: destroying a primitive with suspended waiters deliberately leaks
+  // those coroutine frames.  Deadlocked applications (which the cdb tool
+  // exists to examine) end their simulations with blocked processes; their
+  // frames are simply never resumed.
+
+  /// Latches the event and wakes every current waiter.
+  void set() {
+    set_ = true;
+    for (auto h : waiters_) resume_later(sim_, h);
+    waiters_.clear();
+  }
+
+  /// Un-latches the event.  Already-scheduled wakeups still fire (they saw
+  /// the edge).
+  void reset() { set_ = false; }
+
+  [[nodiscard]] bool is_set() const { return set_; }
+
+  struct Awaiter {
+    Event& ev;
+    bool await_ready() const noexcept { return ev.set_; }
+    void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Awaiter wait() { return Awaiter{*this}; }
+
+ private:
+  Simulator& sim_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with strict FIFO handoff of permits.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::int64_t initial) : sim_(sim), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Releases `n` permits, handing them to waiters in FIFO order first.
+  void release(std::int64_t n = 1) {
+    while (n > 0 && !waiters_.empty()) {
+      resume_later(sim_, waiters_.front());
+      waiters_.pop_front();
+      --n;
+    }
+    count_ += n;
+  }
+
+  /// Non-blocking acquire; fails if no free permit (or waiters queued).
+  [[nodiscard]] bool try_acquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::int64_t available() const { return count_; }
+  [[nodiscard]] std::size_t waiting() const { return waiters_.size(); }
+
+  struct Awaiter {
+    Semaphore& s;
+    bool await_ready() noexcept {
+      if (s.count_ > 0 && s.waiters_.empty()) {
+        --s.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  /// Blocks until a permit is available (FIFO order among acquirers).
+  [[nodiscard]] Awaiter acquire() { return Awaiter{*this}; }
+
+ private:
+  Simulator& sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Completion barrier: `target` arrivals release all waiters.  Used to join
+/// a set of worker processes from a coordinator.
+class Gate {
+ public:
+  Gate(Simulator& sim, std::size_t target) : ev_(sim), target_(target) {
+    if (target_ == 0) ev_.set();
+  }
+
+  /// Records one arrival; the final arrival opens the gate.
+  void arrive() {
+    assert(arrived_ < target_);
+    if (++arrived_ == target_) ev_.set();
+  }
+
+  [[nodiscard]] auto wait() { return ev_.wait(); }
+  [[nodiscard]] std::size_t arrived() const { return arrived_; }
+
+ private:
+  Event ev_;
+  std::size_t target_;
+  std::size_t arrived_ = 0;
+};
+
+/// Bounded FIFO channel between simulated processes.  send() blocks while
+/// the mailbox is full; recv() blocks while it is empty.  Items and blocked
+/// processes are both served in strict FIFO order.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator& sim,
+                   std::size_t capacity = std::numeric_limits<std::size_t>::max())
+      : sim_(sim), capacity_(capacity) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  struct SendAwaiter {
+    Mailbox& mb;
+    T value;
+    bool await_ready() { return mb.offer(value); }
+    void await_suspend(std::coroutine_handle<> h) {
+      mb.send_waiters_.push_back(this);
+      handle = h;
+    }
+    void await_resume() const noexcept {}
+    std::coroutine_handle<> handle;
+  };
+
+  struct RecvAwaiter {
+    Mailbox& mb;
+    std::optional<T> slot;
+    bool await_ready() {
+      slot = mb.poll();
+      return slot.has_value();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      mb.recv_waiters_.push_back(this);
+      handle = h;
+    }
+    T await_resume() {
+      assert(slot.has_value());
+      return std::move(*slot);
+    }
+    std::coroutine_handle<> handle;
+  };
+
+  /// Blocking send.  Completes immediately if a receiver is waiting or
+  /// buffer space exists.
+  [[nodiscard]] SendAwaiter send(T value) {
+    return SendAwaiter{*this, std::move(value), {}};
+  }
+
+  /// Non-blocking send; returns false if the mailbox is full.
+  [[nodiscard]] bool try_send(T value) { return offer(value); }
+
+  /// Blocking receive.
+  [[nodiscard]] RecvAwaiter recv() { return RecvAwaiter{*this, std::nullopt, {}}; }
+
+  /// Non-blocking receive.
+  [[nodiscard]] std::optional<T> try_recv() { return poll(); }
+
+ private:
+  // Attempts to place `value` (moved from on success).  Invariant: a waiting
+  // receiver implies an empty buffer, so handoff order stays FIFO.
+  bool offer(T& value) {
+    if (!recv_waiters_.empty()) {
+      assert(items_.empty());
+      RecvAwaiter* w = recv_waiters_.front();
+      recv_waiters_.pop_front();
+      w->slot = std::move(value);
+      resume_later(sim_, w->handle);
+      return true;
+    }
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(value));
+      return true;
+    }
+    return false;
+  }
+
+  // Attempts to take an item, refilling buffer space from blocked senders.
+  std::optional<T> poll() {
+    if (!items_.empty()) {
+      T v = std::move(items_.front());
+      items_.pop_front();
+      refill_from_sender();
+      return v;
+    }
+    if (!send_waiters_.empty()) {  // capacity == 0 rendezvous case
+      SendAwaiter* s = send_waiters_.front();
+      send_waiters_.pop_front();
+      T v = std::move(s->value);
+      resume_later(sim_, s->handle);
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  void refill_from_sender() {
+    if (!send_waiters_.empty() && items_.size() < capacity_) {
+      SendAwaiter* s = send_waiters_.front();
+      send_waiters_.pop_front();
+      items_.push_back(std::move(s->value));
+      resume_later(sim_, s->handle);
+    }
+  }
+
+  Simulator& sim_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<RecvAwaiter*> recv_waiters_;
+  std::deque<SendAwaiter*> send_waiters_;
+};
+
+}  // namespace hpcvorx::sim

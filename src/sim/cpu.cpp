@@ -1,0 +1,140 @@
+#include "sim/cpu.hpp"
+
+#include <utility>
+
+namespace hpcvorx::sim {
+
+Cpu::Cpu(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)), idle_start_(sim.now()) {
+  idle_cat_ = Category::kIdleOther;
+}
+
+Cpu::~Cpu() = default;
+
+Cpu::RunAwaiter Cpu::run(int prio, Duration cost, Category cat,
+                         std::int64_t owner, Duration switch_in_cost) {
+  assert(cost >= 0);
+  Job job{prio, 0, cost, cat, owner, switch_in_cost, {}, next_seq_++};
+  return RunAwaiter{*this, job};
+}
+
+void Cpu::set_idle_classifier(std::function<Category()> f) {
+  idle_classifier_ = std::move(f);
+  if (idle_open_ && idle_classifier_) idle_cat_ = idle_classifier_();
+}
+
+void Cpu::note_idle_reason_changed() {
+  if (!idle_open_) return;
+  const SimTime now = sim_.now();
+  ledger_.add(idle_start_, now, idle_cat_);
+  idle_start_ = now;
+  idle_cat_ = idle_classifier_ ? idle_classifier_() : Category::kIdleOther;
+}
+
+void Cpu::finalize_accounting() {
+  const SimTime now = sim_.now();
+  if (idle_open_) {
+    ledger_.add(idle_start_, now, idle_cat_);
+    idle_start_ = now;
+  } else if (running_ != nullptr) {
+    // Attribute the partially-executed slice so totals cover [0, now].
+    account_progress(running_, slice_start_, now);
+    slice_start_ = now;
+  }
+}
+
+void Cpu::enqueue(Job* job) {
+  if (running_ == nullptr) {
+    end_idle();
+    ready_[job->prio].push_back(job);
+    dispatch();
+    return;
+  }
+  if (job->prio > running_->prio) {
+    preempt_running();
+    ready_[job->prio].push_back(job);
+    dispatch();
+    return;
+  }
+  ready_[job->prio].push_back(job);
+}
+
+void Cpu::dispatch() {
+  assert(running_ == nullptr);
+  if (ready_.empty()) {
+    begin_idle();
+    return;
+  }
+  auto it = ready_.begin();
+  Job* job = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) ready_.erase(it);
+  start_slice(job);
+}
+
+void Cpu::start_slice(Job* job) {
+  running_ = job;
+  slice_start_ = sim_.now();
+  if (job->owner == kBorrowedContext) {
+    job->switch_left = job->switch_in_cost;  // ISR entry cost, no ctx change
+  } else if (job->owner != last_owner_) {
+    job->switch_left = job->switch_in_cost;
+    last_owner_ = job->owner;
+  }
+  const Duration total = job->switch_left + job->work_left;
+  slice_end_event_ =
+      sim_.schedule_after(total, [this] { on_slice_complete(); });
+}
+
+void Cpu::account_progress(Job* job, SimTime from, SimTime to) {
+  Duration elapsed = to - from;
+  if (elapsed <= 0) return;
+  const Duration sw = std::min(elapsed, job->switch_left);
+  if (sw > 0) {
+    ledger_.add(from, from + sw, Category::kContextSwitch);
+    job->switch_left -= sw;
+    elapsed -= sw;
+    from += sw;
+  }
+  if (elapsed > 0) {
+    ledger_.add(from, from + elapsed, job->cat);
+    job->work_left -= elapsed;
+    assert(job->work_left >= 0);
+  }
+}
+
+void Cpu::preempt_running() {
+  assert(running_ != nullptr);
+  slice_end_event_.cancel();
+  account_progress(running_, slice_start_, sim_.now());
+  // A preempted job resumes ahead of queued peers at its priority.
+  ready_[running_->prio].push_front(running_);
+  running_ = nullptr;
+}
+
+void Cpu::on_slice_complete() {
+  assert(running_ != nullptr);
+  Job* job = running_;
+  account_progress(job, slice_start_, sim_.now());
+  assert(job->switch_left == 0 && job->work_left == 0);
+  running_ = nullptr;
+  dispatch();
+  // Resume after dispatching so a follow-on run() from this coroutine
+  // queues behind (or legitimately preempts) the next job.
+  job->handle.resume();
+}
+
+void Cpu::begin_idle() {
+  if (idle_open_) return;
+  idle_open_ = true;
+  idle_start_ = sim_.now();
+  idle_cat_ = idle_classifier_ ? idle_classifier_() : Category::kIdleOther;
+}
+
+void Cpu::end_idle() {
+  if (!idle_open_) return;
+  ledger_.add(idle_start_, sim_.now(), idle_cat_);
+  idle_open_ = false;
+}
+
+}  // namespace hpcvorx::sim

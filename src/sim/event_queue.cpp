@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpcvorx::sim {
+
+struct EventHandle::State {
+  bool cancelled = false;
+  bool fired = false;
+};
+
+struct EventQueue::Entry {
+  SimTime at;
+  std::uint64_t seq;
+  std::function<void()> fn;
+  std::shared_ptr<EventHandle::State> state;
+};
+
+// Max-heap comparator inverted for min-heap behaviour with std::*_heap.
+struct Later {
+  bool operator()(const std::shared_ptr<EventQueue::Entry>& a,
+                  const std::shared_ptr<EventQueue::Entry>& b) const {
+    if (a->at != b->at) return a->at > b->at;
+    return a->seq > b->seq;
+  }
+};
+
+bool EventHandle::cancel() {
+  if (!state_ || state_->cancelled || state_->fired) return false;
+  state_->cancelled = true;
+  return true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle EventQueue::push(SimTime at, std::function<void()> fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  auto entry = std::make_shared<Entry>(
+      Entry{at, next_seq_++, std::move(fn), state});
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle{std::move(state)};
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.front()->state->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.front()->at;
+}
+
+std::pair<SimTime, std::function<void()>> EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  auto entry = std::move(heap_.back());
+  heap_.pop_back();
+  entry->state->fired = true;
+  return {entry->at, std::move(entry->fn)};
+}
+
+}  // namespace hpcvorx::sim

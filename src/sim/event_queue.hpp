@@ -1,0 +1,67 @@
+// A stable, cancellable pending-event queue for the simulator.
+//
+// Events fire in (time, insertion-sequence) order, which makes every
+// simulation deterministic: two events scheduled for the same instant fire
+// in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hpcvorx::sim {
+
+/// Handle to a scheduled event; allows cancellation.  Handles are cheap to
+/// copy and may outlive the event (cancelling a fired event is a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Returns true if this call
+  /// cancelled it (false if it already fired or was already cancelled).
+  bool cancel();
+
+  /// True if the event is still scheduled to fire.
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State;
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Min-heap of (time, sequence)-ordered callbacks.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`.
+  EventHandle push(SimTime at, std::function<void()> fn);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Number of scheduled events (an upper bound: cancelled events that have
+  /// not yet been reaped from the heap interior are included).
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest live event.  Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and runs nothing: returns the earliest live event's callback
+  /// and its time, popping it from the queue.  Precondition: !empty().
+  std::pair<SimTime, std::function<void()>> pop();
+
+  struct Entry;  // implementation detail; defined in event_queue.cpp
+
+ private:
+  void drop_cancelled() const;
+
+  mutable std::vector<std::shared_ptr<Entry>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hpcvorx::sim

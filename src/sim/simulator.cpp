@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace hpcvorx::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  return queue_.push(std::max(at, now_), std::move(fn));
+}
+
+EventHandle Simulator::schedule_after(Duration d, std::function<void()> fn) {
+  return schedule_at(now_ + std::max<Duration>(d, 0), std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [at, fn] = queue_.pop();
+  now_ = at;
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (!stopped_) now_ = std::max(now_, deadline);
+}
+
+}  // namespace hpcvorx::sim

@@ -1,0 +1,53 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns the virtual clock and the pending-event queue.  All
+// hardware and operating-system models in this repository are driven from
+// it; nothing uses wall-clock time, threads, or nondeterministic ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace hpcvorx::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `at` (clamped to now()).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `d` after the current time (d clamped to >= 0).
+  EventHandle schedule_after(Duration d, std::function<void()> fn);
+
+  /// Runs one pending event.  Returns false if none remain.
+  bool step();
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs events with time <= `deadline`; afterwards now() == deadline
+  /// unless the queue drained earlier or stop() was called.
+  void run_until(SimTime deadline);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of pending events (upper bound, see EventQueue::size()).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  EventQueue queue_;
+};
+
+}  // namespace hpcvorx::sim

@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace hpcvorx::sim {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double ad = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (ad >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_sec(d));
+  } else if (ad >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_msec(d));
+  } else if (ad >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.1fus", to_usec(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace hpcvorx::sim

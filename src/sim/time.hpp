@@ -1,0 +1,59 @@
+// Virtual-time types for the HPC/VORX discrete-event simulator.
+//
+// All simulated time is kept in integer nanoseconds.  Integer time makes
+// every run bit-for-bit reproducible and keeps event ordering exact; the
+// paper's quantities (software latencies in microseconds, link rates in
+// Mbit/s) are all representable without rounding surprises.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace hpcvorx::sim {
+
+/// A point in virtual time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of virtual time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Builds a Duration from (possibly fractional) microseconds.
+[[nodiscard]] constexpr Duration usec(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+/// Builds a Duration from (possibly fractional) milliseconds.
+[[nodiscard]] constexpr Duration msec(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+/// Builds a Duration from (possibly fractional) seconds.
+[[nodiscard]] constexpr Duration sec(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts a Duration to fractional microseconds (for reporting).
+[[nodiscard]] constexpr double to_usec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Converts a Duration to fractional milliseconds (for reporting).
+[[nodiscard]] constexpr double to_msec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a Duration to fractional seconds (for reporting).
+[[nodiscard]] constexpr double to_sec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Human-readable rendering, e.g. "303.0us" or "2.13s".
+[[nodiscard]] std::string format_duration(Duration d);
+
+}  // namespace hpcvorx::sim

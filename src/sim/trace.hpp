@@ -1,0 +1,99 @@
+// Execution-time accounting shared by the CPU model and the monitoring
+// tools (software oscilloscope, prof).
+//
+// The categories follow §6.2 of the paper: user code, operating-system
+// code, and idle time subdivided by *why* the processor is idle (waiting
+// for input, for output, a mix of both across threads, or something else).
+// Context-switch time is kept in its own bucket so the §5 experiments can
+// report it; the oscilloscope folds it into system time, as `prof` on the
+// real machine would have.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hpcvorx::sim {
+
+enum class Category : std::uint8_t {
+  kUser = 0,
+  kSystem,
+  kContextSwitch,
+  kIdleInput,
+  kIdleOutput,
+  kIdleMixed,
+  kIdleOther,
+};
+
+inline constexpr std::size_t kNumCategories = 7;
+
+[[nodiscard]] constexpr std::string_view category_name(Category c) {
+  switch (c) {
+    case Category::kUser: return "user";
+    case Category::kSystem: return "system";
+    case Category::kContextSwitch: return "ctxsw";
+    case Category::kIdleInput: return "idle-input";
+    case Category::kIdleOutput: return "idle-output";
+    case Category::kIdleMixed: return "idle-mixed";
+    case Category::kIdleOther: return "idle-other";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_idle(Category c) {
+  return c == Category::kIdleInput || c == Category::kIdleOutput ||
+         c == Category::kIdleMixed || c == Category::kIdleOther;
+}
+
+/// One contiguous span of CPU time attributed to a category.
+struct Interval {
+  SimTime start;
+  SimTime end;
+  Category category;
+};
+
+/// Per-CPU record of how execution time was spent.  Totals are always
+/// maintained; the interval list (needed only by the oscilloscope) is
+/// recorded when enabled, to keep long benchmark runs cheap.
+class TimeLedger {
+ public:
+  void add(SimTime start, SimTime end, Category cat) {
+    if (end <= start) return;
+    totals_[static_cast<std::size_t>(cat)] += end - start;
+    if (recording_) intervals_.push_back({start, end, cat});
+  }
+
+  [[nodiscard]] Duration total(Category cat) const {
+    return totals_[static_cast<std::size_t>(cat)];
+  }
+
+  /// Sum over every category (== elapsed time covered by the ledger).
+  [[nodiscard]] Duration grand_total() const {
+    Duration t = 0;
+    for (Duration d : totals_) t += d;
+    return t;
+  }
+
+  [[nodiscard]] Duration busy_total() const {
+    return total(Category::kUser) + total(Category::kSystem) +
+           total(Category::kContextSwitch);
+  }
+
+  void enable_recording(bool on) { recording_ = on; }
+  [[nodiscard]] bool recording() const { return recording_; }
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return intervals_; }
+  void clear() {
+    totals_.fill(0);
+    intervals_.clear();
+  }
+
+ private:
+  std::array<Duration, kNumCategories> totals_{};
+  std::vector<Interval> intervals_;
+  bool recording_ = false;
+};
+
+}  // namespace hpcvorx::sim

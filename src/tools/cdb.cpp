@@ -1,0 +1,120 @@
+#include "tools/cdb.hpp"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace hpcvorx::tools {
+
+std::vector<ChannelReport> Cdb::snapshot() const {
+  std::vector<ChannelReport> out;
+  const int stations = sys_.num_nodes() + sys_.num_hosts();
+  for (int s = 0; s < stations; ++s) {
+    vorx::Node& node = sys_.station(s);
+    for (const auto& ch : node.channels().channels()) {
+      ChannelReport r;
+      r.name = ch->name();
+      r.id = ch->id();
+      r.local = s;
+      r.peer = ch->peer();
+      r.local_node = node.name();
+      r.sent = ch->messages_sent();
+      r.received = ch->messages_received();
+      r.queued = ch->queued();
+      r.reader_blocked = ch->reader_blocked();
+      r.writer_blocked = ch->writer_blocked();
+      if (ch->blocked_reader() != nullptr) {
+        r.blocked_thread = ch->blocked_reader()->name();
+      } else if (ch->blocked_writer() != nullptr) {
+        r.blocked_thread = ch->blocked_writer()->name();
+      }
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<ChannelReport> Cdb::by_name(const std::vector<ChannelReport>& in,
+                                        const std::string& substring) {
+  return where(in, [&](const ChannelReport& r) {
+    return r.name.find(substring) != std::string::npos;
+  });
+}
+
+std::vector<ChannelReport> Cdb::blocked_only(
+    const std::vector<ChannelReport>& in) {
+  return where(in, [](const ChannelReport& r) {
+    return r.reader_blocked || r.writer_blocked;
+  });
+}
+
+std::vector<ChannelReport> Cdb::by_station(const std::vector<ChannelReport>& in,
+                                           hw::StationId station) {
+  return where(in,
+               [&](const ChannelReport& r) { return r.local == station; });
+}
+
+std::vector<ChannelReport> Cdb::where(
+    const std::vector<ChannelReport>& in,
+    const std::function<bool(const ChannelReport&)>& pred) {
+  std::vector<ChannelReport> out;
+  for (const ChannelReport& r : in) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+Cdb::Deadlock Cdb::find_deadlock() const {
+  // Wait-for edges between stations.
+  std::map<hw::StationId, std::set<hw::StationId>> waits;
+  for (const ChannelReport& r : snapshot()) {
+    if (r.reader_blocked && r.queued == 0) waits[r.local].insert(r.peer);
+  }
+  // DFS cycle detection.
+  std::map<hw::StationId, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<hw::StationId> stack;
+  Deadlock result;
+  std::function<bool(hw::StationId)> dfs = [&](hw::StationId v) {
+    color[v] = 1;
+    stack.push_back(v);
+    static const std::set<hw::StationId> kNone;
+    const auto it = waits.find(v);
+    for (hw::StationId w : it == waits.end() ? kNone : it->second) {
+      if (color[w] == 1) {
+        // Found a cycle: slice it out of the stack.
+        auto it = std::find(stack.begin(), stack.end(), w);
+        result.found = true;
+        result.cycle.assign(it, stack.end());
+        return true;
+      }
+      if (color[w] == 0 && dfs(w)) return true;
+    }
+    color[v] = 2;
+    stack.pop_back();
+    return false;
+  };
+  for (const auto& [v, _] : waits) {
+    if (color[v] == 0 && dfs(v)) break;
+  }
+  return result;
+}
+
+std::string Cdb::render(const std::vector<ChannelReport>& in) {
+  std::string out =
+      "CHANNEL              ID        LOCAL  PEER  SENT  RECV  QUEUED  STATE\n";
+  char line[256];
+  for (const ChannelReport& r : in) {
+    std::string state = "idle";
+    if (r.reader_blocked) state = "blocked-read(" + r.blocked_thread + ")";
+    if (r.writer_blocked) state = "blocked-write(" + r.blocked_thread + ")";
+    std::snprintf(line, sizeof line, "%-20s %-9llu %-6d %-5d %-5llu %-5llu %-7zu %s\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.id),
+                  r.local, r.peer, static_cast<unsigned long long>(r.sent),
+                  static_cast<unsigned long long>(r.received), r.queued,
+                  state.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hpcvorx::tools

@@ -1,0 +1,74 @@
+// cdb — the VORX communications debugger (§6.1).
+//
+// "The VORX communications debugger, cdb, helps debug such deadlocked
+// applications by allowing the programmer to examine the communications
+// state of the application.  For each channel, the state reported by cdb
+// consists of the name of the channel, which two processes it connects,
+// how many messages have been sent in each direction on the channel and
+// most importantly, the state of each end of the channel ... whether an
+// application is blocked waiting for input or output on the channel.
+// Because an application may have a large number of channels, cdb includes
+// several filters to help isolate the channels of interest."
+//
+// As on the real system, "most of the information that it needs was
+// already encoded in the communications driver": Cdb only reads the
+// ChannelService state that the protocol keeps anyway.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vorx/system.hpp"
+
+namespace hpcvorx::tools {
+
+struct ChannelReport {
+  std::string name;
+  std::uint64_t id = 0;
+  hw::StationId local = -1;
+  hw::StationId peer = -1;
+  std::string local_node;
+  std::uint64_t sent = 0;       // messages local -> peer
+  std::uint64_t received = 0;   // messages peer -> local
+  std::size_t queued = 0;       // buffered, unread messages at this end
+  bool reader_blocked = false;
+  bool writer_blocked = false;
+  std::string blocked_thread;   // name of the blocked subprocess, if any
+};
+
+class Cdb {
+ public:
+  explicit Cdb(vorx::System& sys) : sys_(sys) {}
+
+  /// Snapshot of every channel end in the system.
+  [[nodiscard]] std::vector<ChannelReport> snapshot() const;
+
+  // ---- filters (§6.1: "several filters to help isolate the channels") ----
+  [[nodiscard]] static std::vector<ChannelReport> by_name(
+      const std::vector<ChannelReport>& in, const std::string& substring);
+  [[nodiscard]] static std::vector<ChannelReport> blocked_only(
+      const std::vector<ChannelReport>& in);
+  [[nodiscard]] static std::vector<ChannelReport> by_station(
+      const std::vector<ChannelReport>& in, hw::StationId station);
+  [[nodiscard]] static std::vector<ChannelReport> where(
+      const std::vector<ChannelReport>& in,
+      const std::function<bool(const ChannelReport&)>& pred);
+
+  /// Wait-for cycle detection over stations: station A waits for B when a
+  /// thread on A is blocked reading a channel whose peer is B (and nothing
+  /// is queued for it).  A cycle is the §6.1 deadlock signature.
+  struct Deadlock {
+    bool found = false;
+    std::vector<hw::StationId> cycle;  // stations around the cycle
+  };
+  [[nodiscard]] Deadlock find_deadlock() const;
+
+  /// Human-readable table (what the interactive tool printed).
+  [[nodiscard]] static std::string render(const std::vector<ChannelReport>& in);
+
+ private:
+  vorx::System& sys_;
+};
+
+}  // namespace hpcvorx::tools

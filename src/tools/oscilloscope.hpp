@@ -1,0 +1,95 @@
+// The software oscilloscope (§6.2).
+//
+// "VORX includes a tool called the software oscilloscope that helps the
+// programmer visualize how well processors of an application are utilized
+// and how well the computational load is balanced. ... displays a graph
+// for each processor indicating CPU time usage with different colors used
+// to partition time into several categories ... user time ... system time
+// ... idle time [partitioned into] waiting for input ... waiting for
+// output ... some threads waiting for input and others waiting for output
+// ... idle for some other reason.  Execution data is recorded while the
+// application is running and later the software oscilloscope is used to
+// display the data.  The software oscilloscope synchronizes all the graphs
+// with each other ... It is possible to freeze the display, run faster or
+// slower than real-time, or seek to any moment in execution time."
+//
+// Recording is the CPU models' interval ledgers (SystemConfig::
+// record_intervals).  Rendering produces synchronized per-processor
+// character timelines; freeze/zoom/seek are expressed as the [t0, t1)
+// window and column count of render().
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "vorx/system.hpp"
+
+namespace hpcvorx::tools {
+
+class Oscilloscope {
+ public:
+  explicit Oscilloscope(vorx::System& sys) : sys_(sys) {}
+
+  /// Per-category time shares for one station over a window.
+  struct Util {
+    double user = 0;
+    double system = 0;  // includes context-switch time
+    double idle_input = 0;
+    double idle_output = 0;
+    double idle_mixed = 0;
+    double idle_other = 0;
+  };
+  [[nodiscard]] Util utilization(hw::StationId s, sim::SimTime t0,
+                                 sim::SimTime t1) const;
+
+  /// Synchronized timelines, one row per station, `cols` time buckets wide.
+  /// Bucket glyphs: U user, S system (incl. switches), i idle-input,
+  /// o idle-output, m idle-mixed, '.' idle-other.  Any [t0, t1) window may
+  /// be rendered: that is the freeze/zoom/seek capability.
+  [[nodiscard]] std::string render(sim::SimTime t0, sim::SimTime t1,
+                                   int cols) const;
+
+  /// Machine-readable export: one row per (station, bucket) with shares.
+  [[nodiscard]] std::string render_csv(sim::SimTime t0, sim::SimTime t1,
+                                       int buckets) const;
+
+  // ---- recordings (§6.2: "Execution data is recorded while the
+  // application is running and later the software oscilloscope is used to
+  // display the data") ----
+
+  /// Serializes every station's interval recording.
+  [[nodiscard]] std::string save_recording() const;
+
+  /// A stand-alone recording: per-station interval lists restored from
+  /// save_recording() output, renderable long after the run (and System)
+  /// are gone.
+  class Recording {
+   public:
+    static Recording parse(const std::string& text);
+    [[nodiscard]] int stations() const { return static_cast<int>(names_.size()); }
+    [[nodiscard]] const std::string& station_name(int s) const {
+      return names_[static_cast<std::size_t>(s)];
+    }
+    [[nodiscard]] const std::vector<sim::Interval>& intervals(int s) const {
+      return intervals_[static_cast<std::size_t>(s)];
+    }
+    [[nodiscard]] sim::SimTime end_time() const;
+    /// Same synchronized-timeline rendering as the live tool.
+    [[nodiscard]] std::string render(sim::SimTime t0, sim::SimTime t1,
+                                     int cols) const;
+
+   private:
+    std::vector<std::string> names_;
+    std::vector<std::vector<sim::Interval>> intervals_;
+  };
+
+ private:
+  // Time per category within [t0, t1) for one station.
+  [[nodiscard]] std::array<sim::Duration, sim::kNumCategories> bucket_totals(
+      hw::StationId s, sim::SimTime t0, sim::SimTime t1) const;
+
+  vorx::System& sys_;
+};
+
+}  // namespace hpcvorx::tools

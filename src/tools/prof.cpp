@@ -1,0 +1,46 @@
+#include "tools/prof.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hpcvorx::tools {
+
+sim::Task<void> Profiler::run(vorx::Subprocess& sp, std::string region,
+                              sim::Duration cost) {
+  co_await sp.compute(cost);
+  Accum& a = regions_[region];
+  a.total += cost;
+  a.calls += 1;
+  total_ += cost;
+}
+
+std::vector<Profiler::Line> Profiler::report() const {
+  std::vector<Line> out;
+  for (const auto& [name, a] : regions_) {
+    Line l;
+    l.region = name;
+    l.total = a.total;
+    l.calls = a.calls;
+    l.percent = total_ > 0 ? 100.0 * static_cast<double>(a.total) /
+                                 static_cast<double>(total_)
+                           : 0.0;
+    out.push_back(std::move(l));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Line& a, const Line& b) { return a.total > b.total; });
+  return out;
+}
+
+std::string Profiler::render() const {
+  std::string out = "  %time   seconds    calls  name\n";
+  char line[160];
+  for (const Line& l : report()) {
+    std::snprintf(line, sizeof line, "%7.1f %9.4f %8llu  %s\n", l.percent,
+                  sim::to_sec(l.total),
+                  static_cast<unsigned long long>(l.calls), l.region.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hpcvorx::tools

@@ -1,0 +1,57 @@
+// prof — flat execution-time profiling (§6.2).
+//
+// "The prof profiling system available in VORX can be run on a process to
+// show how execution time is divided up among different parts of the
+// program.  Typically one finds that a large portion of the execution time
+// is spent in a small section of the code."
+//
+// Applications run their compute phases through Profiler::run(), which
+// charges the CPU exactly like Subprocess::compute() and attributes the
+// cost to a named program region.  The report is the classic flat profile.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "vorx/process.hpp"
+
+namespace hpcvorx::tools {
+
+class Profiler {
+ public:
+  /// Executes `cost` of user code attributed to `region`.
+  [[nodiscard]] sim::Task<void> run(vorx::Subprocess& sp, std::string region,
+                                    sim::Duration cost);
+
+  struct Line {
+    std::string region;
+    sim::Duration total = 0;
+    std::uint64_t calls = 0;
+    double percent = 0;
+  };
+
+  /// Flat profile, most expensive region first.
+  [[nodiscard]] std::vector<Line> report() const;
+
+  /// The classic prof text output.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] sim::Duration total() const { return total_; }
+  void reset() {
+    regions_.clear();
+    total_ = 0;
+  }
+
+ private:
+  struct Accum {
+    sim::Duration total = 0;
+    std::uint64_t calls = 0;
+  };
+  std::map<std::string, Accum> regions_;
+  sim::Duration total_ = 0;
+};
+
+}  // namespace hpcvorx::tools

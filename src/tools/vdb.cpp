@@ -1,0 +1,111 @@
+#include "tools/vdb.hpp"
+
+#include <cstdio>
+
+namespace hpcvorx::tools {
+
+void Vdb::collect(vorx::Node& node, hw::StationId s, int pid_filter,
+                  std::vector<ThreadReport>& out) const {
+  for (const auto& proc : node.processes()) {
+    if (pid_filter >= 0 && proc->pid() != pid_filter) continue;
+    for (const auto& sp : proc->subprocesses()) {
+      ThreadReport r;
+      r.station = s;
+      r.node = node.name();
+      r.pid = proc->pid();
+      r.process = proc->name();
+      r.subprocess = sp->name();
+      r.priority = sp->priority();
+      r.state = sp->state();
+      out.push_back(std::move(r));
+    }
+  }
+}
+
+std::vector<ThreadReport> Vdb::attach(hw::StationId station, int pid) const {
+  std::vector<ThreadReport> out;
+  collect(sys_.station(station), station, pid, out);
+  return out;
+}
+
+std::vector<ThreadReport> Vdb::all() const {
+  std::vector<ThreadReport> out;
+  const int stations = sys_.num_nodes() + sys_.num_hosts();
+  for (int s = 0; s < stations; ++s) collect(sys_.station(s), s, -1, out);
+  return out;
+}
+
+std::vector<ThreadReport> Vdb::blocked() const {
+  std::vector<ThreadReport> out;
+  for (ThreadReport& r : all()) {
+    if (r.state != vorx::SpState::kRunning && r.state != vorx::SpState::kDone) {
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+void Vdb::set_breakpoint(const std::string& label, hw::StationId station) {
+  const int stations = sys_.num_nodes() + sys_.num_hosts();
+  for (int s = 0; s < stations; ++s) {
+    if (station < 0 || station == s) sys_.station(s).arm_breakpoint(label);
+  }
+}
+
+void Vdb::clear_breakpoint(const std::string& label, hw::StationId station) {
+  const int stations = sys_.num_nodes() + sys_.num_hosts();
+  for (int s = 0; s < stations; ++s) {
+    if (station < 0 || station == s) sys_.station(s).disarm_breakpoint(label);
+  }
+}
+
+std::vector<ThreadReport> Vdb::stopped() const {
+  std::vector<ThreadReport> out;
+  for (ThreadReport& r : all()) {
+    if (r.state == vorx::SpState::kStopped) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+int Vdb::continue_stopped(const std::string& label) {
+  int resumed = 0;
+  const int stations = sys_.num_nodes() + sys_.num_hosts();
+  for (int s = 0; s < stations; ++s) {
+    for (const auto& proc : sys_.station(s).processes()) {
+      for (const auto& sp : proc->subprocesses()) {
+        if (sp->state() == vorx::SpState::kStopped &&
+            (label.empty() || sp->stopped_at() == label)) {
+          sp->resume_from_breakpoint();
+          ++resumed;
+        }
+      }
+    }
+  }
+  return resumed;
+}
+
+std::map<std::string, std::int64_t> Vdb::locals(
+    hw::StationId station, int pid, const std::string& subprocess) const {
+  for (const auto& proc : sys_.station(station).processes()) {
+    if (proc->pid() != pid) continue;
+    for (const auto& sp : proc->subprocesses()) {
+      if (sp->name() == subprocess) return sp->locals();
+    }
+  }
+  return {};
+}
+
+std::string Vdb::render(const std::vector<ThreadReport>& in) {
+  std::string out = "NODE   PID  PROCESS            SUBPROCESS           PRIO  STATE\n";
+  char line[224];
+  for (const ThreadReport& r : in) {
+    std::snprintf(line, sizeof line, "%-6s %-4d %-18s %-20s %-5d %s\n",
+                  r.node.c_str(), r.pid, r.process.c_str(),
+                  r.subprocess.c_str(), r.priority,
+                  std::string(vorx::sp_state_name(r.state)).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hpcvorx::tools

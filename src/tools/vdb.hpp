@@ -1,0 +1,70 @@
+// vdb — the symbolic debugger's process-inspection capability (§6).
+//
+// The original vdb was a full symbolic debugger (a descendant of sdb); the
+// capability this reproduction models is the one §6 highlights as the VORX
+// improvement: "VORX makes it possible for the programmer to attach vdb to
+// any process that is running and to switch between the processes of his
+// application" — plus the Meglos-era enhancement of switching between
+// subprocesses to examine their state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vorx/system.hpp"
+
+namespace hpcvorx::tools {
+
+struct ThreadReport {
+  hw::StationId station = -1;
+  std::string node;
+  int pid = 0;
+  std::string process;
+  std::string subprocess;
+  int priority = 0;
+  vorx::SpState state = vorx::SpState::kRunning;
+};
+
+class Vdb {
+ public:
+  explicit Vdb(vorx::System& sys) : sys_(sys) {}
+
+  /// Attach to one running process: its subprocesses and their states.
+  [[nodiscard]] std::vector<ThreadReport> attach(hw::StationId station,
+                                                 int pid) const;
+
+  /// Every subprocess in the system (switching between processes).
+  [[nodiscard]] std::vector<ThreadReport> all() const;
+
+  /// Only threads that are not runnable (the usual question).
+  [[nodiscard]] std::vector<ThreadReport> blocked() const;
+
+  // ---- breakpoint debugging (§6) ----
+  /// Arms `label` on every node (or one station if given): subprocesses
+  /// reaching Subprocess::breakpoint(label) park until continued.
+  void set_breakpoint(const std::string& label, hw::StationId station = -1);
+  void clear_breakpoint(const std::string& label, hw::StationId station = -1);
+
+  /// Threads currently parked at breakpoints, with their labels and
+  /// published locals rendered.
+  [[nodiscard]] std::vector<ThreadReport> stopped() const;
+
+  /// Resumes every thread parked at `label` (empty = all stopped threads).
+  /// Returns how many were continued.
+  int continue_stopped(const std::string& label = "");
+
+  /// The published locals of one subprocess ("examine their local
+  /// variables").
+  [[nodiscard]] std::map<std::string, std::int64_t> locals(
+      hw::StationId station, int pid, const std::string& subprocess) const;
+
+  [[nodiscard]] static std::string render(const std::vector<ThreadReport>& in);
+
+ private:
+  void collect(vorx::Node& node, hw::StationId s, int pid_filter,
+               std::vector<ThreadReport>& out) const;
+  vorx::System& sys_;
+};
+
+}  // namespace hpcvorx::tools

@@ -1,0 +1,121 @@
+#include "vorx/allocation.hpp"
+
+#include <algorithm>
+
+namespace hpcvorx::vorx {
+
+std::optional<std::vector<int>> MeglosAllocator::exec(int n, bool exclusive) {
+  std::vector<int> got;
+  for (std::size_t i = 0; i < cpus_.size() && static_cast<int>(got.size()) < n;
+       ++i) {
+    const Slot& s = cpus_[i];
+    if (exclusive) {
+      if (s.processes == 0 && !s.exclusive) got.push_back(static_cast<int>(i));
+    } else {
+      if (!s.exclusive && s.processes < kMaxProcessesPerProcessor) {
+        got.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  if (static_cast<int>(got.size()) < n) {
+    ++failures_;  // "processors not available"
+    return std::nullopt;
+  }
+  for (int p : got) {
+    cpus_[static_cast<std::size_t>(p)].processes += 1;
+    if (exclusive) cpus_[static_cast<std::size_t>(p)].exclusive = true;
+  }
+  return got;
+}
+
+void MeglosAllocator::exit(const std::vector<int>& procs, bool exclusive) {
+  for (int p : procs) {
+    Slot& s = cpus_[static_cast<std::size_t>(p)];
+    s.processes -= 1;
+    if (exclusive) s.exclusive = false;
+  }
+}
+
+int MeglosAllocator::free_processors() const {
+  int n = 0;
+  for (const Slot& s : cpus_) n += (s.processes == 0 && !s.exclusive);
+  return n;
+}
+
+std::optional<std::vector<int>> VorxAllocator::allocate(int user, int n,
+                                                        sim::SimTime now) {
+  std::vector<int> got;
+  for (std::size_t i = 0; i < owner_.size() && static_cast<int>(got.size()) < n;
+       ++i) {
+    if (owner_[i] == -1) got.push_back(static_cast<int>(i));
+  }
+  if (static_cast<int>(got.size()) < n) {
+    ++failures_;
+    return std::nullopt;
+  }
+  for (int p : got) owner_[static_cast<std::size_t>(p)] = user;
+  note_activity(user, now);
+  return got;
+}
+
+bool VorxAllocator::can_run(int user, int n) const { return held_by(user) >= n; }
+
+void VorxAllocator::free_processors(int user, const std::vector<int>& procs) {
+  for (int p : procs) {
+    if (owner_[static_cast<std::size_t>(p)] == user) {
+      owner_[static_cast<std::size_t>(p)] = -1;
+    }
+  }
+}
+
+void VorxAllocator::free_user(int user) {
+  for (int& o : owner_) {
+    if (o == user) o = -1;
+  }
+  last_activity_.erase(user);
+}
+
+int VorxAllocator::force_free(const std::vector<int>& procs) {
+  int taken = 0;
+  for (int p : procs) {
+    int& o = owner_[static_cast<std::size_t>(p)];
+    if (o != -1) {
+      o = -1;
+      ++taken;
+    }
+  }
+  return taken;
+}
+
+void VorxAllocator::note_activity(int user, sim::SimTime now) {
+  last_activity_[user] = now;
+}
+
+int VorxAllocator::reap_idle(sim::SimTime now, sim::Duration timeout) {
+  int reclaimed = 0;
+  for (auto it = last_activity_.begin(); it != last_activity_.end();) {
+    if (now - it->second >= timeout) {
+      const int user = it->first;
+      for (int& o : owner_) {
+        if (o == user) {
+          o = -1;
+          ++reclaimed;
+        }
+      }
+      it = last_activity_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+int VorxAllocator::free_count() const {
+  return static_cast<int>(std::count(owner_.begin(), owner_.end(), -1));
+}
+
+int VorxAllocator::held_by(int user) const {
+  return static_cast<int>(std::count(owner_.begin(), owner_.end(), user));
+}
+
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,100 @@
+// Processor allocation policies (§3.1).
+//
+// Meglos: "processors were allocated to an application when it started
+// running.  When the application finished, its processors were returned to
+// the free pool" — maximizing availability, but during a programmer's
+// recompile somebody else could start an exclusive application on "their"
+// processors, yielding the diagnostic "processors not available".
+//
+// VORX: "formalizes the allocation of processors to users by requiring a
+// user to allocate all the processors that he needs before running an
+// application.  The processors are not available to anyone else until they
+// are explicitly freed" — stable development sessions, at the cost of
+// processors idled by forgetful users, mitigated by a (dangerous)
+// force-free command and by idle-reaping policies the paper considered.
+//
+// Both allocators are deterministic state machines over virtual time; the
+// multi-user workload that exercises them lives in bench_allocation.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hpcvorx::vorx {
+
+/// Meglos-era allocation: per-execution, free-at-exit, with optional
+/// processor sharing (up to 15 processes per processor) and the
+/// later-added exclusive-access capability.
+class MeglosAllocator {
+ public:
+  static constexpr int kMaxProcessesPerProcessor = 15;
+
+  explicit MeglosAllocator(int processors)
+      : cpus_(static_cast<std::size_t>(processors)) {}
+
+  /// Attempts to start an application with one process on each of `n`
+  /// processors.  Returns the processor set, or nullopt — the paper's
+  /// "processors not available" diagnostic — and counts the failure.
+  std::optional<std::vector<int>> exec(int n, bool exclusive);
+
+  /// Application finished: its processors return to the pool immediately.
+  void exit(const std::vector<int>& procs, bool exclusive);
+
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+  [[nodiscard]] int free_processors() const;
+
+ private:
+  struct Slot {
+    int processes = 0;
+    bool exclusive = false;
+  };
+  std::vector<Slot> cpus_;
+  std::uint64_t failures_ = 0;
+};
+
+/// VORX allocation: explicit user-level allocate/free with session
+/// stability, plus the recovery mechanisms §3.1 discusses.
+class VorxAllocator {
+ public:
+  explicit VorxAllocator(int processors)
+      : owner_(static_cast<std::size_t>(processors), -1) {}
+
+  /// Reserves `n` processors for `user` (they stay reserved across any
+  /// number of runs until freed).
+  std::optional<std::vector<int>> allocate(int user, int n,
+                                           sim::SimTime now = 0);
+
+  /// Runs an application on processors the user already holds; never
+  /// steals from anyone, so it fails only if the user holds fewer than n.
+  [[nodiscard]] bool can_run(int user, int n) const;
+
+  void free_processors(int user, const std::vector<int>& procs);
+  void free_user(int user);
+
+  /// The §3.1 command "that allows a user to free processors allocated to
+  /// other users, and request that it be used carefully".  Returns how
+  /// many processors were taken away.
+  int force_free(const std::vector<int>& procs);
+
+  /// Marks the user as active (program started, processors touched).
+  void note_activity(int user, sim::SimTime now);
+
+  /// The considered-but-rejected automatic recovery: frees every user idle
+  /// longer than `timeout`.  Returns processors reclaimed.
+  int reap_idle(sim::SimTime now, sim::Duration timeout);
+
+  [[nodiscard]] int free_count() const;
+  [[nodiscard]] int held_by(int user) const;
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+
+ private:
+  std::vector<int> owner_;  // processor -> user (-1 free)
+  std::map<int, sim::SimTime> last_activity_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,188 @@
+// VORX channels: named, dynamically created message-passing connections.
+//
+// §4 of the paper: "Channels provide low latency, high bandwidth message
+// passing communications between processors. ... they are set up with a
+// single open call and data is transferred with read and write calls.
+// There are also specialized calls for operations like multiplexed read
+// ... and a mechanism that allows servers to continually reuse a single
+// channel name."
+//
+// The data protocol is the stop-and-wait scheme of §4: a write sends the
+// data and blocks the writer until the receiving kernel acknowledges it.
+// The receiving kernel ACKs as soon as it has buffered the message ("the
+// kernel has many side buffers"); in the rare case that every side buffer
+// is full, it stays silent and requests retransmission when space frees —
+// the sender still holds the message (its process is blocked), so no
+// kernel-side copy is ever needed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/awaitables.hpp"
+#include "sim/task.hpp"
+#include "vorx/census.hpp"
+#include "vorx/kernel.hpp"
+
+namespace hpcvorx::vorx {
+
+class Subprocess;
+class ChannelService;
+
+/// One delivered channel message, as seen by read().
+struct ChannelMsg {
+  std::uint32_t bytes = 0;
+  hw::Payload data;          // may be null for timing-only traffic
+  std::uint64_t seq = 0;
+  hw::StationId from = -1;
+};
+
+/// Largest single channel message: an HPC frame's payload minus nothing —
+/// the channel header is modelled inside the frame header.
+inline constexpr std::uint32_t kMaxChannelMsg = hw::kMaxPayloadBytes;
+
+/// One end of an open channel.  Obtained from Subprocess::open() /
+/// ServerPort::accept(); both ends share the channel id.
+class Channel {
+ public:
+  Channel(ChannelService& svc, std::uint64_t id, std::uint64_t peer_id,
+          std::string name, hw::StationId peer);
+
+  /// Stop-and-wait write: completes when the remote kernel has
+  /// acknowledged the message.  Writers are serialized.
+  [[nodiscard]] sim::Task<void> write(Subprocess& sp, std::uint32_t bytes,
+                                      hw::Payload data = nullptr);
+
+  /// Blocking read of the next message.
+  [[nodiscard]] sim::Task<ChannelMsg> read(Subprocess& sp);
+
+  [[nodiscard]] bool has_data() const { return !rxq_.empty(); }
+
+  // ---- identity / cdb-visible state (§6.1) ----
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] std::uint64_t peer_end_id() const { return peer_id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] hw::StationId peer() const { return peer_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const { return received_; }
+  [[nodiscard]] bool writer_blocked() const { return writer_blocked_; }
+  [[nodiscard]] bool reader_blocked() const { return reader_blocked_; }
+  [[nodiscard]] Subprocess* blocked_reader() const { return blocked_reader_; }
+  [[nodiscard]] Subprocess* blocked_writer() const { return blocked_writer_; }
+  [[nodiscard]] std::size_t queued() const { return rxq_.size(); }
+
+ private:
+  friend class ChannelService;
+
+  ChannelService& svc_;
+  std::uint64_t id_;
+  std::uint64_t peer_id_;
+  std::string name_;
+  hw::StationId peer_;
+
+  // write side
+  sim::Semaphore write_mutex_;
+  sim::Event ack_event_;
+  hw::Frame inflight_;        // retained until ACKed (retransmission source)
+  bool has_inflight_ = false;
+  std::uint64_t tx_seq_ = 0;
+  bool writer_blocked_ = false;
+  Subprocess* blocked_writer_ = nullptr;
+
+  // read side
+  sim::Semaphore read_mutex_;
+  sim::Event data_event_;
+  std::deque<ChannelMsg> rxq_;
+  bool reader_blocked_ = false;
+  Subprocess* blocked_reader_ = nullptr;
+  bool retransmit_owed_ = false;  // a sender was refused; owed a go-ahead
+  hw::StationId refused_src_ = -1;
+  std::uint64_t refused_end_ = 0;  // the refused sender's end id
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// A reusable server name (§4): each client open() against the name yields
+/// a fresh channel delivered through accept().
+class ServerPort {
+ public:
+  ServerPort(ChannelService& svc, std::string name)
+      : svc_(svc), name_(std::move(name)), acceptq_(service_simulator()) {}
+
+  /// Blocks until a client connects; returns the new channel.
+  [[nodiscard]] sim::Task<Channel*> accept(Subprocess& sp);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t pending() const { return acceptq_.size(); }
+
+ private:
+  friend class ChannelService;
+  friend class OmService;
+  sim::Simulator& service_simulator();
+  ChannelService& svc_;
+  std::string name_;
+  sim::Mailbox<Channel*> acceptq_;
+};
+
+/// Per-node channel machinery: owns every local channel end, handles the
+/// kChanData / kChanAck / kChanRetransmitReq protocol frames, and exposes
+/// state to the cdb communications debugger.
+class ChannelService {
+ public:
+  ChannelService(Kernel& kernel, NodeCensus& census,
+                 std::size_t side_buffers = 16);
+
+  /// Creates the local end of channel `id` to `peer`.  Any data frames
+  /// that raced ahead of the open reply are replayed into it.
+  Channel* create_channel(std::uint64_t id, std::uint64_t peer_id,
+                          const std::string& name, hw::StationId peer);
+
+  /// Creates a server port (registered with the object manager by the
+  /// caller); kOmAccept notifications are routed to it by name.
+  ServerPort* create_server_port(const std::string& name);
+  [[nodiscard]] ServerPort* server_port(const std::string& name);
+
+  [[nodiscard]] Channel* find(std::uint64_t id);
+  [[nodiscard]] Kernel& kernel() { return kernel_; }
+  [[nodiscard]] NodeCensus& census() { return census_; }
+  [[nodiscard]] std::size_t side_buffers() const { return side_buffers_; }
+
+  /// Pulse set on every delivery — the multiplexed-read rendezvous point.
+  [[nodiscard]] sim::Event& delivery_pulse() { return delivery_pulse_; }
+
+  /// All local channel ends (cdb iteration).
+  [[nodiscard]] const std::vector<std::unique_ptr<Channel>>& channels() const {
+    return channels_;
+  }
+
+  [[nodiscard]] std::uint64_t retransmit_requests() const {
+    return retransmit_requests_;
+  }
+
+ private:
+  friend class Channel;
+  void on_data(hw::Frame f);
+  void on_ack(hw::Frame f);
+  void on_retransmit_req(hw::Frame f);
+  sim::Proc deliver(Channel* ch, hw::Frame f);
+  sim::Proc send_retransmit_request(std::uint64_t peer_end, hw::StationId dst);
+
+  Kernel& kernel_;
+  NodeCensus& census_;
+  std::size_t side_buffers_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::unordered_map<std::uint64_t, Channel*> by_id_;
+  std::unordered_map<std::uint64_t, std::vector<hw::Frame>> orphans_;
+  std::unordered_map<std::string, std::unique_ptr<ServerPort>> servers_;
+  sim::Event delivery_pulse_;
+  std::uint64_t retransmit_requests_ = 0;
+};
+
+}  // namespace hpcvorx::vorx

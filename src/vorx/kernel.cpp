@@ -1,0 +1,90 @@
+#include "vorx/kernel.hpp"
+
+namespace hpcvorx::vorx {
+
+Kernel::Kernel(sim::Simulator& sim, hw::Endpoint& ep, sim::Cpu& cpu,
+               const CostModel& costs)
+    : sim_(sim), ep_(ep), cpu_(cpu), costs_(costs), tx_ready_ev_(sim) {
+  ep_.set_rx_cb([this] {
+    if (!rx_active_) rx_service();
+  });
+  ep_.set_tx_ready_cb([this] { tx_ready_ev_.set(); });
+}
+
+void Kernel::register_handler(std::uint32_t kind, Handler h) {
+  handlers_[kind] = std::move(h);
+}
+
+void Kernel::register_object(std::uint64_t obj, Handler isr) {
+  objects_[obj] = std::move(isr);
+}
+
+void Kernel::unregister_object(std::uint64_t obj) { objects_.erase(obj); }
+
+void Kernel::send(hw::Frame f) {
+  txq_.push_back(std::move(f));
+  if (!tx_active_) tx_service();
+}
+
+sim::Proc Kernel::rx_service() {
+  rx_active_ = true;
+  while (ep_.rx_peek() != nullptr) {
+    const hw::Frame* head = ep_.rx_peek();
+    sim::Duration cost;
+    sim::Category cat;
+    if (head->kind == msg::kUdco && objects_.count(head->obj) != 0) {
+      // User-supplied ISR reads the frame directly: user-level costs.
+      cost = costs_.udco_isr_fixed +
+             static_cast<sim::Duration>(head->payload_bytes) *
+                 costs_.udco_isr_per_byte;
+      cat = sim::Category::kUser;
+    } else {
+      cost = costs_.rx_interrupt +
+             static_cast<sim::Duration>(head->payload_bytes) *
+                 costs_.rx_copy_per_byte;
+      cat = sim::Category::kSystem;
+    }
+    co_await cpu_.run(sim::prio::kInterrupt, cost, cat, sim::kBorrowedContext,
+                      costs_.interrupt_dispatch);
+    // The frame leaves the hardware buffer only now that it has been
+    // copied, which is what lets the interconnect push the next one.
+    hw::Frame f = *ep_.rx_take();
+    ++rx_count_;
+    dispatch(std::move(f));
+  }
+  rx_active_ = false;
+}
+
+void Kernel::dispatch(hw::Frame f) {
+  if (f.kind == msg::kUdco) {
+    auto it = objects_.find(f.obj);
+    if (it != objects_.end()) {
+      it->second(std::move(f));
+      return;
+    }
+  }
+  auto it = handlers_.find(f.kind);
+  if (it != handlers_.end()) {
+    it->second(std::move(f));
+    return;
+  }
+  ++dropped_;
+}
+
+sim::Proc Kernel::tx_service() {
+  tx_active_ = true;
+  while (!txq_.empty()) {
+    if (!ep_.tx_ready()) {
+      tx_ready_ev_.reset();
+      if (!ep_.tx_ready()) co_await tx_ready_ev_.wait();
+      continue;
+    }
+    hw::Frame f = std::move(txq_.front());
+    txq_.pop_front();
+    ++tx_count_;
+    ep_.transmit(std::move(f));
+  }
+  tx_active_ = false;
+}
+
+}  // namespace hpcvorx::vorx

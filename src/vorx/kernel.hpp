@@ -1,0 +1,90 @@
+// The per-node VORX kernel: interrupt-driven receive path and transmit
+// queue over one hardware Endpoint.
+//
+// The receive path embodies the paper's deadlock-avoidance invariant (§2):
+// "It never deadlocks because the VORX kernel reads in messages
+// immediately when they arrive."  Frames are copied out of the interface
+// at interrupt priority as soon as they land, freeing the hardware buffer
+// so the interconnect keeps draining; dispatch then hands the frame to the
+// protocol layer (channels, object manager, user-defined objects, ...).
+//
+// User-defined communications objects (§4.1) are dispatched by object id
+// with *user-supplied* receive costs — "processes can access the hardware
+// registers from their applications, eliminating the overhead of
+// supervisor calls into the kernel and can specify interrupt service
+// routines to handle incoming messages."
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "hw/fabric.hpp"
+#include "sim/awaitables.hpp"
+#include "sim/cpu.hpp"
+#include "sim/task.hpp"
+#include "vorx/cost_model.hpp"
+#include "vorx/msg.hpp"
+
+namespace hpcvorx::vorx {
+
+class Kernel {
+ public:
+  using Handler = std::function<void(hw::Frame)>;
+
+  Kernel(sim::Simulator& sim, hw::Endpoint& ep, sim::Cpu& cpu,
+         const CostModel& costs);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Registers the protocol handler for a message kind.  The handler runs
+  /// after the receive-interrupt cost has been charged; it should do only
+  /// bookkeeping (further costed work belongs in its own coroutine).
+  void register_handler(std::uint32_t kind, Handler h);
+
+  /// Registers a user-defined communications object: frames with
+  /// kind==kUdco and a matching object id are delivered to `isr` after
+  /// charging the *user* ISR cost instead of the kernel receive path.
+  void register_object(std::uint64_t obj, Handler isr);
+  void unregister_object(std::uint64_t obj);
+
+  /// Queues a frame for transmission.  The caller has already paid the CPU
+  /// cost of building/copying it; the kernel waits for hardware transmit
+  /// space (the §2 space-available interrupt) and injects frames in order.
+  void send(hw::Frame f);
+
+  [[nodiscard]] hw::StationId station() const { return ep_.id(); }
+  [[nodiscard]] sim::Cpu& cpu() { return cpu_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const CostModel& costs() const { return costs_; }
+
+  [[nodiscard]] std::uint64_t frames_received() const { return rx_count_; }
+  [[nodiscard]] std::uint64_t frames_sent() const { return tx_count_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t tx_queue_depth() const { return txq_.size(); }
+
+ private:
+  sim::Proc rx_service();
+  sim::Proc tx_service();
+  void dispatch(hw::Frame f);
+
+  sim::Simulator& sim_;
+  hw::Endpoint& ep_;
+  sim::Cpu& cpu_;
+  const CostModel& costs_;
+
+  std::unordered_map<std::uint32_t, Handler> handlers_;
+  std::unordered_map<std::uint64_t, Handler> objects_;
+
+  std::deque<hw::Frame> txq_;
+  sim::Event tx_ready_ev_;
+  bool rx_active_ = false;
+  bool tx_active_ = false;
+  std::uint64_t rx_count_ = 0;
+  std::uint64_t tx_count_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,100 @@
+// Program download and application start-up (§3.3).
+//
+// Two schemes, as in the paper:
+//
+//   * kPerProcessStubs — "the host creates 70 stub processes, channels are
+//     set up between each process and its stub, and each stub
+//     independently downloads a copy of the program": faithful UNIX
+//     environment, ~12 s for 70 processes.
+//   * kSharedStubTree — "one stub services all the processes of the
+//     application and uses a tree scheme in which the stub downloads only
+//     one processing node.  That processor copies the text to be
+//     downloaded to two other processors as the text is being received
+//     ... it takes only two seconds to download and start 70 processes" —
+//     at the cost of serialized blocking syscalls and a shared
+//     32-descriptor budget.
+//
+// Download parameters (image size, chunking, tree shape, stub binding) are
+// agreed at allocation time, so each node's LoaderService is configured
+// directly; only the image bytes themselves travel through the simulated
+// interconnect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/awaitables.hpp"
+#include "sim/task.hpp"
+#include "vorx/kernel.hpp"
+#include "vorx/process.hpp"
+
+namespace hpcvorx::vorx {
+
+class Node;
+class System;
+
+enum class DownloadScheme { kPerProcessStubs, kSharedStubTree };
+
+struct LaunchStats {
+  sim::SimTime started = 0;
+  sim::SimTime finished = 0;
+  int processes = 0;
+  int stubs_created = 0;
+  [[nodiscard]] sim::Duration elapsed() const { return finished - started; }
+};
+
+/// Per-node download machinery: receives image segments, relays them down
+/// the tree, and starts the process when the image is complete.
+class LoaderService {
+ public:
+  explicit LoaderService(Node& node);
+
+  struct ReceivePlan {
+    std::uint64_t session = 0;
+    std::uint32_t image_bytes = 0;
+    std::uint32_t chunk_bytes = 1024;
+    std::vector<hw::StationId> children;  // tree fan-out (empty: leaf/direct)
+    hw::StationId ack_to = -1;
+    AppFn app;
+    std::string proc_name;
+    hw::StationId stub_host = -1;
+    std::uint64_t stub_id = 0;  // 0 = no syscall binding
+  };
+
+  /// Arms this node to receive one image (control-plane setup).
+  void expect(ReceivePlan plan);
+
+  /// Host side: returns a gate released when `count` nodes report done.
+  sim::Gate& expect_done(std::uint64_t session, std::size_t count);
+
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_rx_; }
+  [[nodiscard]] std::uint64_t bytes_relayed() const { return bytes_relayed_; }
+
+ private:
+  struct Pending {
+    ReceivePlan plan;
+    std::uint32_t received = 0;
+  };
+  void on_segment(hw::Frame f);
+  void on_done(hw::Frame f);
+  sim::Proc relay_and_account(hw::Frame f);
+  sim::Proc start_process(Pending p);
+
+  Node& node_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<sim::Gate>> done_gates_;
+  std::uint64_t bytes_rx_ = 0;
+  std::uint64_t bytes_relayed_ = 0;
+};
+
+/// Downloads `image_bytes` to each listed processing node and starts `fn`
+/// there.  Runs inside a host process (`host_sp` paces the host CPU).
+/// Completes when every node has initialized its process.
+[[nodiscard]] sim::Task<LaunchStats> launch_application(
+    Subprocess& host_sp, System& sys, std::vector<int> node_indices,
+    std::uint32_t image_bytes, AppFn fn, DownloadScheme scheme,
+    std::string app_name = "app");
+
+}  // namespace hpcvorx::vorx

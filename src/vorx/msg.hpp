@@ -1,0 +1,43 @@
+// Kernel message kinds carried in hw::Frame::kind.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcvorx::vorx {
+
+namespace msg {
+// Channel protocol (§4): stop-and-wait data/ack plus the buffer-exhaustion
+// retransmission request.
+inline constexpr std::uint32_t kChanData = 1;
+inline constexpr std::uint32_t kChanAck = 2;
+inline constexpr std::uint32_t kChanRetransmitReq = 3;
+
+// Object-manager rendezvous (§3.2).
+inline constexpr std::uint32_t kOmOpen = 10;         // open a named object
+inline constexpr std::uint32_t kOmRegisterServer = 11;
+inline constexpr std::uint32_t kOmReply = 12;        // open completed
+inline constexpr std::uint32_t kOmAccept = 13;       // server-side notify
+
+// User-defined communications objects (§4.1): dispatched by Frame::obj to
+// the application's interrupt service routine.
+inline constexpr std::uint32_t kUdco = 20;
+
+// Execution environment (§3.3).
+inline constexpr std::uint32_t kSyscallReq = 30;
+inline constexpr std::uint32_t kSyscallReply = 31;
+inline constexpr std::uint32_t kLoadSegment = 32;
+inline constexpr std::uint32_t kLoadDone = 33;
+
+// Flow-controlled multicast (§4.2).
+inline constexpr std::uint32_t kMcastData = 40;
+inline constexpr std::uint32_t kMcastAck = 41;
+
+// Processor allocation (§3.1).
+inline constexpr std::uint32_t kAllocReq = 50;
+inline constexpr std::uint32_t kAllocReply = 51;
+
+// Raw frames for tests and ad-hoc experiments.
+inline constexpr std::uint32_t kRaw = 99;
+}  // namespace msg
+
+}  // namespace hpcvorx::vorx

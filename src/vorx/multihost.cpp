@@ -1,0 +1,77 @@
+#include "vorx/multihost.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "vorx/node.hpp"
+#include "vorx/system.hpp"
+
+namespace hpcvorx::vorx {
+
+SyscallPool::SyscallPool(System& sys, Node& node,
+                         const std::vector<int>& host_indices) {
+  assert(!host_indices.empty());
+  for (int h : host_indices) {
+    Node& host = sys.host(h);
+    Stub& stub = host.make_stub();
+    stubs_.push_back(&stub);
+    clients_.push_back(
+        std::make_unique<SyscallClient>(node, host.station(), stub.id()));
+    outstanding_.push_back(0);
+  }
+}
+
+sim::Task<SyscallPool::PoolFd> SyscallPool::open(Subprocess& sp,
+                                                 const std::string& path) {
+  // Least-loaded placement, round-robin among ties.  Load counts open
+  // descriptors plus the live request backlog (a stub parked in a
+  // blocking call weighs heavily, so new work avoids it).
+  auto load = [this](int m) {
+    const auto mi = static_cast<std::size_t>(m);
+    return outstanding_[mi] +
+           8 * static_cast<int>(stubs_[mi]->queue_depth() +
+                                (stubs_[mi]->busy() ? 1 : 0));
+  };
+  int best = rr_ % members();
+  for (int i = 0; i < members(); ++i) {
+    const int cand = (rr_ + i) % members();
+    if (load(cand) < load(best)) best = cand;
+  }
+  ++rr_;
+  SyscallResult r =
+      co_await clients_[static_cast<std::size_t>(best)]->sys_open(sp, path);
+  PoolFd f;
+  if (r.value >= 0) {
+    f.fd = static_cast<int>(r.value);
+    f.member = best;
+    ++outstanding_[static_cast<std::size_t>(best)];
+  }
+  co_return f;
+}
+
+sim::Task<SyscallResult> SyscallPool::read(Subprocess& sp, PoolFd f,
+                                           std::uint32_t nbytes) {
+  assert(f.member >= 0);
+  return clients_[static_cast<std::size_t>(f.member)]->sys_read(sp, f.fd,
+                                                                nbytes);
+}
+
+sim::Task<SyscallResult> SyscallPool::write(Subprocess& sp, PoolFd f,
+                                            hw::Payload data) {
+  assert(f.member >= 0);
+  return clients_[static_cast<std::size_t>(f.member)]->sys_write(
+      sp, f.fd, std::move(data));
+}
+
+sim::Task<SyscallResult> SyscallPool::keyboard(Subprocess& sp, int member) {
+  assert(member >= 0 && member < members());
+  return clients_[static_cast<std::size_t>(member)]->sys_keyboard(sp);
+}
+
+sim::Task<SyscallResult> SyscallPool::close(Subprocess& sp, PoolFd f) {
+  assert(f.member >= 0);
+  --outstanding_[static_cast<std::size_t>(f.member)];
+  return clients_[static_cast<std::size_t>(f.member)]->sys_close(sp, f.fd);
+}
+
+}  // namespace hpcvorx::vorx

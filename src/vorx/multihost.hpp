@@ -1,0 +1,62 @@
+// Distributed system-call service — the §3.3 future-work item, built out.
+//
+// "We are working on a better solution to these problems that will
+// alleviate the bottleneck of using a single host for all the system
+// calls of an application.  It uses a decentralized scheme that
+// distributes the overhead of system calls by allowing a process to
+// direct system calls to any of the host workstations."
+//
+// A SyscallPool binds one stub on each participating workstation and
+// fans a process's system calls across them.  File-descriptor affinity is
+// preserved (a descriptor lives on the stub that opened it, as it must),
+// so the distribution applies to open() placement and to independent
+// descriptors — exactly the part of the load a real decentralized scheme
+// could move.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "vorx/stub.hpp"
+
+namespace hpcvorx::vorx {
+
+class System;
+
+class SyscallPool {
+ public:
+  /// Creates one stub on each of the given workstations and a client
+  /// bound to each from `node`.
+  SyscallPool(System& sys, Node& node, const std::vector<int>& host_indices);
+
+  /// open() on the least-loaded workstation; the returned PoolFd routes
+  /// subsequent reads/writes to the owning stub.
+  struct PoolFd {
+    int fd = -1;
+    int member = -1;  // index into the pool
+  };
+  [[nodiscard]] sim::Task<PoolFd> open(Subprocess& sp, const std::string& path);
+  [[nodiscard]] sim::Task<SyscallResult> read(Subprocess& sp, PoolFd f,
+                                              std::uint32_t nbytes);
+  [[nodiscard]] sim::Task<SyscallResult> write(Subprocess& sp, PoolFd f,
+                                               hw::Payload data);
+  [[nodiscard]] sim::Task<SyscallResult> close(Subprocess& sp, PoolFd f);
+
+  /// Blocking terminal read through a specific member's stub (§3.3's
+  /// problematic call — now it only stalls that one stub).
+  [[nodiscard]] sim::Task<SyscallResult> keyboard(Subprocess& sp, int member);
+
+  [[nodiscard]] int members() const { return static_cast<int>(clients_.size()); }
+  /// Combined descriptor budget: kMaxOpenFiles per member workstation.
+  [[nodiscard]] int descriptor_budget() const {
+    return members() * kMaxOpenFiles;
+  }
+
+ private:
+  std::vector<Stub*> stubs_;
+  std::vector<std::unique_ptr<SyscallClient>> clients_;
+  std::vector<int> outstanding_;  // open fds per member (placement load)
+  int rr_ = 0;
+};
+
+}  // namespace hpcvorx::vorx

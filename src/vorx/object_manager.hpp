@@ -1,0 +1,105 @@
+// The communications object manager — rendezvous by name (§3.2).
+//
+// "Both Meglos and VORX provide named communications channels ... two
+// processes rendezvous on a channel by specifying its name in an open
+// call.  The bottleneck in setting up communications occurred because all
+// the channel opens were processed by the single resource manager on the
+// host.  We solved this problem in VORX by ... replicating [the
+// communications object manager] onto every processing node.  The object
+// manager uses distributed hashing to map a channel name to a particular
+// processor."
+//
+// Every node runs an OmService.  Which instance *manages* a given name is
+// decided by a locator function supplied by the System: VORX mode hashes
+// the name across the processing nodes; Meglos mode sends every open to
+// the single host — reproducing the §3.2 bottleneck.
+//
+// User-defined communications objects share this rendezvous ("User-defined
+// communications objects are integrated with the object manager, allowing
+// these objects to use the same rendezvous mechanism as channels", §4.1):
+// the request carries an object type, and only like-typed opens pair.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/promise.hpp"
+#include "sim/task.hpp"
+#include "vorx/channel.hpp"
+
+namespace hpcvorx::vorx {
+
+class Subprocess;
+
+/// Object types for rendezvous matching.
+inline constexpr std::uint32_t kObjChannel = 0;
+inline constexpr std::uint32_t kObjUdco = 1;
+
+struct OpenResult {
+  std::uint64_t id = 0;        // this end's object id
+  std::uint64_t peer_id = 0;   // the other end's object id
+  hw::StationId peer = -1;     // the other end's station
+};
+
+class OmService {
+ public:
+  using Locator = std::function<hw::StationId(const std::string&)>;
+
+  OmService(Kernel& kernel, ChannelService& chans, Locator locate);
+
+  // ---- client side ----
+
+  /// Symmetric open: pairs with another open (or a registered server) of
+  /// the same name and type.  Blocks until the manager replies.
+  [[nodiscard]] sim::Task<OpenResult> open_pair(Subprocess& sp,
+                                                std::string name,
+                                                std::uint32_t type);
+
+  /// Registers a persistent server name (§4's reusable channel names).
+  [[nodiscard]] sim::Task<void> register_server(Subprocess& sp,
+                                                std::string name);
+
+  // ---- manager-side statistics (the §3.2 bottleneck is visible here) ----
+  [[nodiscard]] std::uint64_t opens_served() const { return opens_served_; }
+  [[nodiscard]] std::size_t queue_depth() const { return reqq_.size(); }
+  [[nodiscard]] std::size_t max_queue_depth() const { return max_queue_; }
+
+ private:
+  void on_request(hw::Frame f);
+  void on_reply(hw::Frame f);
+  void on_accept(hw::Frame f);
+  sim::Proc worker();
+  void handle_request(const hw::Frame& f);
+  void send_reply(hw::StationId dst, std::uint64_t reqid,
+                  std::uint64_t own_end, std::uint64_t peer_end,
+                  hw::StationId peer);
+  [[nodiscard]] std::uint64_t make_id();
+  [[nodiscard]] sim::Task<OpenResult> do_request(Subprocess& sp,
+                                                 std::uint32_t kind,
+                                                 std::string name,
+                                                 std::uint32_t type);
+
+  Kernel& kernel_;
+  ChannelService& chans_;
+  Locator locate_;
+
+  // Manager state (used when this node manages some names).
+  std::deque<hw::Frame> reqq_;
+  bool worker_active_ = false;
+  std::unordered_map<std::string, std::deque<std::pair<hw::StationId, std::uint64_t>>>
+      pending_;                                        // key -> waiting opens
+  std::unordered_map<std::string, hw::StationId> servers_;  // key -> station
+  std::uint64_t next_obj_ = 1;
+  std::int64_t mgr_owner_;
+  std::uint64_t opens_served_ = 0;
+  std::size_t max_queue_ = 0;
+
+  // Client state.
+  std::uint64_t next_req_ = 1;
+  std::unordered_map<std::uint64_t, sim::Promise<OpenResult>> awaiting_;
+};
+
+}  // namespace hpcvorx::vorx

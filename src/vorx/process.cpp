@@ -1,0 +1,226 @@
+#include "vorx/process.hpp"
+
+#include <cassert>
+
+#include "vorx/node.hpp"
+#include "vorx/stub.hpp"
+#include "vorx/object_manager.hpp"
+#include "vorx/udco.hpp"
+
+namespace hpcvorx::vorx {
+
+namespace {
+std::int64_t next_owner_id() {
+  static std::int64_t next = 0;
+  return ++next;
+}
+}  // namespace
+
+Subprocess::Subprocess(Process& proc, int index, int priority,
+                       std::string name, sim::Duration switch_cost)
+    : proc_(proc),
+      index_(index),
+      priority_(priority),
+      name_(std::move(name)),
+      switch_cost_(switch_cost),
+      owner_id_(next_owner_id()) {}
+
+Node& Subprocess::node() { return proc_.node(); }
+
+sim::Task<void> Subprocess::compute(sim::Duration d) {
+  co_await node().cpu().run(priority_, d, sim::Category::kUser, owner_id_,
+                            switch_cost_);
+}
+
+sim::Task<void> Subprocess::run_system(sim::Duration d) {
+  // Kernel code executing in this process's context: system time, kernel
+  // priority, no context switch (same owner).
+  co_await node().cpu().run(sim::prio::kKernel, d, sim::Category::kSystem,
+                            owner_id_, switch_cost_);
+}
+
+sim::Task<void> Subprocess::sleep(sim::Duration d) {
+  set_state(SpState::kSleeping);
+  {
+    BlockedScope blocked(node().census(), BlockReason::kOther);
+    co_await sim::delay(node().simulator(), d);
+  }
+  set_state(SpState::kRunning);
+}
+
+sim::Task<Channel*> Subprocess::open(const std::string& name) {
+  OpenResult r = co_await node().om().open_pair(*this, name, kObjChannel);
+  co_return node().channels().create_channel(r.id, r.peer_id, name, r.peer);
+}
+
+sim::Task<ServerPort*> Subprocess::open_server(const std::string& name) {
+  // The port must exist before the manager can route accepts to it.
+  ServerPort* port = node().channels().create_server_port(name);
+  co_await node().om().register_server(*this, name);
+  co_return port;
+}
+
+sim::Task<Channel*> Subprocess::accept(ServerPort& port) {
+  return port.accept(*this);
+}
+
+sim::Task<void> Subprocess::write(Channel& ch, std::uint32_t bytes,
+                                  hw::Payload data) {
+  return ch.write(*this, bytes, std::move(data));
+}
+
+sim::Task<ChannelMsg> Subprocess::read(Channel& ch) { return ch.read(*this); }
+
+sim::Task<void> Subprocess::write_all(Channel& ch, hw::Payload data) {
+  assert(data != nullptr);
+  const std::size_t total = data->size();
+  for (std::size_t off = 0; off < total; off += kMaxChannelMsg) {
+    const std::size_t n = std::min<std::size_t>(kMaxChannelMsg, total - off);
+    co_await ch.write(*this, static_cast<std::uint32_t>(n),
+                      hw::make_payload(std::vector<std::byte>(
+                          data->begin() + static_cast<long>(off),
+                          data->begin() + static_cast<long>(off + n))));
+  }
+}
+
+sim::Task<std::vector<std::byte>> Subprocess::read_all(Channel& ch,
+                                                       std::size_t total) {
+  std::vector<std::byte> out;
+  out.reserve(total);
+  while (out.size() < total) {
+    ChannelMsg m = co_await ch.read(*this);
+    assert(m.data != nullptr);
+    out.insert(out.end(), m.data->begin(), m.data->end());
+  }
+  co_return out;
+}
+
+sim::Task<std::pair<Channel*, ChannelMsg>> Subprocess::read_any(
+    std::vector<Channel*> chans) {
+  assert(!chans.empty());
+  ChannelService& svc = node().channels();
+  co_await run_system(node().costs().chan_read_fixed);
+  for (;;) {
+    for (Channel* ch : chans) {
+      if (ch->has_data()) {
+        ChannelMsg m = co_await ch->read(*this);
+        co_return std::pair<Channel*, ChannelMsg>{ch, std::move(m)};
+      }
+    }
+    svc.delivery_pulse().reset();
+    bool any = false;
+    for (Channel* ch : chans) any = any || ch->has_data();
+    if (any) continue;
+    set_state(SpState::kBlockedInput);
+    {
+      BlockedScope blocked(node().census(), BlockReason::kInput);
+      co_await svc.delivery_pulse().wait();
+    }
+    set_state(SpState::kRunning);
+  }
+}
+
+sim::Task<Udco*> Subprocess::open_udco(const std::string& name) {
+  OpenResult r = co_await node().om().open_pair(*this, name, kObjUdco);
+  co_return node().make_udco(r.id, r.peer_id, name, r.peer);
+}
+
+sim::Task<void> Subprocess::breakpoint(const std::string& label) {
+  if (!node().breakpoint_armed(label)) co_return;
+  stopped_at_ = label;
+  set_state(SpState::kStopped);
+  bp_resume_ = std::make_unique<sim::Event>(node().simulator());
+  {
+    BlockedScope blocked(node().census(), BlockReason::kOther);
+    co_await bp_resume_->wait();
+  }
+  bp_resume_.reset();
+  stopped_at_.clear();
+  set_state(SpState::kRunning);
+}
+
+void Subprocess::resume_from_breakpoint() {
+  if (bp_resume_) bp_resume_->set();
+}
+
+sim::Task<void> Subprocess::p(VSemaphore& s) {
+  co_await run_system(node().costs().semaphore_op);
+  const bool immediate = s.sem_.available() > 0 && s.sem_.waiting() == 0;
+  if (immediate) {
+    co_await s.sem_.acquire();
+    co_return;
+  }
+  set_state(SpState::kBlockedSem);
+  {
+    BlockedScope blocked(node().census(), BlockReason::kOther);
+    co_await s.sem_.acquire();
+  }
+  set_state(SpState::kRunning);
+}
+
+sim::Task<void> Subprocess::v(VSemaphore& s) {
+  co_await run_system(node().costs().semaphore_op);
+  s.sem_.release();
+}
+
+Process::Process(Node& node, int pid, std::string name)
+    : node_(node), pid_(pid), name_(std::move(name)), done_(node.simulator()) {}
+
+Subprocess& Process::spawn(AppFn fn, int priority, std::string name,
+                           sim::Duration switch_cost) {
+  if (switch_cost < 0) switch_cost = node_.costs().subprocess_switch;
+  if (name.empty()) name = name_ + ".sp" + std::to_string(spawned_);
+  subprocesses_.push_back(std::make_unique<Subprocess>(
+      *this, spawned_, priority, std::move(name), switch_cost));
+  Subprocess* sp = subprocesses_.back().get();
+  ++spawned_;
+  ++live_;
+  run_subprocess(sp, std::move(fn));
+  return *sp;
+}
+
+sim::Proc Process::run_subprocess(Subprocess* sp, AppFn fn) {
+  // Start on the next event: the spawner gets to finish its wiring (stub
+  // bindings, result plumbing) before the application's first instruction.
+  co_await sim::yield(node_.simulator());
+  co_await fn(*sp);
+  sp->set_state(SpState::kDone);
+  if (--live_ == 0) {
+    finished_at_ = node_.simulator().now();
+    done_.set_value();
+  }
+}
+
+sim::Task<SyscallResult> Subprocess::sys_open(const std::string& path) {
+  assert(proc_.syscalls() != nullptr && "process has no stub binding");
+  return proc_.syscalls()->sys_open(*this, path);
+}
+
+sim::Task<SyscallResult> Subprocess::sys_close(int fd) {
+  assert(proc_.syscalls() != nullptr);
+  return proc_.syscalls()->sys_close(*this, fd);
+}
+
+sim::Task<SyscallResult> Subprocess::sys_read(int fd, std::uint32_t n) {
+  assert(proc_.syscalls() != nullptr);
+  return proc_.syscalls()->sys_read(*this, fd, n);
+}
+
+sim::Task<SyscallResult> Subprocess::sys_write(int fd, hw::Payload data) {
+  assert(proc_.syscalls() != nullptr);
+  return proc_.syscalls()->sys_write(*this, fd, std::move(data));
+}
+
+sim::Task<SyscallResult> Subprocess::sys_keyboard() {
+  assert(proc_.syscalls() != nullptr);
+  return proc_.syscalls()->sys_keyboard(*this);
+}
+
+void Process::bind_syscalls(std::unique_ptr<SyscallClient> client) {
+  syscalls_ = std::move(client);
+}
+
+VSemaphore::VSemaphore(Node& node, std::int64_t initial)
+    : node_(node), sem_(node.simulator(), initial) {}
+
+}  // namespace hpcvorx::vorx

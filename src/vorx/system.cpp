@@ -1,0 +1,71 @@
+#include "vorx/system.hpp"
+
+namespace hpcvorx::vorx {
+
+namespace {
+// FNV-1a: a stable, platform-independent name hash, so experiment results
+// do not depend on the standard library's std::hash.
+std::uint64_t name_hash(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+System::System(sim::Simulator& sim, SystemConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  const int stations = cfg_.nodes + cfg_.hosts;
+  hw::FabricParams fp = cfg_.fabric;
+  fabric_ = hw::Fabric::make(sim, stations, cfg_.stations_per_cluster, fp);
+  Node::Options opts;
+  opts.side_buffers = cfg_.channel_side_buffers;
+  opts.record_intervals = cfg_.record_intervals;
+  OmService::Locator locator = [this](const std::string& name) {
+    return manager_for(name);
+  };
+  for (int s = 0; s < stations; ++s) {
+    const bool is_host = s >= cfg_.nodes;
+    const std::string name =
+        is_host ? "ws" + std::to_string(s - cfg_.nodes) : "n" + std::to_string(s);
+    stations_.push_back(std::make_unique<Node>(
+        sim, fabric_->endpoint(s), cfg_.costs, name, locator, opts));
+  }
+}
+
+hw::StationId System::manager_for(const std::string& name) const {
+  if (cfg_.centralized_object_manager) {
+    // Meglos: "All resource management in Meglos was centralized on a
+    // single host" (§3.2).
+    return cfg_.hosts > 0 ? host_station(0) : 0;
+  }
+  // VORX: distributed hashing across the processing-node object managers.
+  return static_cast<hw::StationId>(name_hash(name) %
+                                    static_cast<std::uint64_t>(cfg_.nodes));
+}
+
+std::vector<Mcast*> System::create_multicast_group(
+    std::uint64_t gid, const std::vector<int>& node_indices, int root_index,
+    McastMode mode) {
+  std::vector<hw::StationId> members;
+  members.reserve(node_indices.size());
+  for (int i : node_indices) members.push_back(node_station(i));
+  const hw::StationId root = node_station(node_indices[static_cast<std::size_t>(root_index)]);
+  if (mode == McastMode::kHardware) {
+    fabric_->add_multicast_group(gid, root, members);
+  }
+  std::vector<Mcast*> handles;
+  handles.reserve(node_indices.size());
+  for (int i : node_indices) {
+    handles.push_back(node(i).mcast().create_group(gid, members, root, mode));
+  }
+  return handles;
+}
+
+void System::finalize_accounting() {
+  for (auto& n : stations_) n->cpu().finalize_accounting();
+}
+
+}  // namespace hpcvorx::vorx

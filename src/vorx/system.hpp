@@ -1,0 +1,82 @@
+// Top-level assembly: fabric + nodes + hosts = a local area multicomputer.
+//
+// A System builds the machine of Figure 1: a pool of processing nodes and
+// a set of host workstations, all attached to the HPC interconnect.  The
+// configuration chooses between the two resource-management generations
+// the paper contrasts:
+//   * VORX (default): the object manager is replicated onto every
+//     processing node with distributed hashing of names (§3.2);
+//   * Meglos mode: every open is serviced by the single host — the
+//     centralized bottleneck the paper measured.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/fabric.hpp"
+#include "vorx/cost_model.hpp"
+#include "vorx/multicast.hpp"
+#include "vorx/node.hpp"
+
+namespace hpcvorx::vorx {
+
+struct SystemConfig {
+  int nodes = 4;                     // processing nodes
+  int hosts = 1;                     // host workstations
+  int stations_per_cluster = 4;      // when the system spans clusters
+  hw::FabricParams fabric{};
+  CostModel costs{};
+  bool centralized_object_manager = false;  // Meglos-style single manager
+  std::size_t channel_side_buffers = 16;
+  bool record_intervals = false;     // software-oscilloscope tracing
+};
+
+class System {
+ public:
+  explicit System(sim::Simulator& sim, SystemConfig cfg = SystemConfig());
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  [[nodiscard]] int num_nodes() const { return cfg_.nodes; }
+  [[nodiscard]] int num_hosts() const { return cfg_.hosts; }
+
+  /// Processing node i (stations 0..nodes-1).
+  [[nodiscard]] Node& node(int i) { return *stations_.at(static_cast<std::size_t>(i)); }
+  /// Host workstation j (stations nodes..nodes+hosts-1).
+  [[nodiscard]] Node& host(int j) {
+    return *stations_.at(static_cast<std::size_t>(cfg_.nodes + j));
+  }
+  /// Any station by id.
+  [[nodiscard]] Node& station(hw::StationId s) {
+    return *stations_.at(static_cast<std::size_t>(s));
+  }
+  [[nodiscard]] hw::StationId node_station(int i) const { return i; }
+  [[nodiscard]] hw::StationId host_station(int j) const { return cfg_.nodes + j; }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] hw::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+
+  /// Which station manages a given object name (see file comment).
+  [[nodiscard]] hw::StationId manager_for(const std::string& name) const;
+
+  /// Creates a multicast group across processing nodes: one handle per
+  /// member, root first in `handles[root position]` semantics preserved by
+  /// index (handles[i] belongs to node_indices[i]).  Hardware mode also
+  /// programs the clusters' replication tables.
+  std::vector<Mcast*> create_multicast_group(
+      std::uint64_t gid, const std::vector<int>& node_indices, int root_index,
+      McastMode mode = McastMode::kSoftwareTree);
+
+  /// Closes every CPU's open accounting span (call before reading ledgers).
+  void finalize_accounting();
+
+ private:
+  sim::Simulator& sim_;
+  SystemConfig cfg_;
+  std::unique_ptr<hw::Fabric> fabric_;
+  std::vector<std::unique_ptr<Node>> stations_;
+};
+
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,160 @@
+// Unit and property tests for the numeric kernels (FFT, sparse CG).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/fft.hpp"
+#include "sim/random.hpp"
+#include "apps/sparse.hpp"
+
+namespace hpcvorx::apps {
+namespace {
+
+double max_err(std::span<const Complex> a, std::span<const Complex> b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+class FftSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const int n = GetParam();
+  sim::Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<Complex> data(static_cast<std::size_t>(n));
+  for (auto& c : data) c = Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+  const std::vector<Complex> want = dft_reference(data);
+  std::vector<Complex> got = data;
+  fft(got);
+  EXPECT_LT(max_err(got, want), 1e-9 * n);
+}
+
+TEST_P(FftSizes, InverseRecoversInput) {
+  const int n = GetParam();
+  sim::Rng rng(static_cast<std::uint64_t>(n) + 99);
+  std::vector<Complex> data(static_cast<std::size_t>(n));
+  for (auto& c : data) c = Complex(rng.uniform(), rng.uniform());
+  std::vector<Complex> work = data;
+  fft(work);
+  fft(work, /*inverse=*/true);
+  for (auto& c : work) c /= static_cast<double>(n);
+  EXPECT_LT(max_err(work, data), 1e-10 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));
+
+TEST(Fft, ParsevalHolds) {
+  const int n = 128;
+  sim::Rng rng(5);
+  std::vector<Complex> data(static_cast<std::size_t>(n));
+  for (auto& c : data) c = Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+  double time_energy = 0;
+  for (const auto& c : data) time_energy += std::norm(c);
+  fft(std::span<Complex>(data));
+  double freq_energy = 0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-6 * time_energy * n);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> data(64, Complex(0));
+  data[0] = Complex(1, 0);
+  fft(std::span<Complex>(data));
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, TwoDTransformMatchesRowColumnReference) {
+  const int n = 16;
+  std::vector<Complex> img = make_test_image(n, 3);
+  std::vector<Complex> got = img;
+  fft2d(got, n);
+  // Reference: DFT rows then DFT columns.
+  std::vector<Complex> ref = img;
+  for (int r = 0; r < n; ++r) {
+    std::vector<Complex> row(ref.begin() + r * n, ref.begin() + (r + 1) * n);
+    auto out = dft_reference(row);
+    std::copy(out.begin(), out.end(), ref.begin() + r * n);
+  }
+  for (int c = 0; c < n; ++c) {
+    std::vector<Complex> col(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) col[static_cast<std::size_t>(r)] = ref[static_cast<std::size_t>(r) * n + c];
+    auto out = dft_reference(col);
+    for (int r = 0; r < n; ++r) ref[static_cast<std::size_t>(r) * n + c] = out[static_cast<std::size_t>(r)];
+  }
+  EXPECT_LT(max_err(got, ref), 1e-7);
+}
+
+TEST(Fft, CostGrowsAsNLogN) {
+  EXPECT_EQ(fft_cost(256), sim::usec(40) * 128 * 8);
+  EXPECT_GT(fft_cost(512), 2 * fft_cost(256));
+  EXPECT_LT(fft_cost(512), 3 * fft_cost(256));
+}
+
+TEST(Fft, ChecksumDetectsChanges) {
+  auto img = make_test_image(8, 1);
+  const auto h1 = checksum(img);
+  img[5] += Complex(1e-9, 0);
+  EXPECT_NE(checksum(img), h1);
+}
+
+TEST(Sparse, GridLaplacianStructure) {
+  const CsrMatrix a = make_grid_laplacian(4, 3);
+  EXPECT_EQ(a.n(), 12);
+  // Interior point has 5 entries; corner has 3.
+  EXPECT_EQ(a.row_ptr()[1] - a.row_ptr()[0], 3);  // corner (0,0)
+  EXPECT_EQ(a.row_ptr()[6] - a.row_ptr()[5], 5);  // interior (1,1)
+  // Diagonal dominance (SPD with the shift).
+  std::vector<double> ones(12, 1.0), y(12);
+  a.matvec(ones, y);
+  for (double v : y) EXPECT_GT(v, 0.0);
+}
+
+TEST(Sparse, MatvecRowsMatchesFullMatvec) {
+  const CsrMatrix a = make_grid_laplacian(5, 5);
+  const auto x = make_rhs(a.n(), 2);
+  std::vector<double> y1(static_cast<std::size_t>(a.n()));
+  std::vector<double> y2(static_cast<std::size_t>(a.n()), -7.0);
+  a.matvec(x, y1);
+  a.matvec_rows(0, 10, x, y2);
+  a.matvec_rows(10, 25, x, y2);
+  for (int i = 0; i < a.n(); ++i) {
+    EXPECT_DOUBLE_EQ(y1[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)]);
+  }
+}
+
+class CgGrids : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CgGrids, SolvesToTolerance) {
+  const auto [nx, ny] = GetParam();
+  const CsrMatrix a = make_grid_laplacian(nx, ny);
+  const auto b = make_rhs(a.n(), 7);
+  const CgResult res = conjugate_gradient(a, b, 1e-10, 2000);
+  EXPECT_TRUE(res.converged);
+  // Verify the residual independently.
+  std::vector<double> ax(static_cast<std::size_t>(a.n()));
+  a.matvec(res.x, ax);
+  double rmax = 0;
+  for (int i = 0; i < a.n(); ++i) {
+    rmax = std::max(rmax, std::fabs(ax[static_cast<std::size_t>(i)] -
+                                    b[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_LT(rmax, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CgGrids,
+                         ::testing::Values(std::pair{4, 4}, std::pair{8, 8},
+                                           std::pair{8, 64}, std::pair{16, 16},
+                                           std::pair{3, 17}));
+
+TEST(Sparse, DotAndNorm) {
+  std::vector<double> a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace hpcvorx::apps

@@ -1,0 +1,252 @@
+// Integration tests: the paper's applications running on the simulated
+// machine, verified against their serial references.
+#include <gtest/gtest.h>
+
+#include "apps/bitmap_app.hpp"
+#include "apps/fft2d_app.hpp"
+#include "apps/linda.hpp"
+#include "apps/spice_app.hpp"
+
+namespace hpcvorx::apps {
+namespace {
+
+class Fft2dModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(Fft2dModes, DistributedResultMatchesSerialBitForBit) {
+  sim::Simulator sim;
+  vorx::SystemConfig scfg;
+  scfg.nodes = 4;
+  vorx::System sys(sim, scfg);
+  Fft2dConfig cfg;
+  cfg.n = 32;
+  cfg.p = 4;
+  cfg.use_multicast = GetParam();
+  const Fft2dResult res = run_fft2d(sim, sys, cfg);
+  EXPECT_TRUE(res.matches_serial);
+  EXPECT_GT(res.elapsed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothExchanges, Fft2dModes, ::testing::Bool());
+
+TEST(Fft2dApp, MulticastReadsTheWholeMatrixPersonalizedOnlyItsShare) {
+  // §4.2: "each processor reads 65536 numbers of which only 256 are
+  // needed" (for n=256, p=256).  At any scale, multicast reads n*n values
+  // per node while personalized reads only what it needs.
+  auto run = [](bool multicast) {
+    sim::Simulator sim;
+    vorx::SystemConfig scfg;
+    scfg.nodes = 4;
+    vorx::System sys(sim, scfg);
+    Fft2dConfig cfg;
+    cfg.n = 32;
+    cfg.p = 4;
+    cfg.use_multicast = multicast;
+    return run_fft2d(sim, sys, cfg);
+  };
+  const Fft2dResult mc = run(true);
+  const Fft2dResult pp = run(false);
+  ASSERT_TRUE(mc.matches_serial);
+  ASSERT_TRUE(pp.matches_serial);
+  EXPECT_EQ(pp.bytes_received, pp.bytes_needed);
+  // Multicast: every node reads all p shares (including its own row block).
+  EXPECT_EQ(mc.bytes_received,
+            static_cast<std::uint64_t>(32) * 32 * sizeof(Complex) * 4);
+  EXPECT_GT(mc.bytes_received, pp.bytes_received * 4);
+  // And it is slower end to end.
+  EXPECT_GT(mc.exchange_elapsed, pp.exchange_elapsed);
+}
+
+class SpiceTransports : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SpiceTransports, DistributedCgMatchesSerial) {
+  sim::Simulator sim;
+  vorx::SystemConfig scfg;
+  scfg.nodes = 4;
+  vorx::System sys(sim, scfg);
+  SpiceConfig cfg;
+  cfg.nx = 8;
+  cfg.ny = 32;
+  cfg.p = 4;
+  cfg.use_channels = GetParam();
+  const SpiceResult res = run_spice(sim, sys, cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.matches_serial);
+  EXPECT_GT(res.iterations, 5);
+  EXPECT_GT(res.halo_messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTransports, SpiceTransports, ::testing::Bool());
+
+TEST(SpiceApp, RawObjectsSolveFasterThanChannels) {
+  auto run = [](bool channels) {
+    sim::Simulator sim;
+    vorx::SystemConfig scfg;
+    scfg.nodes = 4;
+    vorx::System sys(sim, scfg);
+    SpiceConfig cfg;
+    cfg.nx = 8;
+    cfg.ny = 32;
+    cfg.p = 4;
+    cfg.use_channels = channels;
+    return run_spice(sim, sys, cfg);
+  };
+  const SpiceResult raw = run(false);
+  const SpiceResult chan = run(true);
+  ASSERT_TRUE(raw.matches_serial);
+  ASSERT_TRUE(chan.matches_serial);
+  EXPECT_EQ(raw.iterations, chan.iterations);
+  EXPECT_LT(raw.elapsed, chan.elapsed);
+}
+
+TEST(SpiceApp, SingleNodeDegeneratesToSerial) {
+  sim::Simulator sim;
+  vorx::SystemConfig scfg;
+  vorx::System sys(sim, scfg);
+  SpiceConfig cfg;
+  cfg.nx = 8;
+  cfg.ny = 16;
+  cfg.p = 1;
+  const SpiceResult res = run_spice(sim, sys, cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.matches_serial);
+  EXPECT_EQ(res.halo_messages, 0u);
+}
+
+TEST(BitmapApp, RawStreamingDeliversPixelsExactly) {
+  sim::Simulator sim;
+  vorx::System sys(sim, vorx::SystemConfig{});
+  BitmapConfig cfg;
+  cfg.width = 300;  // keep the test quick; the bench runs 900x900
+  cfg.height = 300;
+  cfg.frames = 2;
+  const BitmapResult res = run_bitmap(sim, sys, cfg);
+  EXPECT_TRUE(res.checksum_ok);
+  EXPECT_GT(res.mbytes_per_sec, 1.0);
+}
+
+TEST(BitmapApp, RawStreamingBeatsChannelsOnBandwidth) {
+  auto run = [](bool channels) {
+    sim::Simulator sim;
+    vorx::System sys(sim, vorx::SystemConfig{});
+    BitmapConfig cfg;
+    cfg.width = 300;
+    cfg.height = 300;
+    cfg.frames = 2;
+    cfg.use_channels = channels;
+    cfg.carry_pixels = false;
+    return run_bitmap(sim, sys, cfg);
+  };
+  const BitmapResult raw = run(false);
+  const BitmapResult chan = run(true);
+  EXPECT_TRUE(raw.checksum_ok);
+  EXPECT_TRUE(chan.checksum_ok);
+  // §4/§4.1: ~3.2 MB/s raw vs ~1.03 MB/s stop-and-wait channels.
+  EXPECT_GT(raw.mbytes_per_sec, chan.mbytes_per_sec * 2.5);
+}
+
+TEST(Linda, OutInRdSemantics) {
+  sim::Simulator sim;
+  vorx::SystemConfig scfg;
+  scfg.nodes = 4;
+  vorx::System sys(sim, scfg);
+  sys.node(0).spawn_process("linda-server", linda::make_server("space"));
+
+  std::vector<linda::Tuple> got;
+  sys.node(1).spawn_process("producer", [&](vorx::Subprocess& sp)
+                                            -> sim::Task<void> {
+    linda::Client c = co_await linda::Client::connect(sp, "space");
+    linda::Tuple t1{1, 10}, t2{2, 20}, t3{1, 30};
+    co_await c.out(sp, t1);
+    co_await c.out(sp, t2);
+    co_await c.out(sp, t3);
+  });
+  sys.node(2).spawn_process("consumer", [&](vorx::Subprocess& sp)
+                                            -> sim::Task<void> {
+    linda::Client c = co_await linda::Client::connect(sp, "space");
+    co_await sp.sleep(sim::msec(5));  // let the producer fill the space
+    linda::Pattern key1{{linda::eq(1), linda::any()}};
+    linda::Pattern key2{{linda::eq(2), linda::any()}};
+    // rd copies without removing.
+    got.push_back(co_await c.rd(sp, key1));
+    // in removes: two matching tuples for key 1.
+    got.push_back(co_await c.in(sp, key1));
+    got.push_back(co_await c.in(sp, key1));
+    got.push_back(co_await c.in(sp, key2));
+  });
+  sim.run();
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], (linda::Tuple{1, 10}));  // rd saw the first
+  EXPECT_EQ(got[1], (linda::Tuple{1, 10}));  // in removed it
+  EXPECT_EQ(got[2], (linda::Tuple{1, 30}));  // then the second key-1 tuple
+  EXPECT_EQ(got[3], (linda::Tuple{2, 20}));
+}
+
+TEST(Linda, BlockedInWakesWhenTupleArrives) {
+  sim::Simulator sim;
+  vorx::SystemConfig scfg;
+  scfg.nodes = 3;
+  vorx::System sys(sim, scfg);
+  sys.node(0).spawn_process("linda-server", linda::make_server("space2"));
+  sim::SimTime got_at = -1;
+  sys.node(1).spawn_process("waiter", [&](vorx::Subprocess& sp)
+                                          -> sim::Task<void> {
+    linda::Client c = co_await linda::Client::connect(sp, "space2");
+    linda::Pattern key42{{linda::eq(42), linda::any()}};
+    linda::Tuple t = co_await c.in(sp, key42);
+    got_at = sim.now();
+    EXPECT_EQ(t[1], 777);
+  });
+  sys.node(2).spawn_process("late-producer", [&](vorx::Subprocess& sp)
+                                                 -> sim::Task<void> {
+    linda::Client c = co_await linda::Client::connect(sp, "space2");
+    co_await sp.sleep(sim::msec(20));
+    linda::Tuple t{42, 777};
+    co_await c.out(sp, t);
+  });
+  sim.run();
+  EXPECT_GT(got_at, sim::msec(20));
+}
+
+TEST(Linda, WorkerPoolDividesTasks) {
+  // The classic Linda master/worker: tasks as tuples, results as tuples.
+  sim::Simulator sim;
+  vorx::SystemConfig scfg;
+  scfg.nodes = 6;
+  vorx::System sys(sim, scfg);
+  sys.node(0).spawn_process("linda-server", linda::make_server("pool"));
+  std::int64_t sum = 0;
+  sys.node(1).spawn_process("master", [&](vorx::Subprocess& sp)
+                                          -> sim::Task<void> {
+    linda::Client c = co_await linda::Client::connect(sp, "pool");
+    for (std::int64_t i = 1; i <= 12; ++i) {
+      linda::Tuple task{1, i};
+      co_await c.out(sp, task);
+    }
+    linda::Pattern result_pat{{linda::eq(2), linda::any()}};
+    for (int i = 0; i < 12; ++i) {
+      linda::Tuple r = co_await c.in(sp, result_pat);
+      sum += r[1];
+    }
+  });
+  for (int w = 0; w < 3; ++w) {
+    sys.node(2 + w).spawn_process(
+        "worker" + std::to_string(w),
+        [&](vorx::Subprocess& sp) -> sim::Task<void> {
+          linda::Client c = co_await linda::Client::connect(sp, "pool");
+          linda::Pattern task_pat{{linda::eq(1), linda::any()}};
+          for (int i = 0; i < 4; ++i) {
+            linda::Tuple t = co_await c.in(sp, task_pat);
+            co_await sp.compute(sim::msec(1));
+            linda::Tuple result{2, t[1] * t[1]};
+            co_await c.out(sp, result);
+          }
+        });
+  }
+  sim.run();
+  std::int64_t want = 0;
+  for (std::int64_t i = 1; i <= 12; ++i) want += i * i;
+  EXPECT_EQ(sum, want);
+}
+
+}  // namespace
+}  // namespace hpcvorx::apps

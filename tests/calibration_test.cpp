@@ -1,0 +1,169 @@
+// Calibration pins: every headline number from the paper, asserted within
+// tolerance so cost-model regressions are caught immediately.  See
+// EXPERIMENTS.md for the full paper-vs-measured discussion.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/bitmap_app.hpp"
+#include "vorx/loader.hpp"
+#include "vorx/node.hpp"
+#include "vorx/protocols/sliding_window.hpp"
+#include "vorx/system.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+double channel_stream_us(std::uint32_t bytes, int msgs) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sim::SimTime started = 0, ended = 0;
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("cal");
+    started = sim.now();
+    for (int i = 0; i < msgs; ++i) co_await sp.write(*ch, bytes);
+    ended = sim.now();
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("cal");
+    for (int i = 0; i < msgs; ++i) (void)co_await sp.read(*ch);
+  });
+  sim.run();
+  return sim::to_usec(ended - started) / msgs;
+}
+
+// Table 2, all four cells, within 2%.
+TEST(Calibration, Table2ChannelLatency) {
+  EXPECT_NEAR(channel_stream_us(4, 1000), 303.0, 303 * 0.02);
+  EXPECT_NEAR(channel_stream_us(64, 1000), 341.0, 341 * 0.02);
+  EXPECT_NEAR(channel_stream_us(256, 1000), 474.0, 474 * 0.02);
+  EXPECT_NEAR(channel_stream_us(1024, 1000), 997.0, 997 * 0.02);
+}
+
+// §4: "1024 byte messages can be sent at the rate of 1027 kbyte/sec".
+TEST(Calibration, ChannelBandwidth1027KBs) {
+  const double us = channel_stream_us(1024, 1000);
+  const double kbs = 1024.0 / us * 1000.0;
+  EXPECT_NEAR(kbs, 1027.0, 1027 * 0.02);
+}
+
+// Table 1 corners (k=1 and k=64 at both extreme sizes), within 10%.
+TEST(Calibration, Table1SlidingWindowCorners) {
+  auto swp = [](int buffers, std::uint32_t bytes) {
+    sim::Simulator sim;
+    System sys(sim, SystemConfig{});
+    constexpr int kMsgs = 1000;
+    sim::SimTime started = 0, ended = 0;
+    sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+      Udco* u = co_await sp.open_udco("cal");
+      SlidingWindowSender tx(*u);
+      started = sim.now();
+      for (int i = 0; i < kMsgs; ++i) co_await tx.send(sp, bytes);
+      ended = sim.now();
+    });
+    sys.node(1).spawn_process("rx", [&, buffers](Subprocess& sp)
+                                        -> sim::Task<void> {
+      Udco* u = co_await sp.open_udco("cal");
+      SlidingWindowReceiver rx(*u, buffers);
+      co_await rx.start(sp);
+      for (int i = 0; i < kMsgs; ++i) (void)co_await rx.recv(sp);
+    });
+    sim.run();
+    return sim::to_usec(ended - started) / kMsgs;
+  };
+  EXPECT_NEAR(swp(1, 4), 414.0, 414 * 0.10);
+  EXPECT_NEAR(swp(64, 4), 164.0, 164 * 0.10);
+  EXPECT_NEAR(swp(1, 1024), 1071.0, 1071 * 0.13);
+  EXPECT_NEAR(swp(64, 1024), 504.0, 504 * 0.10);
+}
+
+// §4.1: "60 usec software latencies for 64 byte messages".
+TEST(Calibration, SpiceRawLatency60us) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sim::Duration total = 0;
+  int count = 0;
+  constexpr int kMsgs = 200;
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Udco* u = co_await sp.open_udco("cal");
+    for (int i = 0; i < kMsgs; ++i) {
+      co_await u->send(sp, 64, nullptr, static_cast<std::uint64_t>(sim.now()));
+      (void)co_await u->recv(sp);
+    }
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Udco* u = co_await sp.open_udco("cal");
+    for (int i = 0; i < kMsgs; ++i) {
+      hw::Frame f = co_await u->recv(sp);
+      total += sim.now() - static_cast<sim::SimTime>(f.seq);
+      ++count;
+      co_await u->send(sp, 64);
+    }
+  });
+  sim.run();
+  EXPECT_NEAR(sim::to_usec(total) / count, 60.0, 60 * 0.15);
+}
+
+// §4.1: 3.2 MB/s and 30 refreshes/s of a 900x900 bi-level display.
+TEST(Calibration, BitmapStreaming) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  apps::BitmapConfig cfg;
+  cfg.frames = 4;
+  cfg.carry_pixels = false;
+  const apps::BitmapResult res = apps::run_bitmap(sim, sys, cfg);
+  EXPECT_NEAR(res.mbytes_per_sec, 3.2, 3.2 * 0.08);
+  EXPECT_NEAR(res.frames_per_sec, 30.0, 30 * 0.08);
+}
+
+// §3.3: 12 s vs 2 s for 70 processes.
+TEST(Calibration, DownloadTimes70Processes) {
+  auto run = [](DownloadScheme scheme) {
+    sim::Simulator sim;
+    SystemConfig cfg;
+    cfg.nodes = 70;
+    System sys(sim, cfg);
+    std::vector<int> idx(70);
+    for (int i = 0; i < 70; ++i) idx[static_cast<std::size_t>(i)] = i;
+    auto stats = std::make_shared<LaunchStats>();
+    sys.host(0).spawn_process(
+        "run", [&sys, idx, scheme, stats](Subprocess& sp) -> sim::Task<void> {
+          *stats = co_await launch_application(
+              sp, sys, idx, 256 * 1024,
+              [](Subprocess& app) -> sim::Task<void> {
+                co_await app.compute(sim::usec(10));
+              },
+              scheme);
+        });
+    sim.run();
+    return sim::to_sec(stats->elapsed());
+  };
+  EXPECT_NEAR(run(DownloadScheme::kPerProcessStubs), 12.0, 12 * 0.08);
+  EXPECT_NEAR(run(DownloadScheme::kSharedStubTree), 2.0, 2 * 0.08);
+}
+
+// §5: the 80 us context switch is visible in the CPU ledger.
+TEST(Calibration, ContextSwitch80us) {
+  EXPECT_EQ(default_cost_model().subprocess_switch, sim::usec(80));
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sys.node(0).spawn_process("a", [](Subprocess& sp) -> sim::Task<void> {
+    co_await sp.compute(sim::usec(1));
+  });
+  sim.run();
+  sys.finalize_accounting();
+  EXPECT_EQ(sys.node(0).cpu().ledger().total(sim::Category::kContextSwitch),
+            sim::usec(80));
+}
+
+// §2: hardware flow control means a full-rate many-to-one burst loses
+// nothing, while the S/NET fifo arithmetic matches the paper's example.
+TEST(Calibration, FifoArithmetic12x150Bytes) {
+  // 12 messages of 150 B + the 16-B modelled header = 1992 <= 2048.
+  EXPECT_LE(12 * (150 + hw::kHeaderBytes), 2048);
+  // A 13th would not fit.
+  EXPECT_GT(13 * (150 + hw::kHeaderBytes), 2048);
+}
+
+}  // namespace
+}  // namespace hpcvorx::vorx

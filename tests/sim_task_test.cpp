@@ -1,0 +1,132 @@
+// Tests for the lazy Task<T> coroutine type: value handoff, laziness,
+// chaining, and interaction with the simulator primitives.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/awaitables.hpp"
+#include "sim/task.hpp"
+
+namespace hpcvorx::sim {
+namespace {
+
+Task<int> make_value(Simulator& sim, int v, Duration d) {
+  co_await delay(sim, d);
+  co_return v;
+}
+
+Task<int> add_tasks(Simulator& sim) {
+  const int a = co_await make_value(sim, 3, usec(5));
+  const int b = co_await make_value(sim, 4, usec(7));
+  co_return a + b;
+}
+
+Proc driver(Simulator& sim, int* out, SimTime* at) {
+  *out = co_await add_tasks(sim);
+  *at = sim.now();
+}
+
+TEST(Task, ChainsAndReturnsValues) {
+  Simulator sim;
+  int out = 0;
+  SimTime at = -1;
+  driver(sim, &out, &at);
+  sim.run();
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(at, usec(12));  // the two delays ran sequentially
+}
+
+Task<int> counting_task(int* started) {
+  ++*started;
+  co_return 1;
+}
+
+TEST(Task, IsLazyUntilAwaited) {
+  int started = 0;
+  {
+    Task<int> t = counting_task(&started);
+    EXPECT_EQ(started, 0);  // frame created, body not entered
+  }
+  EXPECT_EQ(started, 0);  // destroyed without ever running
+}
+
+Task<std::string> string_task() { co_return std::string(1000, 'x'); }
+
+Proc string_driver(std::string* out) { *out = co_await string_task(); }
+
+TEST(Task, MovesLargeValuesOut) {
+  Simulator sim;
+  std::string out;
+  string_driver(&out);
+  sim.run();
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+Task<void> void_task(Simulator& sim, int* side) {
+  co_await delay(sim, usec(1));
+  ++*side;
+}
+
+Proc void_driver(Simulator& sim, int* side) {
+  co_await void_task(sim, side);
+  co_await void_task(sim, side);
+}
+
+TEST(Task, VoidSpecializationSequences) {
+  Simulator sim;
+  int side = 0;
+  void_driver(sim, &side);
+  sim.run();
+  EXPECT_EQ(side, 2);
+  EXPECT_EQ(sim.now(), usec(2));
+}
+
+// A Task returning immediately (no suspension) hands control straight
+// back by symmetric transfer — no extra simulator events, no time passes.
+Task<int> immediate() { co_return 42; }
+
+Proc immediate_driver(Simulator& sim, int* out, std::size_t* events) {
+  *out = co_await immediate();
+  *events = sim.pending_events();
+}
+
+TEST(Task, ImmediateCompletionIsSynchronous) {
+  Simulator sim;
+  int out = 0;
+  std::size_t events = 99;
+  immediate_driver(sim, &out, &events);
+  EXPECT_EQ(out, 42);       // completed before run() — fully synchronous
+  EXPECT_EQ(events, 0u);    // and queued nothing
+  sim.run();
+  EXPECT_EQ(sim.now(), 0);
+}
+
+// Tasks awaiting shared primitives: two drivers racing on one semaphore.
+Task<int> guarded(Simulator& sim, Semaphore& s, int id, Duration hold) {
+  co_await s.acquire();
+  co_await delay(sim, hold);
+  s.release();
+  co_return id;
+}
+
+Proc race_driver(Simulator& sim, Semaphore& s, int id, Duration hold,
+                 std::vector<std::pair<int, SimTime>>* log) {
+  const int got = co_await guarded(sim, s, id, hold);
+  log->emplace_back(got, sim.now());
+}
+
+TEST(Task, ComposesWithSemaphores) {
+  Simulator sim;
+  Semaphore s(sim, 1);
+  std::vector<std::pair<int, SimTime>> log;
+  race_driver(sim, s, 1, usec(10), &log);
+  race_driver(sim, s, 2, usec(10), &log);
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (std::pair<int, SimTime>{1, usec(10)}));
+  EXPECT_EQ(log[1], (std::pair<int, SimTime>{2, usec(20)}));
+}
+
+}  // namespace
+}  // namespace hpcvorx::sim

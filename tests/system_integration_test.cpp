@@ -1,0 +1,168 @@
+// Whole-system integration: a "day in the life" of the local-area
+// multicomputer, exercising processor allocation, tree download, a real
+// distributed computation with forwarded system calls, and the monitoring
+// tools — all in a single run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tools/cdb.hpp"
+#include "tools/oscilloscope.hpp"
+#include "tools/vdb.hpp"
+#include "vorx/allocation.hpp"
+#include "vorx/loader.hpp"
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+TEST(SystemIntegration, AllocateDownloadComputeLogAndInspect) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 8;
+  cfg.stations_per_cluster = 4;
+  cfg.record_intervals = true;
+  System sys(sim, cfg);
+
+  // A user reserves the whole pool the VORX way (§3.1).
+  VorxAllocator alloc(cfg.nodes);
+  auto mine = alloc.allocate(/*user=*/7, cfg.nodes, sim.now());
+  ASSERT_TRUE(mine.has_value());
+  ASSERT_TRUE(alloc.can_run(7, cfg.nodes));
+
+  // The application: a ring token-passing compute job that also appends a
+  // record to a shared log file through its (shared) stub.
+  constexpr int kRounds = 5;
+  auto finished = std::make_shared<int>(0);
+  AppFn app = [finished](Subprocess& sp) -> sim::Task<void> {
+    const int me = sp.node().station();
+    const int n = 8;
+    // Channel "ring k" joins node k-1 (writer) and node k (reader).  Open
+    // both of mine in ascending ring order so the blocking rendezvous
+    // cannot deadlock across the ring.
+    const int lo = std::min(me, (me + 1) % n);
+    const int hi = std::max(me, (me + 1) % n);
+    Channel* first = co_await sp.open("ring" + std::to_string(lo));
+    Channel* second = co_await sp.open("ring" + std::to_string(hi));
+    Channel* from_prev = lo == me ? first : second;  // ring(me)
+    Channel* to_next = lo == me ? second : first;    // ring(me+1 mod n)
+    for (int r = 0; r < kRounds; ++r) {
+      if (me == 0) {
+        co_await sp.write(*to_next, 64);   // launch the token...
+        (void)co_await sp.read(*from_prev);  // ...and wait for its return
+      } else {
+        (void)co_await sp.read(*from_prev);
+        co_await sp.compute(sim::usec(400));
+        co_await sp.write(*to_next, 64);
+      }
+    }
+    // Log a completion record through the UNIX environment (§3.3).
+    SyscallResult fd = co_await sp.sys_open("/var/log/run");
+    EXPECT_GE(fd.value, 0);
+    (void)co_await sp.sys_write(
+        static_cast<int>(fd.value),
+        hw::make_payload(testutil::pattern_bytes(16, static_cast<std::uint64_t>(me))));
+    (void)co_await sp.sys_close(static_cast<int>(fd.value));
+    ++*finished;
+  };
+
+  // Launch with the fast scheme: one stub + tree download (§3.3).
+  auto stats = std::make_shared<LaunchStats>();
+  sys.host(0).spawn_process(
+      "run-cmd", [&sys, app, stats, mine](Subprocess& sp) -> sim::Task<void> {
+        *stats = co_await launch_application(sp, sys, *mine, 128 * 1024, app,
+                                             DownloadScheme::kSharedStubTree,
+                                             "ring");
+      });
+  sim.run();
+  sys.finalize_accounting();
+
+  // Everything ran and finished.
+  EXPECT_EQ(stats->processes, 8);
+  EXPECT_EQ(stats->stubs_created, 1);
+  EXPECT_EQ(*finished, 8);
+
+  // The shared log holds all eight 16-byte records (order arbitrary).
+  const auto* log = sys.host(0).host_env().file("/var/log/run");
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->size(), 8u * 16u);
+
+  // The token visited every node: each ring channel carried traffic.
+  tools::Cdb cdb(sys);
+  const auto channels = cdb.snapshot();
+  EXPECT_EQ(channels.size(), 16u);  // 8 rings x 2 ends
+  for (const auto& r : tools::Cdb::by_name(channels, "ring")) {
+    EXPECT_GE(r.sent + r.received, 4u) << r.name;
+  }
+  EXPECT_FALSE(cdb.find_deadlock().found);
+
+  // The oscilloscope sees real utilization on the nodes and the host.
+  tools::Oscilloscope osc(sys);
+  double total_user = 0;
+  for (int n = 0; n < 8; ++n) {
+    const auto u = osc.utilization(n, 0, sim.now());
+    total_user += u.user;
+  }
+  EXPECT_GT(total_user, 0.0);
+  const auto host_u = osc.utilization(sys.host_station(0), 0, sim.now());
+  EXPECT_GT(host_u.user + host_u.system, 0.01);  // stub + download work
+
+  // vdb agrees everything exited.
+  for (const auto& t : tools::Vdb(sys).all()) {
+    if (t.process.rfind("ring", 0) == 0) {
+      EXPECT_EQ(t.state, SpState::kDone) << t.process;
+    }
+  }
+
+  // And the user gives the machine back.
+  alloc.free_user(7);
+  EXPECT_EQ(alloc.free_count(), 8);
+}
+
+TEST(SystemIntegration, TwoApplicationsShareTheMachineWithoutInterference) {
+  // Two independent applications (different users' node subsets) run
+  // concurrently: a channel ping-pong pair and a udco streaming pair.
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 8;
+  System sys(sim, cfg);
+  VorxAllocator alloc(cfg.nodes);
+  auto a = alloc.allocate(1, 4, 0);
+  auto b = alloc.allocate(2, 4, 0);
+  ASSERT_TRUE(a && b);
+
+  int pingpongs = 0;
+  std::uint64_t streamed = 0;
+  sys.node((*a)[0]).spawn_process("pp-a", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("appA");
+    for (int i = 0; i < 20; ++i) {
+      co_await sp.write(*ch, 64);
+      (void)co_await sp.read(*ch);
+      ++pingpongs;
+    }
+  });
+  sys.node((*a)[1]).spawn_process("pp-b", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("appA");
+    for (int i = 0; i < 20; ++i) {
+      (void)co_await sp.read(*ch);
+      co_await sp.write(*ch, 64);
+    }
+  });
+  sys.node((*b)[0]).spawn_process("st-a", [&](Subprocess& sp) -> sim::Task<void> {
+    Udco* u = co_await sp.open_udco("appB");
+    for (int i = 0; i < 100; ++i) co_await u->send(sp, 1024);
+  });
+  sys.node((*b)[1]).spawn_process("st-b", [&](Subprocess& sp) -> sim::Task<void> {
+    Udco* u = co_await sp.open_udco("appB");
+    for (int i = 0; i < 100; ++i) {
+      hw::Frame f = co_await u->recv(sp);
+      streamed += f.payload_bytes;
+    }
+  });
+  sim.run();
+  EXPECT_EQ(pingpongs, 20);
+  EXPECT_EQ(streamed, 100u * 1024u);
+}
+
+}  // namespace
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,264 @@
+// Tests for the monitoring/debugging tools: cdb, software oscilloscope,
+// prof, vdb (§6).
+#include <gtest/gtest.h>
+
+#include "tools/cdb.hpp"
+#include "tools/oscilloscope.hpp"
+#include "tools/prof.hpp"
+#include "tools/vdb.hpp"
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::tools {
+namespace {
+
+using vorx::Channel;
+using vorx::ChannelMsg;
+using vorx::Subprocess;
+using vorx::System;
+using vorx::SystemConfig;
+
+TEST(Cdb, ReportsChannelStateAndCounts) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sys.node(0).spawn_process("a", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("pipe");
+    for (int i = 0; i < 3; ++i) co_await sp.write(*ch, 64);
+    (void)co_await sp.read(*ch);  // blocks: peer never writes back
+  });
+  sys.node(1).spawn_process("b", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("pipe");
+    for (int i = 0; i < 3; ++i) (void)co_await sp.read(*ch);
+  });
+  sim.run();
+
+  Cdb cdb(sys);
+  auto all = cdb.snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  auto a_end = Cdb::by_station(all, 0);
+  ASSERT_EQ(a_end.size(), 1u);
+  EXPECT_EQ(a_end[0].name, "pipe");
+  EXPECT_EQ(a_end[0].sent, 3u);
+  EXPECT_EQ(a_end[0].received, 0u);
+  EXPECT_TRUE(a_end[0].reader_blocked);
+  EXPECT_FALSE(a_end[0].writer_blocked);
+  EXPECT_EQ(a_end[0].blocked_thread, "a.main");
+  // The render contains the channel name and the blocked marker.
+  const std::string text = Cdb::render(all);
+  EXPECT_NE(text.find("pipe"), std::string::npos);
+  EXPECT_NE(text.find("blocked-read(a.main)"), std::string::npos);
+}
+
+TEST(Cdb, FiltersIsolateChannelsOfInterest) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 6;
+  System sys(sim, cfg);
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = (i == 0 ? "video" : "data") + std::to_string(i);
+    sys.node(i).spawn_process("w" + std::to_string(i),
+                              [name](Subprocess& sp) -> sim::Task<void> {
+                                Channel* ch = co_await sp.open(name);
+                                co_await sp.write(*ch, 8);
+                              });
+    sys.node(3 + i).spawn_process("r" + std::to_string(i),
+                                  [name](Subprocess& sp) -> sim::Task<void> {
+                                    Channel* ch = co_await sp.open(name);
+                                    (void)co_await sp.read(*ch);
+                                    (void)co_await sp.read(*ch);  // block
+                                  });
+  }
+  sim.run();
+  Cdb cdb(sys);
+  const auto all = cdb.snapshot();
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(Cdb::by_name(all, "video").size(), 2u);
+  EXPECT_EQ(Cdb::by_name(all, "data").size(), 4u);
+  EXPECT_EQ(Cdb::blocked_only(all).size(), 3u);  // the three readers
+  EXPECT_EQ(Cdb::where(all, [](const ChannelReport& r) {
+              return r.sent > 0;
+            }).size(),
+            3u);
+}
+
+TEST(Cdb, DetectsDeadlockCycle) {
+  // The §6.1 symptom: "the application stops running with each process
+  // waiting for input from another process."  Three-node read cycle.
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 3;
+  System sys(sim, cfg);
+  for (int i = 0; i < 3; ++i) {
+    const std::string my_in = "ring" + std::to_string(i);
+    const std::string my_out = "ring" + std::to_string((i + 1) % 3);
+    sys.node(i).spawn_process(
+        "p" + std::to_string(i),
+        [i, my_in, my_out](Subprocess& sp) -> sim::Task<void> {
+          // Open order alternates so the rendezvous itself completes; the
+          // deadlock comes from everybody reading before writing.
+          Channel* in = nullptr;
+          Channel* out = nullptr;
+          if (i == 0) {
+            out = co_await sp.open(my_out);
+            in = co_await sp.open(my_in);
+          } else {
+            in = co_await sp.open(my_in);
+            out = co_await sp.open(my_out);
+          }
+          (void)co_await sp.read(*in);
+          co_await sp.write(*out, 8);
+        });
+  }
+  sim.run();
+  Cdb cdb(sys);
+  const auto dl = cdb.find_deadlock();
+  ASSERT_TRUE(dl.found);
+  EXPECT_EQ(dl.cycle.size(), 3u);
+}
+
+TEST(Cdb, NoDeadlockReportedForHealthyApplication) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sys.node(0).spawn_process("a", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("ok");
+    co_await sp.write(*ch, 8);
+  });
+  sys.node(1).spawn_process("b", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("ok");
+    (void)co_await sp.read(*ch);
+  });
+  sim.run();
+  EXPECT_FALSE(Cdb(sys).find_deadlock().found);
+}
+
+TEST(Oscilloscope, UtilizationSharesSumToOne) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.record_intervals = true;
+  System sys(sim, cfg);
+  sys.node(0).spawn_process("worker", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("osc");
+    for (int i = 0; i < 5; ++i) {
+      co_await sp.compute(sim::msec(1));
+      co_await sp.write(*ch, 256);
+    }
+  });
+  sys.node(1).spawn_process("reader", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("osc");
+    for (int i = 0; i < 5; ++i) {
+      (void)co_await sp.read(*ch);
+      co_await sp.compute(sim::msec(2));
+    }
+  });
+  sim.run();
+  sys.finalize_accounting();
+  Oscilloscope osc(sys);
+  for (int s = 0; s < 2; ++s) {
+    const auto u = osc.utilization(s, 0, sim.now());
+    const double sum = u.user + u.system + u.idle_input + u.idle_output +
+                       u.idle_mixed + u.idle_other;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "station " << s;
+    EXPECT_GT(u.user, 0.0);
+  }
+}
+
+TEST(Oscilloscope, IdleBreakdownSeparatesInputFromOutputWaits) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.record_intervals = true;
+  System sys(sim, cfg);
+  // Reader on node 0 waits for input most of the time.
+  sys.node(0).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("slowly");
+    for (int i = 0; i < 3; ++i) (void)co_await sp.read(*ch);
+  });
+  sys.node(1).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("slowly");
+    for (int i = 0; i < 3; ++i) {
+      co_await sp.sleep(sim::msec(5));
+      co_await sp.write(*ch, 64);
+    }
+  });
+  sim.run();
+  sys.finalize_accounting();
+  Oscilloscope osc(sys);
+  const auto u0 = osc.utilization(0, 0, sim.now());
+  EXPECT_GT(u0.idle_input, 0.5);  // the reader mostly waits for input
+  EXPECT_LT(u0.idle_output, 0.1);
+}
+
+TEST(Oscilloscope, RenderShowsSynchronizedRowsAndWindows) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.record_intervals = true;
+  System sys(sim, cfg);
+  sys.node(0).spawn_process("busy", [&](Subprocess& sp) -> sim::Task<void> {
+    co_await sp.compute(sim::msec(4));
+  });
+  sim.run();
+  sys.finalize_accounting();
+  Oscilloscope osc(sys);
+  const std::string full = osc.render(0, sim.now(), 40);
+  // One row per station (4 nodes + 1 host by default) plus header/legend.
+  EXPECT_NE(full.find("n0"), std::string::npos);
+  EXPECT_NE(full.find("ws0"), std::string::npos);
+  EXPECT_NE(full.find('U'), std::string::npos);
+  // Zoom: a window fully inside the busy region is all user time.
+  const std::string zoom = osc.render(sim::usec(100), sim::msec(4), 10);
+  const auto row_start = zoom.find("n0");
+  const std::string row = zoom.substr(row_start, zoom.find('\n', row_start) - row_start);
+  EXPECT_NE(row.find("UUUUUUUUUU"), std::string::npos);
+  // CSV export parses row-per-bucket.
+  const std::string csv = osc.render_csv(0, sim.now(), 4);
+  EXPECT_NE(csv.find("station,bucket"), std::string::npos);
+  EXPECT_GE(std::count(csv.begin(), csv.end(), '\n'), 20);
+}
+
+TEST(Prof, FlatProfileRanksRegions) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  Profiler prof;
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await prof.run(sp, "inner_loop", sim::msec(2));
+      co_await prof.run(sp, "setup", sim::usec(100));
+    }
+    co_await prof.run(sp, "teardown", sim::usec(500));
+  });
+  sim.run();
+  const auto lines = prof.report();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].region, "inner_loop");
+  EXPECT_EQ(lines[0].calls, 10u);
+  EXPECT_GT(lines[0].percent, 85.0);  // "a large portion ... in a small section"
+  EXPECT_EQ(lines[1].region, "setup");
+  const std::string text = prof.render();
+  EXPECT_NE(text.find("inner_loop"), std::string::npos);
+}
+
+TEST(Vdb, AttachListsSubprocessStates) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    sp.process().spawn(
+        [](Subprocess& t) -> sim::Task<void> {
+          Channel* ch = co_await t.open("never");
+          (void)co_await t.read(*ch);
+        },
+        sim::prio::kUserDefault, "stuck-reader");
+    co_await sp.compute(sim::usec(100));
+  });
+  sim.run();
+  Vdb vdb(sys);
+  const auto threads = vdb.attach(0, 1);
+  ASSERT_EQ(threads.size(), 2u);
+  EXPECT_EQ(threads[0].state, vorx::SpState::kDone);
+  EXPECT_EQ(threads[1].subprocess, "stuck-reader");
+  EXPECT_EQ(threads[1].state, vorx::SpState::kBlockedOpen);
+  const auto blocked = vdb.blocked();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0].subprocess, "stuck-reader");
+  EXPECT_NE(Vdb::render(threads).find("blocked-open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcvorx::tools

@@ -1,0 +1,137 @@
+// Tests for vdb breakpoint debugging and variable inspection (§6).
+#include <gtest/gtest.h>
+
+#include "tools/vdb.hpp"
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::tools {
+namespace {
+
+using vorx::Subprocess;
+using vorx::System;
+using vorx::SystemConfig;
+
+TEST(VdbBreakpoints, UnarmedBreakpointsCostNothing) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  bool finished = false;
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await sp.breakpoint("loop-top");
+      co_await sp.compute(sim::usec(100));
+    }
+    finished = true;
+  });
+  sim.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(sim.now(), sim::usec(500) + sim::usec(80));  // work + one switch
+}
+
+TEST(VdbBreakpoints, ArmedBreakpointParksAndContinues) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 3;
+  System sys(sim, cfg);
+  Vdb vdb(sys);
+  vdb.set_breakpoint("phase2");
+
+  std::vector<int> reached;
+  for (int n = 0; n < 3; ++n) {
+    sys.node(n).spawn_process(
+        "w" + std::to_string(n), [&, n](Subprocess& sp) -> sim::Task<void> {
+          co_await sp.compute(sim::usec(100) * (n + 1));
+          sp.publish_local("iteration", 40 + n);
+          co_await sp.breakpoint("phase2");
+          reached.push_back(n);
+        });
+  }
+  sim.run();  // everyone parks at the breakpoint
+  EXPECT_TRUE(reached.empty());
+  const auto stopped = vdb.stopped();
+  ASSERT_EQ(stopped.size(), 3u);
+  EXPECT_EQ(stopped[0].state, vorx::SpState::kStopped);
+
+  // "Switch between the processes" and inspect each one's locals.
+  for (int n = 0; n < 3; ++n) {
+    const auto locals = vdb.locals(n, 1, "w" + std::to_string(n) + ".main");
+    ASSERT_EQ(locals.count("iteration"), 1u) << "node " << n;
+    EXPECT_EQ(locals.at("iteration"), 40 + n);
+  }
+
+  EXPECT_EQ(vdb.continue_stopped("phase2"), 3);
+  sim.run();
+  EXPECT_EQ(reached.size(), 3u);
+  EXPECT_TRUE(vdb.stopped().empty());
+}
+
+TEST(VdbBreakpoints, PerStationArmingIsSelective) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 2;
+  System sys(sim, cfg);
+  Vdb vdb(sys);
+  vdb.set_breakpoint("bp", /*station=*/0);  // only node 0
+
+  std::vector<int> done;
+  for (int n = 0; n < 2; ++n) {
+    sys.node(n).spawn_process(
+        "w" + std::to_string(n), [&, n](Subprocess& sp) -> sim::Task<void> {
+          co_await sp.breakpoint("bp");
+          done.push_back(n);
+        });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 1u);  // node 1 sailed through
+  EXPECT_EQ(done[0], 1);
+  EXPECT_EQ(vdb.continue_stopped(), 1);
+  sim.run();
+  EXPECT_EQ(done.size(), 2u);
+}
+
+TEST(VdbBreakpoints, ClearDisarmsFutureHits) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  Vdb vdb(sys);
+  vdb.set_breakpoint("once");
+  int hits = 0;
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await sp.breakpoint("once");
+      ++hits;
+    }
+  });
+  sim.run();
+  EXPECT_EQ(hits, 0);
+  vdb.clear_breakpoint("once");   // disarm before continuing
+  vdb.continue_stopped();
+  sim.run();
+  EXPECT_EQ(hits, 3);  // the remaining iterations run straight through
+}
+
+TEST(VdbBreakpoints, StoppedThreadsShowLabelAndOthersKeepRunning) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  Vdb vdb(sys);
+  vdb.set_breakpoint("dbg");
+  sim::SimTime other_done = 0;
+  sys.node(0).spawn_process("multi", [&](Subprocess& sp) -> sim::Task<void> {
+    sp.process().spawn(
+        [&](Subprocess& t) -> sim::Task<void> {
+          co_await t.compute(sim::msec(2));
+          other_done = sim.now();
+        },
+        sim::prio::kUserDefault, "worker");
+    co_await sp.breakpoint("dbg");
+  });
+  sim.run();
+  // The parked thread does not stop its sibling (§5 asynchrony).
+  EXPECT_GT(other_done, 0);
+  const auto stopped = vdb.stopped();
+  ASSERT_EQ(stopped.size(), 1u);
+  EXPECT_EQ(sys.node(0).processes()[0]->subprocesses()[0]->stopped_at(), "dbg");
+  vdb.continue_stopped();
+  sim.run();
+}
+
+}  // namespace
+}  // namespace hpcvorx::tools

@@ -1,0 +1,119 @@
+// Tests for the §3.1 processor-allocation policies.
+#include <gtest/gtest.h>
+
+#include "vorx/allocation.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+TEST(MeglosAllocator, ExclusiveRunsGetWholeProcessors) {
+  MeglosAllocator a(8);
+  auto procs = a.exec(4, /*exclusive=*/true);
+  ASSERT_TRUE(procs.has_value());
+  EXPECT_EQ(procs->size(), 4u);
+  EXPECT_EQ(a.free_processors(), 4);
+  a.exit(*procs, true);
+  EXPECT_EQ(a.free_processors(), 8);
+}
+
+TEST(MeglosAllocator, SharingPacksUpTo15Processes) {
+  MeglosAllocator a(2);
+  std::vector<std::vector<int>> runs;
+  for (int i = 0; i < 15; ++i) {
+    auto r = a.exec(2, false);
+    ASSERT_TRUE(r.has_value()) << "run " << i;
+    runs.push_back(*r);
+  }
+  EXPECT_FALSE(a.exec(1, false).has_value());  // 16th process per cpu fails
+  EXPECT_EQ(a.failures(), 1u);
+}
+
+TEST(MeglosAllocator, ExclusiveBlocksSharersAndViceVersa) {
+  MeglosAllocator a(4);
+  auto shared = a.exec(4, false);
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_FALSE(a.exec(1, true).has_value());  // nothing is empty
+  a.exit(*shared, false);
+  auto excl = a.exec(4, true);
+  ASSERT_TRUE(excl.has_value());
+  EXPECT_FALSE(a.exec(1, false).has_value());  // all exclusive now
+}
+
+TEST(MeglosAllocator, RecompileWindowLosesProcessors) {
+  // The §3.1 anecdote: while programmer A recompiles (their run exited),
+  // programmer B grabs the machine with exclusive access; A's next run
+  // fails with "processors not available".
+  MeglosAllocator a(8);
+  auto run_a = a.exec(8, true);
+  ASSERT_TRUE(run_a.has_value());
+  a.exit(*run_a, true);     // A's program exits; A starts recompiling
+  auto run_b = a.exec(8, true);  // B arrives during the window
+  ASSERT_TRUE(run_b.has_value());
+  EXPECT_FALSE(a.exec(8, true).has_value());  // A returns: locked out
+  EXPECT_EQ(a.failures(), 1u);
+}
+
+TEST(VorxAllocator, AllocationSurvivesAcrossRuns) {
+  VorxAllocator a(8);
+  auto mine = a.allocate(/*user=*/1, 8);
+  ASSERT_TRUE(mine.has_value());
+  // Another user cannot take them, no matter how many runs user 1 does.
+  EXPECT_FALSE(a.allocate(2, 1).has_value());
+  EXPECT_TRUE(a.can_run(1, 8));
+  EXPECT_TRUE(a.can_run(1, 8));  // recompile cycle: still able to run
+  a.free_user(1);
+  EXPECT_TRUE(a.allocate(2, 8).has_value());
+}
+
+TEST(VorxAllocator, PartialFreeReturnsOnlyNamedProcessors) {
+  VorxAllocator a(6);
+  auto mine = a.allocate(1, 6);
+  ASSERT_TRUE(mine.has_value());
+  a.free_processors(1, {(*mine)[0], (*mine)[1]});
+  EXPECT_EQ(a.held_by(1), 4);
+  EXPECT_EQ(a.free_count(), 2);
+}
+
+TEST(VorxAllocator, FreeIgnoresProcessorsOwnedByOthers) {
+  VorxAllocator a(4);
+  auto u1 = a.allocate(1, 2);
+  auto u2 = a.allocate(2, 2);
+  ASSERT_TRUE(u1 && u2);
+  a.free_processors(1, *u2);  // user 1 cannot free user 2's processors
+  EXPECT_EQ(a.held_by(2), 2);
+}
+
+TEST(VorxAllocator, ForceFreeReclaimsForgottenProcessors) {
+  // §3.1: "we provide a command that allows a user to free processors
+  // allocated to other users, and request that it be used carefully."
+  VorxAllocator a(8);
+  auto forgetful = a.allocate(1, 8, /*now=*/0);
+  ASSERT_TRUE(forgetful.has_value());
+  EXPECT_FALSE(a.allocate(2, 4).has_value());
+  EXPECT_EQ(a.force_free({(*forgetful)[0], (*forgetful)[1], (*forgetful)[2],
+                          (*forgetful)[3]}),
+            4);
+  EXPECT_TRUE(a.allocate(2, 4).has_value());
+}
+
+TEST(VorxAllocator, IdleReaperFreesOnlyStaleUsers) {
+  VorxAllocator a(8);
+  (void)a.allocate(1, 4, /*now=*/0);
+  (void)a.allocate(2, 4, /*now=*/0);
+  a.note_activity(2, sim::sec(100));
+  const int reclaimed = a.reap_idle(sim::sec(101), /*timeout=*/sim::sec(50));
+  EXPECT_EQ(reclaimed, 4);       // user 1 idle since t=0
+  EXPECT_EQ(a.held_by(1), 0);
+  EXPECT_EQ(a.held_by(2), 4);    // user 2 was active recently
+}
+
+TEST(VorxAllocator, FailuresCounted) {
+  VorxAllocator a(2);
+  (void)a.allocate(1, 2);
+  EXPECT_FALSE(a.allocate(2, 1).has_value());
+  EXPECT_FALSE(a.allocate(3, 2).has_value());
+  EXPECT_EQ(a.failures(), 2u);
+}
+
+}  // namespace
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,273 @@
+// End-to-end tests of channels: rendezvous, the stop-and-wait protocol,
+// multiplexed read, server ports, and side-buffer exhaustion recovery.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+using testutil::pattern_bytes;
+
+TEST(Channels, OpenRendezvousAndDataIntegrity) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  System sys(sim, cfg);
+
+  const std::vector<std::byte> payload = pattern_bytes(256, 7);
+  std::vector<std::byte> received;
+  hw::StationId peer_seen = -1;
+
+  sys.node(0).spawn_process("writer", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("pipe");
+    peer_seen = ch->peer();
+    co_await sp.write(*ch, 256, hw::make_payload(payload));
+  });
+  sys.node(2).spawn_process("reader", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("pipe");
+    ChannelMsg m = co_await sp.read(*ch);
+    received = *m.data;
+  });
+  sim.run();
+
+  EXPECT_EQ(peer_seen, 2);
+  EXPECT_EQ(received, payload);
+}
+
+TEST(Channels, StopAndWaitLatencyNearPaperTable2) {
+  // Table 2: 303 us for 4-byte messages, 997 us for 1024-byte messages.
+  for (const auto& [bytes, paper_us] :
+       std::vector<std::pair<std::uint32_t, double>>{{4, 303.0},
+                                                     {64, 341.0},
+                                                     {256, 474.0},
+                                                     {1024, 997.0}}) {
+    sim::Simulator sim;
+    System sys(sim, SystemConfig{});
+    constexpr int kMsgs = 50;
+    sim::SimTime started = 0, ended = 0;
+
+    const std::uint32_t nbytes = bytes;
+    sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+      Channel* ch = co_await sp.open("bench");
+      started = sim.now();
+      for (int i = 0; i < kMsgs; ++i) co_await sp.write(*ch, nbytes);
+      ended = sim.now();
+    });
+    sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+      Channel* ch = co_await sp.open("bench");
+      for (int i = 0; i < kMsgs; ++i) (void)co_await sp.read(*ch);
+    });
+    sim.run();
+
+    const double us_per_msg = sim::to_usec(ended - started) / kMsgs;
+    EXPECT_NEAR(us_per_msg, paper_us, paper_us * 0.15)
+        << "message size " << bytes;
+  }
+}
+
+TEST(Channels, MessagesArriveInOrderAcrossManyWrites) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  std::vector<std::uint64_t> got;
+
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("seq");
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      co_await sp.write(*ch, 32, hw::make_payload(pattern_bytes(32, i)));
+    }
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("seq");
+    for (int i = 0; i < 40; ++i) {
+      ChannelMsg m = co_await sp.read(*ch);
+      got.push_back(testutil::fnv1a(*m.data));
+    }
+  });
+  sim.run();
+
+  ASSERT_EQ(got.size(), 40u);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(got[i], testutil::fnv1a(pattern_bytes(32, i))) << "msg " << i;
+  }
+}
+
+TEST(Channels, BidirectionalTrafficIsIndependent) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  int a_got = 0, b_got = 0;
+
+  auto maker = [&](int& counter) {
+    return [&counter](Subprocess& sp) -> sim::Task<void> {
+      Channel* ch = co_await sp.open("duplex");
+      for (int i = 0; i < 10; ++i) {
+        co_await sp.write(*ch, 64);
+        (void)co_await sp.read(*ch);
+        ++counter;
+      }
+    };
+  };
+  sys.node(0).spawn_process("a", maker(a_got));
+  sys.node(1).spawn_process("b", maker(b_got));
+  sim.run();
+  EXPECT_EQ(a_got, 10);
+  EXPECT_EQ(b_got, 10);
+}
+
+TEST(Channels, MultiplexedReadDrainsSeveralSources) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 5;
+  System sys(sim, cfg);
+  std::vector<std::string> order;
+
+  for (int w = 0; w < 3; ++w) {
+    sys.node(w + 1).spawn_process(
+        "w" + std::to_string(w), [&, w](Subprocess& sp) -> sim::Task<void> {
+          Channel* ch = co_await sp.open("mux" + std::to_string(w));
+          co_await sp.sleep(sim::usec(100) * (w + 1));
+          for (int i = 0; i < 3; ++i) co_await sp.write(*ch, 16);
+        });
+  }
+  sys.node(0).spawn_process("reader", [&](Subprocess& sp) -> sim::Task<void> {
+    std::vector<Channel*> chans;
+    chans.push_back(co_await sp.open("mux0"));
+    chans.push_back(co_await sp.open("mux1"));
+    chans.push_back(co_await sp.open("mux2"));
+    for (int i = 0; i < 9; ++i) {
+      auto [ch, m] = co_await sp.read_any(chans);
+      order.push_back(ch->name());
+    }
+  });
+  sim.run();
+  ASSERT_EQ(order.size(), 9u);
+  // All three sources were drained.
+  for (int w = 0; w < 3; ++w) {
+    EXPECT_EQ(std::count(order.begin(), order.end(), "mux" + std::to_string(w)),
+              3);
+  }
+}
+
+TEST(Channels, ServerPortAcceptsManyClientsOnOneName) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 6;
+  System sys(sim, cfg);
+  std::vector<int> served;
+
+  sys.node(0).spawn_process("server", [&](Subprocess& sp) -> sim::Task<void> {
+    ServerPort* port = co_await sp.open_server("service");
+    for (int i = 0; i < 4; ++i) {
+      Channel* ch = co_await sp.accept(*port);
+      ChannelMsg m = co_await sp.read(*ch);
+      served.push_back(static_cast<int>(m.seq));
+      co_await sp.write(*ch, 8);  // reply
+    }
+  });
+  int replies = 0;
+  for (int c = 1; c <= 4; ++c) {
+    sys.node(c).spawn_process(
+        "client" + std::to_string(c), [&, c](Subprocess& sp) -> sim::Task<void> {
+          co_await sp.sleep(sim::usec(50 * c));
+          Channel* ch = co_await sp.open("service");
+          co_await sp.write(*ch, 8);
+          (void)co_await sp.read(*ch);
+          ++replies;
+        });
+  }
+  sim.run();
+  EXPECT_EQ(served.size(), 4u);
+  EXPECT_EQ(replies, 4);
+}
+
+TEST(Channels, SideBufferExhaustionRecoversViaRetransmitRequest) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.channel_side_buffers = 2;
+  System sys(sim, cfg);
+  int got = 0;
+
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("burst");
+    for (int i = 0; i < 6; ++i) co_await sp.write(*ch, 128);
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("burst");
+    co_await sp.sleep(sim::msec(10));  // let the writer exhaust side buffers
+    for (int i = 0; i < 6; ++i) {
+      (void)co_await sp.read(*ch);
+      ++got;
+      co_await sp.sleep(sim::msec(1));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(got, 6);
+  EXPECT_GE(sys.node(1).channels().retransmit_requests(), 1u);
+}
+
+TEST(Channels, CdbVisibleStateTracksBlockedEnds) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+
+  sys.node(0).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("state");
+    (void)co_await sp.read(*ch);  // blocks forever: deliberate deadlock
+  });
+  sim.run();
+  sys.finalize_accounting();
+
+  ASSERT_EQ(sys.node(0).channels().channels().size(), 0u);
+  // The open itself never completes (no partner), so the subprocess is
+  // blocked in open — visible to vdb.
+  const auto& procs = sys.node(0).processes();
+  ASSERT_EQ(procs.size(), 1u);
+  EXPECT_EQ(procs[0]->subprocesses()[0]->state(), SpState::kBlockedOpen);
+}
+
+TEST(Channels, StatsCountMessagesPerDirection) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sys.node(0).spawn_process("a", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("count");
+    for (int i = 0; i < 5; ++i) co_await sp.write(*ch, 16);
+    for (int i = 0; i < 2; ++i) (void)co_await sp.read(*ch);
+  });
+  sys.node(1).spawn_process("b", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("count");
+    for (int i = 0; i < 5; ++i) (void)co_await sp.read(*ch);
+    for (int i = 0; i < 2; ++i) co_await sp.write(*ch, 16);
+  });
+  sim.run();
+
+  Channel* a = sys.node(0).channels().channels().at(0).get();
+  Channel* b = sys.node(1).channels().channels().at(0).get();
+  EXPECT_EQ(a->messages_sent(), 5u);
+  EXPECT_EQ(a->messages_received(), 2u);
+  EXPECT_EQ(b->messages_sent(), 2u);
+  EXPECT_EQ(b->messages_received(), 5u);
+  EXPECT_FALSE(a->writer_blocked());
+  EXPECT_FALSE(b->reader_blocked());
+}
+
+TEST(Channels, LoopbackOnSameNodeWorks) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  bool done = false;
+  sys.node(0).spawn_process("self-a", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("loop");
+    co_await sp.write(*ch, 32);
+  });
+  sys.node(0).spawn_process("self-b", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("loop");
+    (void)co_await sp.read(*ch);
+    done = true;
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace hpcvorx::vorx

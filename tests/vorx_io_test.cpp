@@ -1,0 +1,94 @@
+// Tests for the I/O conveniences: scatter/gather sends and segmented
+// large-buffer channel transfers.
+#include <gtest/gtest.h>
+
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+TEST(ScatterGather, CoalescesPiecesIntoOneFrame) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  std::vector<std::byte> got;
+  std::uint64_t frames_seen = 0;
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Udco* u = co_await sp.open_udco("sg");
+    std::vector<hw::Payload> pieces;
+    pieces.push_back(hw::make_payload(testutil::pattern_bytes(100, 1)));
+    pieces.push_back(hw::make_payload(testutil::pattern_bytes(200, 2)));
+    pieces.push_back(hw::make_payload(testutil::pattern_bytes(50, 3)));
+    co_await u->send_gather(sp, pieces);
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Udco* u = co_await sp.open_udco("sg");
+    hw::Frame f = co_await u->recv(sp);
+    frames_seen = u->frames_received();
+    got = *f.data;
+  });
+  sim.run();
+  EXPECT_EQ(frames_seen, 1u);  // one frame carried all three pieces
+  std::vector<std::byte> want = testutil::pattern_bytes(100, 1);
+  auto p2 = testutil::pattern_bytes(200, 2);
+  auto p3 = testutil::pattern_bytes(50, 3);
+  want.insert(want.end(), p2.begin(), p2.end());
+  want.insert(want.end(), p3.begin(), p3.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(ScatterGather, CheaperThanSeparateSends) {
+  auto run = [](bool gather) {
+    sim::Simulator sim;
+    System sys(sim, SystemConfig{});
+    sim::SimTime done = 0;
+    sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+      Udco* u = co_await sp.open_udco("sg2");
+      std::vector<hw::Payload> pieces;
+      for (int i = 0; i < 8; ++i) {
+        pieces.push_back(hw::make_payload(testutil::pattern_bytes(64, i)));
+      }
+      if (gather) {
+        co_await u->send_gather(sp, pieces);
+      } else {
+        for (const auto& p : pieces) co_await u->send(sp, 64, p);
+      }
+      done = sim.now();
+    });
+    sys.node(1).spawn_process("rx", [&, gather](Subprocess& sp) -> sim::Task<void> {
+      Udco* u = co_await sp.open_udco("sg2");
+      for (int i = 0; i < (gather ? 1 : 8); ++i) (void)co_await u->recv(sp);
+    });
+    sim.run();
+    return done;
+  };
+  const sim::SimTime separate = run(false);
+  const sim::SimTime gathered = run(true);
+  // 8 fixed send costs collapse to one.
+  EXPECT_LT(gathered, separate - sim::usec(100));
+}
+
+class LargeTransfers : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LargeTransfers, WriteAllSegmentsAndReassembles) {
+  const std::size_t total = GetParam();
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  std::vector<std::byte> got;
+  sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("big");
+    co_await sp.write_all(*ch, hw::make_payload(testutil::pattern_bytes(
+                                   static_cast<std::uint32_t>(total), 42)));
+  });
+  sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* ch = co_await sp.open("big");
+    got = co_await sp.read_all(*ch, total);
+  });
+  sim.run();
+  EXPECT_EQ(got, testutil::pattern_bytes(static_cast<std::uint32_t>(total), 42));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LargeTransfers,
+                         ::testing::Values(1, 1059, 1060, 1061, 4096, 65536));
+
+}  // namespace
+}  // namespace hpcvorx::vorx

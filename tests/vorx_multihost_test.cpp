@@ -1,0 +1,142 @@
+// Tests for the decentralized system-call service (§3.3 future work,
+// implemented): distributing syscall load across host workstations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "vorx/multihost.hpp"
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+TEST(SyscallPool, SpreadsOpensAcrossWorkstations) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  System sys(sim, cfg);
+  auto pool = std::make_shared<SyscallPool>(sys, sys.node(0),
+                                            std::vector<int>{0, 1, 2});
+  std::vector<int> members;
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    for (int i = 0; i < 9; ++i) {
+      auto f = co_await pool->open(sp, "/f" + std::to_string(i));
+      EXPECT_GE(f.fd, 0);
+      members.push_back(f.member);
+    }
+  });
+  sim.run();
+  ASSERT_EQ(members.size(), 9u);
+  // Least-loaded placement: three opens land on each workstation.
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(std::count(members.begin(), members.end(), m), 3);
+  }
+}
+
+TEST(SyscallPool, DescriptorBudgetScalesWithHosts) {
+  // The single shared stub was capped at 32 descriptors for the whole
+  // application (§3.3); a three-workstation pool holds 96.
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.hosts = 3;
+  System sys(sim, cfg);
+  auto pool = std::make_shared<SyscallPool>(sys, sys.node(0),
+                                            std::vector<int>{0, 1, 2});
+  EXPECT_EQ(pool->descriptor_budget(), 96);
+  int ok = 0, failed = 0;
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    for (int i = 0; i < 100; ++i) {
+      auto f = co_await pool->open(sp, "/g" + std::to_string(i));
+      (f.fd >= 0 ? ok : failed) += 1;
+    }
+  });
+  sim.run();
+  EXPECT_EQ(ok, 96);
+  EXPECT_EQ(failed, 4);
+}
+
+TEST(SyscallPool, DescriptorAffinityRoutesIoToTheOwningStub) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.hosts = 2;
+  System sys(sim, cfg);
+  sys.host(0).host_env().create_file("/data", testutil::pattern_bytes(64, 4));
+  sys.host(1).host_env().create_file("/data", testutil::pattern_bytes(64, 9));
+  auto pool = std::make_shared<SyscallPool>(sys, sys.node(0),
+                                            std::vector<int>{0, 1});
+  std::vector<std::uint64_t> sums;
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    // Two opens land on the two different hosts; each read must come from
+    // the file system of the host that owns the descriptor.
+    auto f0 = co_await pool->open(sp, "/data");
+    auto f1 = co_await pool->open(sp, "/data");
+    EXPECT_NE(f0.member, f1.member);
+    for (auto f : {f0, f1}) {
+      SyscallResult r = co_await pool->read(sp, f, 64);
+      EXPECT_EQ(r.value, 64);
+      sums.push_back(testutil::fnv1a(*r.data));
+      (void)co_await pool->close(sp, f);
+    }
+  });
+  sim.run();
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_NE(sums[0], sums[1]);  // genuinely different hosts served them
+}
+
+TEST(SyscallPool, ABlockedStubNoLongerStallsTheWholeApplication) {
+  // The decentralized scheme's whole point: a keyboard read parked on one
+  // workstation's stub leaves syscalls on the others flowing.
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.hosts = 2;
+  System sys(sim, cfg);
+  sys.host(0).host_env().set_keyboard_delay(sim::msec(200));
+  sys.host(1).host_env().set_keyboard_delay(sim::msec(200));
+  auto pool = std::make_shared<SyscallPool>(sys, sys.node(0),
+                                            std::vector<int>{0, 1});
+
+  sim::SimTime io_done = -1;
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    // Park a blocking terminal read on member 0's stub...
+    sp.process().spawn(
+        [&](Subprocess& t) -> sim::Task<void> {
+          (void)co_await pool->keyboard(t, 0);
+        },
+        sim::prio::kUserDefault, "kbd-wait");
+    co_await sp.sleep(sim::msec(1));
+    // ...and meanwhile do file I/O.  Least-loaded placement puts the open
+    // on a stub that is not blocked, so it completes immediately.
+    auto f = co_await pool->open(sp, "/log");
+    (void)co_await pool->write(sp, f,
+                               hw::make_payload(testutil::pattern_bytes(32, 1)));
+    io_done = sim.now();
+  });
+  sim.run();
+  EXPECT_GE(io_done, 0);
+  EXPECT_LT(io_done, sim::msec(50));  // not serialized behind the keyboard
+}
+
+TEST(SyscallPool, SingleMemberDegeneratesToTheSharedStubBehaviour) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sys.host(0).host_env().set_keyboard_delay(sim::msec(100));
+  auto pool = std::make_shared<SyscallPool>(sys, sys.node(0),
+                                            std::vector<int>{0});
+  sim::SimTime io_done = -1;
+  sys.node(0).spawn_process("app", [&](Subprocess& sp) -> sim::Task<void> {
+    sp.process().spawn(
+        [&](Subprocess& t) -> sim::Task<void> {
+          (void)co_await pool->keyboard(t, 0);
+        },
+        sim::prio::kUserDefault, "kbd-wait");
+    co_await sp.sleep(sim::msec(1));
+    auto f = co_await pool->open(sp, "/log");
+    (void)f;
+    io_done = sim.now();
+  });
+  sim.run();
+  EXPECT_GT(io_done, sim::msec(100));  // with one stub, §3.3's stall is back
+}
+
+}  // namespace
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,149 @@
+// Tests for the object manager: distributed vs centralized rendezvous
+// (§3.2) and the pairing semantics.
+#include <gtest/gtest.h>
+
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+// Every node opens channels to node 0; count which managers served opens.
+void run_opens(System& sys, sim::Simulator& sim, int pairs) {
+  for (int i = 1; i <= pairs; ++i) {
+    const std::string name = "ch" + std::to_string(i);
+    sys.node(i % sys.num_nodes())
+        .spawn_process("a" + std::to_string(i),
+                       [name](Subprocess& sp) -> sim::Task<void> {
+                         (void)co_await sp.open(name);
+                       });
+    sys.node(0).spawn_process("b" + std::to_string(i),
+                              [name](Subprocess& sp) -> sim::Task<void> {
+                                (void)co_await sp.open(name);
+                              });
+  }
+  sim.run();
+}
+
+TEST(ObjectManager, DistributedHashingSpreadsOpensAcrossNodes) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 8;
+  System sys(sim, cfg);
+  run_opens(sys, sim, 32);
+  int managers_used = 0;
+  std::uint64_t total = 0;
+  for (int n = 0; n < cfg.nodes; ++n) {
+    const std::uint64_t served = sys.node(n).om().opens_served();
+    managers_used += served > 0;
+    total += served;
+  }
+  EXPECT_EQ(total, 64u);  // two opens per pair
+  EXPECT_GE(managers_used, 4) << "hashing failed to spread load";
+  // The host must not have served anything in VORX mode.
+  EXPECT_EQ(sys.host(0).om().opens_served(), 0u);
+}
+
+TEST(ObjectManager, CentralizedMeglosModeSendsEverythingToTheHost) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 8;
+  cfg.centralized_object_manager = true;
+  System sys(sim, cfg);
+  run_opens(sys, sim, 32);
+  EXPECT_EQ(sys.host(0).om().opens_served(), 64u);
+  for (int n = 0; n < cfg.nodes; ++n) {
+    EXPECT_EQ(sys.node(n).om().opens_served(), 0u);
+  }
+  // The §3.2 bottleneck is visible as queueing at the single manager.
+  EXPECT_GT(sys.host(0).om().max_queue_depth(), 4u);
+}
+
+TEST(ObjectManager, CentralizedSetupIsSlowerThanDistributed) {
+  auto run = [](bool centralized) {
+    sim::Simulator sim;
+    SystemConfig cfg;
+    cfg.nodes = 16;
+    cfg.centralized_object_manager = centralized;
+    System sys(sim, cfg);
+    // Start-up storm: every node opens a channel to its neighbour at once.
+    auto gate = std::make_shared<sim::Gate>(sim, 32);
+    for (int i = 0; i < 16; ++i) {
+      const std::string a = "st" + std::to_string(i);
+      const std::string b = "st" + std::to_string((i + 15) % 16);
+      sys.node(i).spawn_process(
+          "p" + std::to_string(i),
+          [a, b, gate](Subprocess& sp) -> sim::Task<void> {
+            (void)co_await sp.open(a);
+            gate->arrive();
+            (void)co_await sp.open(b);
+            gate->arrive();
+          });
+    }
+    sim.run();
+    return sim.now();
+  };
+  const sim::SimTime distributed = run(false);
+  const sim::SimTime centralized = run(true);
+  EXPECT_GT(centralized, distributed * 2)
+      << "the centralized manager should serialize the open storm";
+}
+
+TEST(ObjectManager, DifferentTypesDoNotPair) {
+  // A channel open and a udco open on the same name must not rendezvous.
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  bool chan_opened = false, udco_opened = false;
+  sys.node(0).spawn_process("chan", [&](Subprocess& sp) -> sim::Task<void> {
+    (void)co_await sp.open("same-name");
+    chan_opened = true;
+  });
+  sys.node(1).spawn_process("udco", [&](Subprocess& sp) -> sim::Task<void> {
+    (void)co_await sp.open_udco("same-name");
+    udco_opened = true;
+  });
+  sim.run();
+  EXPECT_FALSE(chan_opened);
+  EXPECT_FALSE(udco_opened);
+}
+
+TEST(ObjectManager, ThirdOpenerPairsWithFourth) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  System sys(sim, cfg);
+  std::vector<int> peers(4, -1);
+  for (int i = 0; i < 4; ++i) {
+    sys.node(i).spawn_process(
+        "p" + std::to_string(i), [&, i](Subprocess& sp) -> sim::Task<void> {
+          co_await sp.sleep(sim::msec(i));  // strict arrival order
+          Channel* ch = co_await sp.open("quad");
+          peers[static_cast<std::size_t>(i)] = ch->peer();
+        });
+  }
+  sim.run();
+  EXPECT_EQ(peers[0], 1);
+  EXPECT_EQ(peers[1], 0);
+  EXPECT_EQ(peers[2], 3);
+  EXPECT_EQ(peers[3], 2);
+}
+
+TEST(ObjectManager, ManagerPlacementIsDeterministic) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 8;
+  System sys(sim, cfg);
+  const auto m1 = sys.manager_for("alpha");
+  const auto m2 = sys.manager_for("alpha");
+  EXPECT_EQ(m1, m2);
+  EXPECT_GE(m1, 0);
+  EXPECT_LT(m1, 8);
+  // Different names should (typically) map to different managers.
+  std::set<hw::StationId> distinct;
+  for (int i = 0; i < 32; ++i) {
+    distinct.insert(sys.manager_for("name" + std::to_string(i)));
+  }
+  EXPECT_GE(distinct.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hpcvorx::vorx

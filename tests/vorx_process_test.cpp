@@ -1,0 +1,238 @@
+// Tests for subprocesses, semaphores, scheduling, and context-switch
+// accounting (§5).
+#include <gtest/gtest.h>
+
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+TEST(Subprocess, ThreeSubprocessStructureOverlapsInputComputeOutput) {
+  // §5: "A common way to structure applications is to have at least three
+  // subprocesses for each process: one for input, one for output, and one
+  // or more to do the actual computation."
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  std::vector<std::string> events;
+
+  sys.node(1).spawn_process("peer", [&](Subprocess& sp) -> sim::Task<void> {
+    Channel* in = co_await sp.open("to-worker");
+    Channel* out = co_await sp.open("from-worker");
+    for (int i = 0; i < 3; ++i) co_await sp.write(*in, 64);
+    for (int i = 0; i < 3; ++i) (void)co_await sp.read(*out);
+  });
+
+  Process& proc = sys.node(0).spawn_process(
+      "worker", [&](Subprocess& sp) -> sim::Task<void> {
+        Channel* in = co_await sp.open("to-worker");
+        Channel* out = co_await sp.open("from-worker");
+        auto* work = new VSemaphore(sp.node(), 0);     // input -> compute
+        auto* results = new VSemaphore(sp.node(), 0);  // compute -> output
+        // Input subprocess.
+        sp.process().spawn(
+            [&, in, work](Subprocess& isp) -> sim::Task<void> {
+              for (int i = 0; i < 3; ++i) {
+                (void)co_await isp.read(*in);
+                events.push_back("in" + std::to_string(i));
+                co_await isp.v(*work);
+              }
+            },
+            sim::prio::kUserDefault + 10, "input");
+        // Output subprocess.
+        sp.process().spawn(
+            [&, out, results](Subprocess& osp) -> sim::Task<void> {
+              for (int i = 0; i < 3; ++i) {
+                co_await osp.p(*results);
+                co_await osp.write(*out, 64);
+                events.push_back("out" + std::to_string(i));
+              }
+            },
+            sim::prio::kUserDefault + 10, "output");
+        // Compute in the main subprocess.
+        for (int i = 0; i < 3; ++i) {
+          co_await sp.p(*work);
+          co_await sp.compute(sim::msec(1));
+          events.push_back("compute" + std::to_string(i));
+          co_await sp.v(*results);
+        }
+      });
+  sim.run();
+  ASSERT_TRUE(proc.finished());
+  ASSERT_EQ(events.size(), 9u);
+  // Pipelining: input 1 completes before compute 0 finishes (overlap).
+  const auto pos = [&](const std::string& e) {
+    return std::find(events.begin(), events.end(), e) - events.begin();
+  };
+  EXPECT_LT(pos("in1"), pos("compute0"));
+  EXPECT_LT(pos("compute0"), pos("out0"));
+}
+
+TEST(Subprocess, PreemptivePriorities) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  std::vector<std::pair<std::string, sim::SimTime>> done;
+  sys.node(0).spawn_process("rt", [&](Subprocess& sp) -> sim::Task<void> {
+    // Low-priority background burns CPU...
+    sp.process().spawn(
+        [&](Subprocess& bg) -> sim::Task<void> {
+          co_await bg.compute(sim::msec(10));
+          done.emplace_back("background", sim.now());
+        },
+        10, "bg");
+    // ...while a high-priority "device controller" reacts quickly.
+    sp.process().spawn(
+        [&](Subprocess& rt) -> sim::Task<void> {
+          co_await rt.sleep(sim::msec(2));
+          co_await rt.compute(sim::msec(1));
+          done.emplace_back("realtime", sim.now());
+        },
+        500, "rt");
+    co_return;
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, "realtime");
+  // The high-priority thread finished ~at 3 ms despite the busy CPU.
+  EXPECT_LT(done[0].second, sim::msec(4));
+}
+
+TEST(Subprocess, ContextSwitchCostsEightyMicroseconds) {
+  // §5: ping-pong between two subprocesses; every handoff re-dispatches a
+  // different context, costing the 80 us register save.
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  constexpr int kRounds = 50;
+  sys.node(0).spawn_process("pp", [&](Subprocess& sp) -> sim::Task<void> {
+    auto* ping = new VSemaphore(sp.node(), 0);
+    auto* pong = new VSemaphore(sp.node(), 0);
+    sp.process().spawn(
+        [ping, pong](Subprocess& a) -> sim::Task<void> {
+          for (int i = 0; i < kRounds; ++i) {
+            co_await a.v(*ping);
+            co_await a.p(*pong);
+          }
+        },
+        sim::prio::kUserDefault, "a");
+    sp.process().spawn(
+        [ping, pong](Subprocess& b) -> sim::Task<void> {
+          for (int i = 0; i < kRounds; ++i) {
+            co_await b.p(*ping);
+            co_await b.v(*pong);
+          }
+        },
+        sim::prio::kUserDefault, "b");
+    co_return;
+  });
+  sim.run();
+  sys.finalize_accounting();
+  const sim::Duration ctxsw =
+      sys.node(0).cpu().ledger().total(sim::Category::kContextSwitch);
+  // Roughly two switches per round (a->b, b->a).
+  EXPECT_GE(ctxsw, sim::usec(80) * (2 * kRounds - 4));
+  EXPECT_LE(ctxsw, sim::usec(80) * (2 * kRounds + 8));
+}
+
+TEST(Subprocess, CoroutineStructuringSwitchesCheaper) {
+  // §5: "Coroutines have less overhead than subprocesses because coroutine
+  // switches occur only at well defined places."
+  auto run = [](sim::Duration switch_cost) {
+    sim::Simulator sim;
+    System sys(sim, SystemConfig{});
+    constexpr int kRounds = 50;
+    sys.node(0).spawn_process("pp", [&](Subprocess& sp) -> sim::Task<void> {
+      auto* ping = new VSemaphore(sp.node(), 0);
+      auto* pong = new VSemaphore(sp.node(), 0);
+      for (int side = 0; side < 2; ++side) {
+        sp.process().spawn(
+            [ping, pong, side](Subprocess& t) -> sim::Task<void> {
+              for (int i = 0; i < kRounds; ++i) {
+                if (side == 0) {
+                  co_await t.v(*ping);
+                  co_await t.p(*pong);
+                } else {
+                  co_await t.p(*ping);
+                  co_await t.v(*pong);
+                }
+              }
+            },
+            sim::prio::kUserDefault, "t" + std::to_string(side), switch_cost);
+      }
+      co_return;
+    });
+    sim.run();
+    return sim.now();
+  };
+  const sim::SimTime subprocess_time = run(sim::usec(80));
+  const sim::SimTime coroutine_time = run(sim::usec(12));
+  EXPECT_LT(coroutine_time, subprocess_time);
+  EXPECT_GT(subprocess_time - coroutine_time, sim::usec(68) * 80);
+}
+
+TEST(Subprocess, ProcessDoneFutureAndFinishTime) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  Process& p = sys.node(0).spawn_process(
+      "short", [](Subprocess& sp) -> sim::Task<void> {
+        co_await sp.compute(sim::usec(500));
+      });
+  EXPECT_FALSE(p.finished());
+  sim.run();
+  EXPECT_TRUE(p.finished());
+  EXPECT_TRUE(p.done().ready());
+  // 500 us of work plus the 80 us context switch into the subprocess.
+  EXPECT_EQ(p.finished_at(), sim::usec(580));
+}
+
+TEST(Subprocess, StatesVisibleWhileBlocked) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  Process& p = sys.node(0).spawn_process(
+      "blocked", [](Subprocess& sp) -> sim::Task<void> {
+        Channel* ch = co_await sp.open("lonely");  // never pairs
+        (void)co_await sp.read(*ch);
+      });
+  sim.run();
+  EXPECT_EQ(p.subprocesses()[0]->state(), SpState::kBlockedOpen);
+}
+
+TEST(Subprocess, SemaphoreValuesAndFifoWakeups) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  std::vector<int> order;
+  sys.node(0).spawn_process("sem", [&](Subprocess& sp) -> sim::Task<void> {
+    auto* s = new VSemaphore(sp.node(), 0);
+    for (int i = 0; i < 3; ++i) {
+      sp.process().spawn(
+          [s, i, &order](Subprocess& w) -> sim::Task<void> {
+            co_await w.p(*s);
+            order.push_back(i);
+          },
+          sim::prio::kUserDefault, "w" + std::to_string(i));
+    }
+    co_await sp.sleep(sim::msec(1));
+    EXPECT_EQ(s->waiting(), 3u);
+    for (int i = 0; i < 3; ++i) co_await sp.v(*s);
+    co_return;
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Subprocess, SleepAccountsIdleOther) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.record_intervals = true;
+  System sys(sim, cfg);
+  sys.node(0).spawn_process("sleeper", [&](Subprocess& sp) -> sim::Task<void> {
+    co_await sp.sleep(sim::msec(2));
+    co_await sp.compute(sim::msec(1));
+  });
+  sim.run();
+  sys.finalize_accounting();
+  const auto& ledger = sys.node(0).cpu().ledger();
+  EXPECT_EQ(ledger.total(sim::Category::kUser), sim::msec(1));
+  EXPECT_GE(ledger.total(sim::Category::kIdleOther), sim::msec(2));
+}
+
+}  // namespace
+}  // namespace hpcvorx::vorx

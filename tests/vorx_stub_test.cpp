@@ -1,0 +1,199 @@
+// Tests for the execution environment: stubs, forwarded syscalls, the
+// 32-descriptor limit, blocking-syscall serialization, and program
+// download (§3.3).
+#include <gtest/gtest.h>
+
+#include "vorx/loader.hpp"
+#include "vorx_test_util.hpp"
+
+namespace hpcvorx::vorx {
+namespace {
+
+TEST(Stub, FileSyscallsRoundTripThroughTheHost) {
+  sim::Simulator sim;
+  System sys(sim, SystemConfig{});
+  sys.host(0).host_env().create_file("/etc/motd",
+                                     testutil::pattern_bytes(100, 5));
+  Stub& stub = sys.host(0).make_stub();
+  std::vector<std::byte> readback;
+  std::int64_t wrote = -1;
+
+  Process& p = sys.node(0).spawn_process(
+      "app", [&](Subprocess& sp) -> sim::Task<void> {
+        SyscallResult fd = co_await sp.sys_open("/etc/motd");
+        EXPECT_GE(fd.value, 0);
+        SyscallResult r = co_await sp.sys_read(static_cast<int>(fd.value), 100);
+        EXPECT_EQ(r.value, 100);
+        readback = *r.data;
+        SyscallResult out = co_await sp.sys_open("/tmp/out");
+        SyscallResult w = co_await sp.sys_write(
+            static_cast<int>(out.value),
+            hw::make_payload(testutil::pattern_bytes(40, 9)));
+        wrote = w.value;
+        (void)co_await sp.sys_close(static_cast<int>(fd.value));
+        (void)co_await sp.sys_close(static_cast<int>(out.value));
+      });
+  p.bind_syscalls(std::make_unique<SyscallClient>(
+      sys.node(0), sys.host_station(0), stub.id()));
+  sim.run();
+
+  EXPECT_EQ(readback, testutil::pattern_bytes(100, 5));
+  EXPECT_EQ(wrote, 40);
+  EXPECT_EQ(*sys.host(0).host_env().file("/tmp/out"),
+            testutil::pattern_bytes(40, 9));
+  EXPECT_EQ(stub.open_files(), 0);
+  EXPECT_EQ(stub.calls_served(), 6u);
+}
+
+TEST(Stub, SharedStubImposes32DescriptorLimitAcrossProcesses) {
+  // §3.3: "the stub process is limited by the SunOS kernel to 32 open file
+  // descriptors, imposing a limit of 32 open files for all the processes
+  // of an application combined."
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 2;
+  System sys(sim, cfg);
+  Stub& shared = sys.host(0).make_stub();
+  std::vector<std::int64_t> results;
+  for (int n = 0; n < 2; ++n) {
+    Process& p = sys.node(n).spawn_process(
+        "opens" + std::to_string(n), [&, n](Subprocess& sp) -> sim::Task<void> {
+          for (int i = 0; i < 20; ++i) {
+            SyscallResult r = co_await sp.sys_open(
+                "/f" + std::to_string(n) + "_" + std::to_string(i));
+            results.push_back(r.value);
+          }
+        });
+    p.bind_syscalls(std::make_unique<SyscallClient>(
+        sys.node(n), sys.host_station(0), shared.id()));
+  }
+  sim.run();
+  const auto failures = std::count(results.begin(), results.end(), -1);
+  ASSERT_EQ(results.size(), 40u);
+  EXPECT_EQ(failures, 8);  // 40 opens against a combined budget of 32
+  EXPECT_EQ(shared.open_files(), 32);
+}
+
+TEST(Stub, PerProcessStubsGiveEachProcessItsOwnBudget) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 2;
+  System sys(sim, cfg);
+  int failures = 0;
+  for (int n = 0; n < 2; ++n) {
+    Stub& own = sys.host(0).make_stub();
+    Process& p = sys.node(n).spawn_process(
+        "opens" + std::to_string(n), [&, n](Subprocess& sp) -> sim::Task<void> {
+          for (int i = 0; i < 20; ++i) {
+            SyscallResult r = co_await sp.sys_open(
+                "/g" + std::to_string(n) + "_" + std::to_string(i));
+            failures += r.value < 0;
+          }
+        });
+    p.bind_syscalls(std::make_unique<SyscallClient>(
+        sys.node(n), sys.host_station(0), own.id()));
+  }
+  sim.run();
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(Stub, BlockingSyscallStallsOtherProcessesOnSharedStub) {
+  // §3.3: "if one of the processes issues a UNIX system call that blocks,
+  // such as a read from the keyboard, then the stub does not process
+  // system calls from any of the other processes served by that stub."
+  auto run = [](bool shared) {
+    sim::Simulator sim;
+    SystemConfig cfg;
+    cfg.nodes = 2;
+    System sys(sim, cfg);
+    sys.host(0).host_env().set_keyboard_delay(sim::msec(100));
+    Stub& s0 = sys.host(0).make_stub();
+    Stub& s1 = shared ? s0 : sys.host(0).make_stub();
+
+    sim::SimTime fast_done = -1;
+    Process& keyboard = sys.node(0).spawn_process(
+        "kbd", [&](Subprocess& sp) -> sim::Task<void> {
+          (void)co_await sp.sys_keyboard();  // blocks 100 ms at the stub
+        });
+    keyboard.bind_syscalls(std::make_unique<SyscallClient>(
+        sys.node(0), sys.host_station(0), s0.id()));
+    Process& quick = sys.node(1).spawn_process(
+        "quick", [&](Subprocess& sp) -> sim::Task<void> {
+          co_await sp.sleep(sim::msec(1));  // arrive after the keyboard read
+          (void)co_await sp.sys_open("/quick");
+          fast_done = sp.node().simulator().now();
+        });
+    quick.bind_syscalls(std::make_unique<SyscallClient>(
+        sys.node(1), sys.host_station(0), s1.id()));
+    sim.run();
+    return fast_done;
+  };
+  const sim::SimTime with_shared = run(true);
+  const sim::SimTime with_own = run(false);
+  EXPECT_GT(with_shared, sim::msec(100));  // stalled behind the keyboard
+  EXPECT_LT(with_own, sim::msec(10));      // independent stub: immediate
+}
+
+TEST(Loader, TreeDownloadStartsAllProcessesMuchFaster) {
+  // §3.3: "it takes 12 seconds to download and initialize a process on
+  // each of 70 processors ... With [the tree] method, it takes only two
+  // seconds."
+  auto run = [](DownloadScheme scheme, int nodes) {
+    sim::Simulator sim;
+    SystemConfig cfg;
+    cfg.nodes = nodes;
+    cfg.stations_per_cluster = 4;
+    System sys(sim, cfg);
+    std::vector<int> idx(static_cast<std::size_t>(nodes));
+    for (int i = 0; i < nodes; ++i) idx[static_cast<std::size_t>(i)] = i;
+    auto stats = std::make_shared<LaunchStats>();
+    sys.host(0).spawn_process("run-cmd", [&, stats](Subprocess& sp)
+                                            -> sim::Task<void> {
+      *stats = co_await launch_application(
+          sp, sys, idx, /*image_bytes=*/256 * 1024,
+          [](Subprocess& app) -> sim::Task<void> {
+            co_await app.compute(sim::usec(10));
+          },
+          scheme);
+    });
+    sim.run();
+    return *stats;
+  };
+
+  const LaunchStats per_proc = run(DownloadScheme::kPerProcessStubs, 70);
+  const LaunchStats tree = run(DownloadScheme::kSharedStubTree, 70);
+  EXPECT_EQ(per_proc.processes, 70);
+  EXPECT_EQ(per_proc.stubs_created, 70);
+  EXPECT_EQ(tree.stubs_created, 1);
+  // Paper: ~12 s vs ~2 s.  Hold the reproduction within ~25%.
+  EXPECT_NEAR(sim::to_sec(per_proc.elapsed()), 12.0, 3.0);
+  EXPECT_NEAR(sim::to_sec(tree.elapsed()), 2.0, 0.5);
+  EXPECT_GT(per_proc.elapsed(), tree.elapsed() * 4);
+}
+
+TEST(Loader, DownloadedProcessesActuallyRunAndSeeTheirStub) {
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 5;
+  System sys(sim, cfg);
+  std::atomic<int> ran{0};
+  sys.host(0).spawn_process("run-cmd", [&](Subprocess& sp) -> sim::Task<void> {
+    std::vector<int> nodes{0, 1, 2, 3, 4};
+    (void)co_await launch_application(
+        sp, sys, nodes, 64 * 1024,
+        [&](Subprocess& app) -> sim::Task<void> {
+          SyscallResult fd = co_await app.sys_open("/shared-log");
+          EXPECT_GE(fd.value, 0);
+          (void)co_await app.sys_close(static_cast<int>(fd.value));
+          ++ran;
+        },
+        DownloadScheme::kSharedStubTree);
+  });
+  sim.run();
+  EXPECT_EQ(ran.load(), 5);
+  // The relay tree moved bytes: node 0 relayed to nodes 1 and 2.
+  EXPECT_GT(sys.node(0).loader().bytes_relayed(), 0u);
+}
+
+}  // namespace
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,30 @@
+// Shared helpers for OS-layer tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "vorx/system.hpp"
+
+namespace hpcvorx::vorx::testutil {
+
+/// A deterministic payload of `n` bytes derived from `seed`.
+inline std::vector<std::byte> pattern_bytes(std::uint32_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next() & 0xff);
+  return v;
+}
+
+inline std::uint64_t fnv1a(const std::vector<std::byte>& v) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : v) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hpcvorx::vorx::testutil
