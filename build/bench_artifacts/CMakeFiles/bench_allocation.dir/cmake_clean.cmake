@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_allocation"
+  "../bench/bench_allocation.pdb"
+  "CMakeFiles/bench_allocation.dir/bench_allocation.cpp.o"
+  "CMakeFiles/bench_allocation.dir/bench_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

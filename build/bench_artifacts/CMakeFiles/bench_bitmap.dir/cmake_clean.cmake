@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bitmap"
+  "../bench/bench_bitmap.pdb"
+  "CMakeFiles/bench_bitmap.dir/bench_bitmap.cpp.o"
+  "CMakeFiles/bench_bitmap.dir/bench_bitmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

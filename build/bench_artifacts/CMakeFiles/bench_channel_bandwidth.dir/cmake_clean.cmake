@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_channel_bandwidth"
+  "../bench/bench_channel_bandwidth.pdb"
+  "CMakeFiles/bench_channel_bandwidth.dir/bench_channel_bandwidth.cpp.o"
+  "CMakeFiles/bench_channel_bandwidth.dir/bench_channel_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_channel_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_context_switch"
+  "../bench/bench_context_switch.pdb"
+  "CMakeFiles/bench_context_switch.dir/bench_context_switch.cpp.o"
+  "CMakeFiles/bench_context_switch.dir/bench_context_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

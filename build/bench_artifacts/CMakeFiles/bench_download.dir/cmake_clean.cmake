@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_download"
+  "../bench/bench_download.pdb"
+  "CMakeFiles/bench_download.dir/bench_download.cpp.o"
+  "CMakeFiles/bench_download.dir/bench_download.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

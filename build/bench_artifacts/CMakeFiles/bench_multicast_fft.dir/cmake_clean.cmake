@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multicast_fft"
+  "../bench/bench_multicast_fft.pdb"
+  "CMakeFiles/bench_multicast_fft.dir/bench_multicast_fft.cpp.o"
+  "CMakeFiles/bench_multicast_fft.dir/bench_multicast_fft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicast_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

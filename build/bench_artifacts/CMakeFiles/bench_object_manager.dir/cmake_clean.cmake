@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_object_manager"
+  "../bench/bench_object_manager.pdb"
+  "CMakeFiles/bench_object_manager.dir/bench_object_manager.cpp.o"
+  "CMakeFiles/bench_object_manager.dir/bench_object_manager.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_object_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

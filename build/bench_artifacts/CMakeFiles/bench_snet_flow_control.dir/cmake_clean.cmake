@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_snet_flow_control"
+  "../bench/bench_snet_flow_control.pdb"
+  "CMakeFiles/bench_snet_flow_control.dir/bench_snet_flow_control.cpp.o"
+  "CMakeFiles/bench_snet_flow_control.dir/bench_snet_flow_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snet_flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

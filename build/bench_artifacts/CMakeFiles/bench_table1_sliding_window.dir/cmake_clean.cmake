@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_sliding_window"
+  "../bench/bench_table1_sliding_window.pdb"
+  "CMakeFiles/bench_table1_sliding_window.dir/bench_table1_sliding_window.cpp.o"
+  "CMakeFiles/bench_table1_sliding_window.dir/bench_table1_sliding_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sliding_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

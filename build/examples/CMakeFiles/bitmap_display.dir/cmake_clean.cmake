@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_display.dir/bitmap_display.cpp.o"
+  "CMakeFiles/bitmap_display.dir/bitmap_display.cpp.o.d"
+  "bitmap_display"
+  "bitmap_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

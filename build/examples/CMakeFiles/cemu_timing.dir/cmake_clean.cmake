@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cemu_timing.dir/cemu_timing.cpp.o"
+  "CMakeFiles/cemu_timing.dir/cemu_timing.cpp.o.d"
+  "cemu_timing"
+  "cemu_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cemu_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

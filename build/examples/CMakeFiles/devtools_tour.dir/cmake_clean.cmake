@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devtools_tour.dir/devtools_tour.cpp.o"
+  "CMakeFiles/devtools_tour.dir/devtools_tour.cpp.o.d"
+  "devtools_tour"
+  "devtools_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devtools_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft2d_imaging.dir/fft2d_imaging.cpp.o"
+  "CMakeFiles/fft2d_imaging.dir/fft2d_imaging.cpp.o.d"
+  "fft2d_imaging"
+  "fft2d_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft2d_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

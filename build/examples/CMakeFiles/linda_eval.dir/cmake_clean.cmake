@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linda_eval.dir/linda_eval.cpp.o"
+  "CMakeFiles/linda_eval.dir/linda_eval.cpp.o.d"
+  "linda_eval"
+  "linda_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linda_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

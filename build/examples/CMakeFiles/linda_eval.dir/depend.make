@@ -1,0 +1,2 @@
+# Empty dependencies file for linda_eval.
+# This may be replaced when dependencies are built.

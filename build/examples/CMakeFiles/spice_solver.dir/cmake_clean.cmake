@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_solver.dir/spice_solver.cpp.o"
+  "CMakeFiles/spice_solver.dir/spice_solver.cpp.o.d"
+  "spice_solver"
+  "spice_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bitmap.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/bitmap.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/bitmap.cpp.o.d"
+  "/root/repo/src/apps/bitmap_app.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/bitmap_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/bitmap_app.cpp.o.d"
+  "/root/repo/src/apps/cemu_app.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/cemu_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/cemu_app.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/fft2d_app.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/fft2d_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/fft2d_app.cpp.o.d"
+  "/root/repo/src/apps/linda.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/linda.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/linda.cpp.o.d"
+  "/root/repo/src/apps/logic.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/logic.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/logic.cpp.o.d"
+  "/root/repo/src/apps/sparse.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/sparse.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/sparse.cpp.o.d"
+  "/root/repo/src/apps/spice_app.cpp" "src/apps/CMakeFiles/hpcvorx_apps.dir/spice_app.cpp.o" "gcc" "src/apps/CMakeFiles/hpcvorx_apps.dir/spice_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vorx/CMakeFiles/hpcvorx_vorx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcvorx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcvorx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcvorx_apps.dir/bitmap.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/bitmap.cpp.o.d"
+  "CMakeFiles/hpcvorx_apps.dir/bitmap_app.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/bitmap_app.cpp.o.d"
+  "CMakeFiles/hpcvorx_apps.dir/cemu_app.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/cemu_app.cpp.o.d"
+  "CMakeFiles/hpcvorx_apps.dir/fft.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/hpcvorx_apps.dir/fft2d_app.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/fft2d_app.cpp.o.d"
+  "CMakeFiles/hpcvorx_apps.dir/linda.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/linda.cpp.o.d"
+  "CMakeFiles/hpcvorx_apps.dir/logic.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/logic.cpp.o.d"
+  "CMakeFiles/hpcvorx_apps.dir/sparse.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/sparse.cpp.o.d"
+  "CMakeFiles/hpcvorx_apps.dir/spice_app.cpp.o"
+  "CMakeFiles/hpcvorx_apps.dir/spice_app.cpp.o.d"
+  "libhpcvorx_apps.a"
+  "libhpcvorx_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcvorx_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cpp" "src/hw/CMakeFiles/hpcvorx_hw.dir/cluster.cpp.o" "gcc" "src/hw/CMakeFiles/hpcvorx_hw.dir/cluster.cpp.o.d"
+  "/root/repo/src/hw/fabric.cpp" "src/hw/CMakeFiles/hpcvorx_hw.dir/fabric.cpp.o" "gcc" "src/hw/CMakeFiles/hpcvorx_hw.dir/fabric.cpp.o.d"
+  "/root/repo/src/hw/framebuffer.cpp" "src/hw/CMakeFiles/hpcvorx_hw.dir/framebuffer.cpp.o" "gcc" "src/hw/CMakeFiles/hpcvorx_hw.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/hw/link.cpp" "src/hw/CMakeFiles/hpcvorx_hw.dir/link.cpp.o" "gcc" "src/hw/CMakeFiles/hpcvorx_hw.dir/link.cpp.o.d"
+  "/root/repo/src/hw/snet.cpp" "src/hw/CMakeFiles/hpcvorx_hw.dir/snet.cpp.o" "gcc" "src/hw/CMakeFiles/hpcvorx_hw.dir/snet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpcvorx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

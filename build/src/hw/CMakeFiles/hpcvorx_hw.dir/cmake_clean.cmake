@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcvorx_hw.dir/cluster.cpp.o"
+  "CMakeFiles/hpcvorx_hw.dir/cluster.cpp.o.d"
+  "CMakeFiles/hpcvorx_hw.dir/fabric.cpp.o"
+  "CMakeFiles/hpcvorx_hw.dir/fabric.cpp.o.d"
+  "CMakeFiles/hpcvorx_hw.dir/framebuffer.cpp.o"
+  "CMakeFiles/hpcvorx_hw.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/hpcvorx_hw.dir/link.cpp.o"
+  "CMakeFiles/hpcvorx_hw.dir/link.cpp.o.d"
+  "CMakeFiles/hpcvorx_hw.dir/snet.cpp.o"
+  "CMakeFiles/hpcvorx_hw.dir/snet.cpp.o.d"
+  "libhpcvorx_hw.a"
+  "libhpcvorx_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcvorx_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcvorx_sim.dir/cpu.cpp.o"
+  "CMakeFiles/hpcvorx_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/hpcvorx_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hpcvorx_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hpcvorx_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hpcvorx_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hpcvorx_sim.dir/time.cpp.o"
+  "CMakeFiles/hpcvorx_sim.dir/time.cpp.o.d"
+  "libhpcvorx_sim.a"
+  "libhpcvorx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcvorx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

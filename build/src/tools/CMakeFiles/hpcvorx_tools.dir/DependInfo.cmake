@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/cdb.cpp" "src/tools/CMakeFiles/hpcvorx_tools.dir/cdb.cpp.o" "gcc" "src/tools/CMakeFiles/hpcvorx_tools.dir/cdb.cpp.o.d"
+  "/root/repo/src/tools/oscilloscope.cpp" "src/tools/CMakeFiles/hpcvorx_tools.dir/oscilloscope.cpp.o" "gcc" "src/tools/CMakeFiles/hpcvorx_tools.dir/oscilloscope.cpp.o.d"
+  "/root/repo/src/tools/prof.cpp" "src/tools/CMakeFiles/hpcvorx_tools.dir/prof.cpp.o" "gcc" "src/tools/CMakeFiles/hpcvorx_tools.dir/prof.cpp.o.d"
+  "/root/repo/src/tools/vdb.cpp" "src/tools/CMakeFiles/hpcvorx_tools.dir/vdb.cpp.o" "gcc" "src/tools/CMakeFiles/hpcvorx_tools.dir/vdb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vorx/CMakeFiles/hpcvorx_vorx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcvorx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcvorx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcvorx_tools.dir/cdb.cpp.o"
+  "CMakeFiles/hpcvorx_tools.dir/cdb.cpp.o.d"
+  "CMakeFiles/hpcvorx_tools.dir/oscilloscope.cpp.o"
+  "CMakeFiles/hpcvorx_tools.dir/oscilloscope.cpp.o.d"
+  "CMakeFiles/hpcvorx_tools.dir/prof.cpp.o"
+  "CMakeFiles/hpcvorx_tools.dir/prof.cpp.o.d"
+  "CMakeFiles/hpcvorx_tools.dir/vdb.cpp.o"
+  "CMakeFiles/hpcvorx_tools.dir/vdb.cpp.o.d"
+  "libhpcvorx_tools.a"
+  "libhpcvorx_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcvorx_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcvorx_tools.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vorx/allocation.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/allocation.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/allocation.cpp.o.d"
+  "/root/repo/src/vorx/channel.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/channel.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/channel.cpp.o.d"
+  "/root/repo/src/vorx/kernel.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/kernel.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/kernel.cpp.o.d"
+  "/root/repo/src/vorx/loader.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/loader.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/loader.cpp.o.d"
+  "/root/repo/src/vorx/multicast.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/multicast.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/multicast.cpp.o.d"
+  "/root/repo/src/vorx/multihost.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/multihost.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/multihost.cpp.o.d"
+  "/root/repo/src/vorx/node.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/node.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/node.cpp.o.d"
+  "/root/repo/src/vorx/object_manager.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/object_manager.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/object_manager.cpp.o.d"
+  "/root/repo/src/vorx/process.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/process.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/process.cpp.o.d"
+  "/root/repo/src/vorx/protocols/sliding_window.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/protocols/sliding_window.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/protocols/sliding_window.cpp.o.d"
+  "/root/repo/src/vorx/protocols/snet_recovery.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/protocols/snet_recovery.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/protocols/snet_recovery.cpp.o.d"
+  "/root/repo/src/vorx/stub.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/stub.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/stub.cpp.o.d"
+  "/root/repo/src/vorx/system.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/system.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/system.cpp.o.d"
+  "/root/repo/src/vorx/udco.cpp" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/udco.cpp.o" "gcc" "src/vorx/CMakeFiles/hpcvorx_vorx.dir/udco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/hpcvorx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcvorx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

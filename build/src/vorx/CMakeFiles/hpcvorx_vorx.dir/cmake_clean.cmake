@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcvorx_vorx.dir/allocation.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/allocation.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/channel.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/channel.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/kernel.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/kernel.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/loader.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/loader.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/multicast.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/multicast.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/multihost.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/multihost.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/node.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/node.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/object_manager.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/object_manager.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/process.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/process.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/protocols/sliding_window.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/protocols/sliding_window.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/protocols/snet_recovery.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/protocols/snet_recovery.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/stub.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/stub.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/system.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/system.cpp.o.d"
+  "CMakeFiles/hpcvorx_vorx.dir/udco.cpp.o"
+  "CMakeFiles/hpcvorx_vorx.dir/udco.cpp.o.d"
+  "libhpcvorx_vorx.a"
+  "libhpcvorx_vorx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcvorx_vorx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

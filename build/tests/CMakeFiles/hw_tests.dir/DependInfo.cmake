@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw_cluster_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw_cluster_test.cpp.o.d"
+  "/root/repo/tests/hw_fabric_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw_fabric_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw_fabric_test.cpp.o.d"
+  "/root/repo/tests/hw_framebuffer_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw_framebuffer_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw_framebuffer_test.cpp.o.d"
+  "/root/repo/tests/hw_hypercube_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw_hypercube_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw_hypercube_test.cpp.o.d"
+  "/root/repo/tests/hw_link_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw_link_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw_link_test.cpp.o.d"
+  "/root/repo/tests/hw_snet_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw_snet_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw_snet_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpcvorx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcvorx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/vorx/CMakeFiles/hpcvorx_vorx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/hpcvorx_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hpcvorx_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

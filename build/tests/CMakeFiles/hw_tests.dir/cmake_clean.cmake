@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/hw_cluster_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw_cluster_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw_fabric_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw_fabric_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw_framebuffer_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw_framebuffer_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw_hypercube_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw_hypercube_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw_link_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw_link_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw_snet_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw_snet_test.cpp.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+  "hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

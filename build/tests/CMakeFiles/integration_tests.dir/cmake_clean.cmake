@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/calibration_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/calibration_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/protocol_property_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/protocol_property_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/scale_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/scale_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/stress_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/stress_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/system_integration_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/system_integration_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

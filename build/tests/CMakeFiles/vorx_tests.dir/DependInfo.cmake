@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vorx_allocation_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_allocation_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_allocation_test.cpp.o.d"
+  "/root/repo/tests/vorx_channel_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_channel_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_channel_test.cpp.o.d"
+  "/root/repo/tests/vorx_hw_multicast_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_hw_multicast_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_hw_multicast_test.cpp.o.d"
+  "/root/repo/tests/vorx_io_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_io_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_io_test.cpp.o.d"
+  "/root/repo/tests/vorx_multicast_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_multicast_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_multicast_test.cpp.o.d"
+  "/root/repo/tests/vorx_multihost_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_multihost_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_multihost_test.cpp.o.d"
+  "/root/repo/tests/vorx_om_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_om_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_om_test.cpp.o.d"
+  "/root/repo/tests/vorx_process_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_process_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_process_test.cpp.o.d"
+  "/root/repo/tests/vorx_snet_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_snet_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_snet_test.cpp.o.d"
+  "/root/repo/tests/vorx_stub_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_stub_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_stub_test.cpp.o.d"
+  "/root/repo/tests/vorx_udco_test.cpp" "tests/CMakeFiles/vorx_tests.dir/vorx_udco_test.cpp.o" "gcc" "tests/CMakeFiles/vorx_tests.dir/vorx_udco_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpcvorx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcvorx_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/vorx/CMakeFiles/hpcvorx_vorx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/hpcvorx_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hpcvorx_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vorx_tests.dir/vorx_allocation_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_allocation_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_channel_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_channel_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_hw_multicast_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_hw_multicast_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_io_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_io_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_multicast_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_multicast_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_multihost_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_multihost_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_om_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_om_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_process_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_process_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_snet_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_snet_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_stub_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_stub_test.cpp.o.d"
+  "CMakeFiles/vorx_tests.dir/vorx_udco_test.cpp.o"
+  "CMakeFiles/vorx_tests.dir/vorx_udco_test.cpp.o.d"
+  "vorx_tests"
+  "vorx_tests.pdb"
+  "vorx_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vorx_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
