@@ -182,7 +182,7 @@ CemuResult run_cemu(sim::Simulator& sim, vorx::System& sys,
   for (int b = 0; b < cfg.blocks; ++b) {
     sys.node(b).spawn_process(
         "cemu." + std::to_string(b),
-        [st, b, done](vorx::Subprocess& sp) -> sim::Task<void> {
+        [st, b, done](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
           co_await cemu_node(sp, st, b, done);
         });
   }

@@ -117,7 +117,7 @@ sim::Task<void> personalized_node(vorx::Subprocess& sp,
   auto reader_done = std::make_shared<sim::Gate>(sp.node().simulator(), 1);
   sp.process().spawn(
       [st, me, cols, chans, reader_done](vorx::Subprocess& rsp)
-          -> sim::Task<void> {
+          -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
         const int n = st->cfg.n;
         const int p = st->cfg.p;
         const int rpn = st->rows_per_node;
@@ -194,7 +194,7 @@ sim::Task<void> multicast_node(vorx::Subprocess& sp,
   auto reader_done = std::make_shared<sim::Gate>(sp.node().simulator(), 1);
   sp.process().spawn(
       [st, me, cols, groups, reader_done](vorx::Subprocess& rsp)
-          -> sim::Task<void> {
+          -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
         const int n = st->cfg.n;
         const int p = st->cfg.p;
         const int rpn = st->rows_per_node;
@@ -284,7 +284,7 @@ Fft2dResult run_fft2d(sim::Simulator& sim, vorx::System& sys,
       auto groups = handles[static_cast<std::size_t>(i)];
       sys.node(i).spawn_process(
           "fft2d." + std::to_string(i),
-          [st, i, groups, done](vorx::Subprocess& sp) -> sim::Task<void> {
+          [st, i, groups, done](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
             co_await multicast_node(sp, st, i, groups, done);
           });
     }
@@ -292,7 +292,7 @@ Fft2dResult run_fft2d(sim::Simulator& sim, vorx::System& sys,
     for (int i = 0; i < cfg.p; ++i) {
       sys.node(i).spawn_process(
           "fft2d." + std::to_string(i),
-          [st, i, done](vorx::Subprocess& sp) -> sim::Task<void> {
+          [st, i, done](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
             co_await personalized_node(sp, st, i, done);
           });
     }

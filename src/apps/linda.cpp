@@ -156,7 +156,7 @@ sim::Task<void> serve_client(vorx::Subprocess& sp, vorx::Channel* ch,
 }  // namespace
 
 vorx::AppFn make_server(std::string space_name) {
-  return [space_name](vorx::Subprocess& sp) -> sim::Task<void> {
+  return [space_name](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2) the returned AppFn stores the closure for the server Task's lifetime
     auto space = std::make_shared<Space>();
     vorx::ServerPort* port = co_await sp.open_server(space_name);
     for (;;) {
@@ -164,7 +164,7 @@ vorx::AppFn make_server(std::string space_name) {
       // One serving subprocess per client: a blocked in() must not stall
       // other clients (the §5 structuring lesson).
       sp.process().spawn(
-          [ch, space](vorx::Subprocess& server_sp) -> sim::Task<void> {
+          [ch, space](vorx::Subprocess& server_sp) -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
             co_await serve_client(server_sp, ch, space);
           },
           sim::prio::kUserDefault, "linda-serve");

@@ -103,7 +103,7 @@ sim::Task<void> spice_node(vorx::Subprocess& sp, std::shared_ptr<Shared> st,
 
   // Sum-reduce a local scalar across all nodes (rank-ordered for
   // determinism), then broadcast the total.
-  auto allreduce = [&](double local) -> sim::Task<double> {
+  auto allreduce = [&](double local) -> sim::Task<double> {  // vorx-lint: allow(R2) stack-local helper; the closure outlives every co_await of its Task
     if (p == 1) co_return local;
     if (me == 0) {
       double total = local;
@@ -124,7 +124,7 @@ sim::Task<void> spice_node(vorx::Subprocess& sp, std::shared_ptr<Shared> st,
   };
 
   // Exchange one halo row (nx doubles) of `v` with both neighbours.
-  auto halo_exchange = [&](std::vector<double>& v) -> sim::Task<void> {
+  auto halo_exchange = [&](std::vector<double>& v) -> sim::Task<void> {  // vorx-lint: allow(R2) stack-local helper; the closure outlives every co_await of its Task
     if (me > 0) {
       co_await up.send(sp, v.data() + lo, static_cast<std::size_t>(nx));
       ++st->halo_messages;
@@ -216,7 +216,7 @@ SpiceResult run_spice(sim::Simulator& sim, vorx::System& sys,
   for (int i = 0; i < cfg.p; ++i) {
     sys.node(i).spawn_process(
         "spice." + std::to_string(i),
-        [st, i, done](vorx::Subprocess& sp) -> sim::Task<void> {
+        [st, i, done](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
           co_await spice_node(sp, st, i, done);
         });
   }

@@ -1,0 +1,64 @@
+// Ownership of fire-and-forget coroutine frames.
+//
+// A sim::Proc frame destroys itself when the process finishes — but a
+// process suspended forever (a deadlocked reader, a sender starved behind
+// backpressure when the run ends) is owned by nobody, and its frame would
+// leak at simulator teardown.  Every live Proc frame therefore registers
+// itself here, and ~Simulator() reclaims whatever is still suspended.
+//
+// The registry is process-wide because promise types cannot see which
+// Simulator drives them; the codebase runs one live Simulator at a time
+// (the deterministic single-event-queue design already implies this), so
+// teardown of "the" simulator may reclaim every outstanding frame.
+//
+// Intrusive slot bookkeeping (the promise stores its index, the registry
+// stores a pointer back to that index) keeps add/remove O(1) without any
+// pointer-keyed container whose iteration order could vary across runs.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+namespace hpcvorx::sim {
+
+class ProcRegistry {
+ public:
+  static ProcRegistry& instance() {
+    static ProcRegistry r;
+    return r;
+  }
+
+  /// Registers a live frame; writes its slot index through `slot_field`
+  /// and keeps the pointer so later swaps can patch it.
+  void add(std::coroutine_handle<> h, std::size_t* slot_field) {
+    *slot_field = handles_.size();
+    handles_.push_back(h);
+    slots_.push_back(slot_field);
+  }
+
+  /// Unregisters the frame in `slot` (called from the promise destructor,
+  /// whether the process finished or is being reclaimed).
+  void remove(std::size_t slot) {
+    handles_[slot] = handles_.back();
+    slots_[slot] = slots_.back();
+    *slots_[slot] = slot;
+    handles_.pop_back();
+    slots_.pop_back();
+  }
+
+  /// Destroys every still-suspended frame, newest first.  Each destroy
+  /// re-enters remove() via the promise destructor and pops the entry.
+  void destroy_all() {
+    while (!handles_.empty()) handles_.back().destroy();
+  }
+
+  [[nodiscard]] std::size_t live() const { return handles_.size(); }
+
+ private:
+  ProcRegistry() = default;
+  std::vector<std::coroutine_handle<>> handles_;
+  std::vector<std::size_t*> slots_;
+};
+
+}  // namespace hpcvorx::sim

@@ -4,7 +4,11 @@
 #include <cstdio>
 #include <utility>
 
+#include "sim/proc_registry.hpp"
+
 namespace hpcvorx::sim {
+
+Simulator::~Simulator() { ProcRegistry::instance().destroy_all(); }
 
 EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
   return queue_.push(std::max(at, now_), std::move(fn));

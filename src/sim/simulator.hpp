@@ -19,6 +19,12 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  /// Reclaims every still-suspended sim::Proc frame (see proc_registry.hpp).
+  /// Processes parked forever — deadlocked readers, starved senders — have
+  /// no other owner, and their frames transitively own the Task frames and
+  /// captured state they are awaiting on.
+  ~Simulator();
+
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }
 

@@ -19,6 +19,7 @@
 #include <optional>
 #include <utility>
 
+#include "sim/proc_registry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -27,6 +28,15 @@ namespace hpcvorx::sim {
 /// Return type for simulated-process coroutines.
 struct Proc {
   struct promise_type {
+    promise_type() {
+      ProcRegistry::instance().add(
+          std::coroutine_handle<promise_type>::from_promise(*this),
+          &registry_slot);
+    }
+    ~promise_type() { ProcRegistry::instance().remove(registry_slot); }
+    promise_type(const promise_type&) = delete;
+    promise_type& operator=(const promise_type&) = delete;
+
     Proc get_return_object() noexcept { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -35,6 +45,8 @@ struct Proc {
       std::fputs("hpcvorx: unhandled exception escaped a sim::Proc\n", stderr);
       std::terminate();
     }
+
+    std::size_t registry_slot = 0;
   };
 };
 

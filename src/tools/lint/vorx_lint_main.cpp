@@ -1,0 +1,171 @@
+// vorx-lint command-line driver.
+//
+// Usage:
+//   vorx-lint [--root DIR] [--json] [--explain] [--list-rules] [PATH...]
+//
+// PATHs (default: src) are walked recursively for .cpp/.hpp/.cc/.h files,
+// relative to --root (default: the current directory).  Exit status: 0 when
+// the tree is clean, 1 when diagnostics were emitted, 2 on usage or I/O
+// errors.  File order and diagnostic order are sorted, so output is
+// byte-identical across runs — the linter holds itself to rule R1.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/linter.hpp"
+
+namespace fs = std::filesystem;
+using hpcvorx::lint::Diagnostic;
+using hpcvorx::lint::Linter;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--json] [--explain] [--list-rules] "
+               "[PATH...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool json = false;
+  bool explain = false;
+  bool list_rules = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& r : hpcvorx::lint::rules()) {
+      std::printf("%s  %s\n    why: %s\n    fix: %s\n", r.id.c_str(),
+                  r.title.c_str(), r.rationale.c_str(), r.fix.c_str());
+    }
+    return 0;
+  }
+
+  if (paths.empty()) paths.push_back("src");
+
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    fs::path full = root / p;
+    std::error_code ec;
+    if (fs::is_regular_file(full, ec)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(full, ec)) {
+      std::fprintf(stderr, "vorx-lint: no such file or directory: %s\n",
+                   full.string().c_str());
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(full, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file() && lintable(it->path()))
+        files.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  Linter linter;
+  for (const auto& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "vorx-lint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    linter.add_source(rel, buf.str());
+  }
+
+  std::vector<Diagnostic> diags = linter.run();
+
+  if (json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      const auto& d = diags[i];
+      std::printf(
+          "%s\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+          "\"check\": \"%s\", \"message\": \"%s\"}",
+          i ? "," : "", json_escape(d.file).c_str(), d.line, d.rule.c_str(),
+          d.check.c_str(), json_escape(d.message).c_str());
+    }
+    std::printf("%s]\n", diags.empty() ? "" : "\n");
+  } else {
+    for (const auto& d : diags) {
+      std::printf("%s:%d: [%s/%s] %s\n", d.file.c_str(), d.line,
+                  d.rule.c_str(), d.check.c_str(), d.message.c_str());
+      if (explain) {
+        if (const auto* r = hpcvorx::lint::find_rule(d.rule)) {
+          std::printf("    why: %s\n    fix: %s\n", r->rationale.c_str(),
+                      r->fix.c_str());
+        }
+        std::printf(
+            "    suppress: // vorx-lint: allow(%s) <reason>   (this line or "
+            "the line above)\n",
+            d.rule.c_str());
+      }
+    }
+    if (!diags.empty()) {
+      std::printf("vorx-lint: %zu diagnostic%s in %zu file%s scanned\n",
+                  diags.size(), diags.size() == 1 ? "" : "s", files.size(),
+                  files.size() == 1 ? "" : "s");
+    }
+  }
+  return diags.empty() ? 0 : 1;
+}

@@ -113,7 +113,7 @@ sim::Task<LaunchStats> launch_application(Subprocess& host_sp, System& sys,
   st.processes = static_cast<int>(node_indices.size());
   sim::Gate& done = host.loader().expect_done(session, node_indices.size());
 
-  auto stream_image_to = [&](hw::StationId dst) -> sim::Task<void> {
+  auto stream_image_to = [&](hw::StationId dst) -> sim::Task<void> {  // vorx-lint: allow(R2) stack-local helper; the closure outlives every co_await of its Task
     for (std::uint32_t off = 0; off < image_bytes; off += kChunk) {
       const std::uint32_t n = std::min(kChunk, image_bytes - off);
       // The stub copies each segment out of the object file and into the

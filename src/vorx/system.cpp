@@ -1,5 +1,7 @@
 #include "vorx/system.hpp"
 
+#include "sim/proc_registry.hpp"
+
 namespace hpcvorx::vorx {
 
 namespace {
@@ -34,6 +36,8 @@ System::System(sim::Simulator& sim, SystemConfig cfg)
         sim, fabric_->endpoint(s), cfg_.costs, name, locator, opts));
   }
 }
+
+System::~System() { sim::ProcRegistry::instance().destroy_all(); }
 
 hw::StationId System::manager_for(const std::string& name) const {
   if (cfg_.centralized_object_manager) {

@@ -38,6 +38,14 @@ class System {
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
+  /// Reclaims every still-suspended process coroutine frame before the
+  /// stations are torn down.  Parked frames (a subprocess blocked forever
+  /// on a channel, a starved sender) hold RAII state — e.g. the census
+  /// BlockedScope — whose destructors touch their Node, so they must be
+  /// destroyed while the nodes are still alive; ~Simulator would be too
+  /// late.  See sim/proc_registry.hpp.
+  ~System();
+
   [[nodiscard]] int num_nodes() const { return cfg_.nodes; }
   [[nodiscard]] int num_hosts() const { return cfg_.hosts; }
 

@@ -87,7 +87,9 @@ TEST(Cluster, ContendedOutputServesInputsRoundRobin) {
     auto feed = std::make_shared<std::function<void()>>();
     auto sent = std::make_shared<int>(0);
     Link* in = rig.ins[static_cast<size_t>(p)].get();
-    *feed = [in, p, sent, feed] {
+    // Keep-alive comes from the ready callback's copy of `feed`; capturing
+    // `feed` here too would make the shared_ptr self-referential and leak.
+    *feed = [in, p, sent] {
       while (*sent < 4 && in->ready()) {
         Frame f = frame_to(3, 64, static_cast<std::uint64_t>(p));
         in->send(std::move(f));
@@ -116,7 +118,7 @@ TEST(Cluster, BackpressurePropagatesUpstream) {
   int sent = 0;
   Link* in = rig.ins[0].get();
   auto feed = std::make_shared<std::function<void()>>();
-  *feed = [in, &sent, feed] {
+  *feed = [in, &sent] {
     while (sent < 10 && in->ready()) {
       Frame f;
       f.dst = 2;

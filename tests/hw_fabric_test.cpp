@@ -140,7 +140,9 @@ TEST(Fabric, ManyToOneIsLosslessUnderHardwareFlowControl) {
     Endpoint& ep = fab->endpoint(s);
     auto feed = std::make_shared<std::function<void()>>();
     auto sent = std::make_shared<int>(0);
-    *feed = [&ep, sent, feed] {
+    // Keep-alive comes from the tx-ready callback's copy of `feed`; capturing
+    // `feed` here too would make the shared_ptr self-referential and leak.
+    *feed = [&ep, sent] {
       while (*sent < kPerSender && ep.tx_ready()) {
         Frame f;
         f.dst = 0;
@@ -173,7 +175,7 @@ TEST(Fabric, FairArbitrationInterleavesCompetingSenders) {
     Endpoint& ep = fab->endpoint(s);
     auto feed = std::make_shared<std::function<void()>>();
     auto sent = std::make_shared<int>(0);
-    *feed = [&ep, sent, feed] {
+    *feed = [&ep, sent] {
       while (*sent < 40 && ep.tx_ready()) {
         Frame f;
         f.dst = 0;

@@ -1,0 +1,25 @@
+// Clean fixture: mentions of rand(), std::thread, and sleep() in comments
+// and string literals must NOT trip the linter, digit separators must not
+// confuse the lexer, and member calls named sleep() are fine.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#include <cstdint>
+#include <string>
+
+namespace sim {
+struct Proc {};
+template <typename T> struct Task {};
+using Duration = long;
+}  // namespace sim
+
+inline constexpr std::int64_t kSecond = 1'000'000'000;
+
+struct Subprocess {
+  sim::Task<void> sleep(sim::Duration d);  // member named sleep: allowed
+};
+
+// rand() and std::thread are fine inside comments.
+inline std::string banner() { return "no rand() or std::thread here"; }
+
+sim::Proc run_all(Subprocess& sp) {
+  co_await sp.sleep(kSecond);
+}

@@ -1,0 +1,15 @@
+// Seeded R1 fixture: every statement here reads ambient state that makes
+// reruns diverge.  vorx-lint must exit non-zero on this file.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#include <chrono>
+
+int entropy() {
+  std::random_device rd;
+  srand(static_cast<unsigned>(std::time(nullptr)));
+  int r = rand();
+  const char* home = getenv("HOME");
+  auto t = std::chrono::system_clock::now();
+  (void)home;
+  (void)t;
+  return r + static_cast<int>(rd());
+}

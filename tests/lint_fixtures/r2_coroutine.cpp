@@ -1,0 +1,25 @@
+// Seeded R2 fixture: a coroutine with a non-Task/Proc return type, a
+// capturing-lambda coroutine, and a discarded sim::Task.  vorx-lint must
+// exit non-zero on this file.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+namespace sim {
+template <typename T> struct Task {};
+}  // namespace sim
+
+sim::Task<void> ping(int target);
+
+int not_a_task() {  // coroutine-return-type
+  co_await ping(1);
+  co_return 7;
+}
+
+void fire_and_forget() {
+  ping(2);  // discarded-task: this Task is destroyed before it ever runs
+}
+
+void capture_bug(int node) {
+  auto c = [node]() -> sim::Task<void> {  // lambda-capture
+    co_await ping(node);
+  };
+  (void)c;
+}

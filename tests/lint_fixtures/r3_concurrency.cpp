@@ -1,0 +1,16 @@
+// Seeded R3 fixture: real OS concurrency and blocking waits.  vorx-lint
+// must exit non-zero on this file.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#include <mutex>
+#include <thread>
+
+std::mutex g_lock;
+
+void worker();
+
+void spin_up() {
+  std::thread t(worker);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  usleep(100);
+  t.join();
+}

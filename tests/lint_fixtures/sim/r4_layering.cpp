@@ -1,0 +1,8 @@
+// Seeded R4 fixture: a sim/-layer file reaching up into hw/ and vorx/.
+// vorx-lint must exit non-zero on this file.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#include "hw/link.hpp"
+#include "sim/simulator.hpp"
+#include "vorx/kernel.hpp"
+
+void simulate_nothing() {}

@@ -1,0 +1,317 @@
+// Self-test for vorx-lint (src/tools/lint): each rule family R1–R4 is fed
+// known-bad snippets and must produce the expected diagnostic, known-good
+// snippets must stay silent, and the seeded fixture files under
+// tests/lint_fixtures/ must reproduce their violations.  The clean-corpus
+// guarantee (the real src/ tree lints clean) is the separate vorx_lint_src
+// ctest case, which runs the binary itself.
+#include "tools/lint/linter.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hpcvorx::lint::Diagnostic;
+using hpcvorx::lint::Linter;
+
+std::vector<Diagnostic> lint(
+    std::vector<std::pair<std::string, std::string>> files) {
+  Linter l;
+  for (auto& [path, text] : files) l.add_source(path, text);
+  return l.run();
+}
+
+std::vector<Diagnostic> lint_one(const std::string& text,
+                                 const std::string& path = "vorx/snippet.cpp") {
+  return lint({{path, text}});
+}
+
+int count_check(const std::vector<Diagnostic>& diags, const std::string& rule,
+                const std::string& check) {
+  int n = 0;
+  for (const auto& d : diags)
+    if (d.rule == rule && d.check == check) ++n;
+  return n;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(std::string(LINT_FIXTURE_DIR) + "/" + name,
+                   std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --------------------------------------------------------------------------
+// R1: determinism
+// --------------------------------------------------------------------------
+
+TEST(LintR1, FlagsWallClocks) {
+  auto d = lint_one("void f() { auto t = std::chrono::system_clock::now(); }");
+  EXPECT_EQ(count_check(d, "R1", "banned-token"), 1);
+  EXPECT_EQ(1, count_check(lint_one("void f() { auto t = "
+                                    "std::chrono::steady_clock::now(); }"),
+                           "R1", "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { std::time(nullptr); }"), "R1",
+                           "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { ::time(nullptr); }"), "R1",
+                           "banned-token"));
+}
+
+TEST(LintR1, FlagsLibcPrngAndEnv) {
+  EXPECT_EQ(1, count_check(lint_one("int f() { return rand(); }"), "R1",
+                           "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { srand(42); }"), "R1",
+                           "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { std::random_device rd; }"),
+                           "R1", "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { getenv(\"HOME\"); }"), "R1",
+                           "banned-token"));
+}
+
+TEST(LintR1, FlagsBannedHeaders) {
+  EXPECT_EQ(1, count_check(lint_one("#include <chrono>\n"), "R1",
+                           "banned-header"));
+  EXPECT_EQ(1, count_check(lint_one("#include <random>\n"), "R1",
+                           "banned-header"));
+}
+
+TEST(LintR1, MemberRandAndSimTimeAreFine) {
+  EXPECT_TRUE(lint_one("void f(Rng& r) { r.rand(); }").empty());
+  EXPECT_TRUE(lint_one("void f() { auto t = sim::time(3); }").empty());
+  EXPECT_TRUE(lint_one("int my_rando() { return 4; }").empty());
+}
+
+TEST(LintR1, CommentsAndStringsAreImmune) {
+  EXPECT_TRUE(lint_one("// rand() and std::thread live here\n"
+                       "const char* s = \"rand() srand() getenv\";\n")
+                  .empty());
+  // Digit separators must not open a phantom char literal that swallows
+  // the rest of the file.
+  EXPECT_EQ(1, count_check(lint_one("const long k = 1'000'000;\n"
+                                    "int f() { return rand(); }\n"),
+                           "R1", "banned-token"));
+}
+
+// --------------------------------------------------------------------------
+// R2: coroutine safety
+// --------------------------------------------------------------------------
+
+TEST(LintR2, CoroutineMustReturnTaskOrProc) {
+  auto d = lint_one("int f() { co_return 1; }");
+  ASSERT_EQ(count_check(d, "R2", "coroutine-return-type"), 1);
+  EXPECT_NE(d[0].message.find("'f'"), std::string::npos);
+
+  EXPECT_TRUE(lint_one("sim::Task<int> f() { co_return 1; }").empty());
+  EXPECT_TRUE(lint_one("sim::Proc f() { co_await g(); }").empty());
+  // Qualified definitions must see through `Class::` to the return type.
+  EXPECT_TRUE(
+      lint_one("sim::Proc Kernel::rx_service() { co_await g(); }").empty());
+  EXPECT_EQ(1, count_check(
+                   lint_one("void Kernel::oops() { co_await g(); }"), "R2",
+                   "coroutine-return-type"));
+}
+
+TEST(LintR2, NonCoroutineHelpersAreFine) {
+  EXPECT_TRUE(lint_one("int add(int a, int b) { return a + b; }").empty());
+  // `operator co_await` declares an awaiter; it is not itself a coroutine.
+  EXPECT_TRUE(
+      lint_one("struct T { Awaiter operator co_await() { return {}; } };")
+          .empty());
+}
+
+TEST(LintR2, CapturingLambdaCoroutine) {
+  EXPECT_EQ(1, count_check(lint_one("void f(int n) {\n"
+                                    "  auto l = [n]() -> sim::Task<void> {"
+                                    " co_await g(n); };\n}"),
+                           "R2", "lambda-capture"));
+  // Capture-free lambda coroutines with a Task trailing type are fine.
+  EXPECT_TRUE(lint_one("void f() {\n"
+                       "  auto l = []() -> sim::Task<void> { co_return; };\n}")
+                  .empty());
+  // ...but with no trailing return type there is nothing to schedule.
+  EXPECT_EQ(1, count_check(lint_one("void f() {\n"
+                                    "  auto l = []() { co_return; };\n}"),
+                           "R2", "coroutine-return-type"));
+  // A lambda returned as a std::function must still be attributed to the
+  // lambda, not the enclosing factory (regression: `return [xs](...)`).
+  auto d = lint_one(
+      "vorx::AppFn make_server(std::string n) {\n"
+      "  return [n](vorx::Subprocess& sp) -> sim::Task<void> {\n"
+      "    co_await sp.open(n);\n  };\n}");
+  EXPECT_EQ(count_check(d, "R2", "lambda-capture"), 1);
+  EXPECT_EQ(count_check(d, "R2", "coroutine-return-type"), 0);
+}
+
+TEST(LintR2, DiscardedTask) {
+  const std::string header = "sim::Task<void> ping(int target);\n";
+  EXPECT_EQ(1, count_check(lint_one(header + "void f() { ping(1); }"), "R2",
+                           "discarded-task"));
+  EXPECT_TRUE(lint_one(header +
+                       "sim::Task<void> f() { co_await ping(1); }")
+                  .empty());
+  EXPECT_TRUE(lint_one(header + "void f() { auto t = ping(1); }").empty());
+  // Chained receiver, cross-file: declaration in the header, bare call in
+  // the .cpp.
+  auto d = lint({{"vorx/svc.hpp", "struct Svc { sim::Task<void> flush(); };"},
+                 {"vorx/use.cpp", "void f(Svc& s) { s.flush(); }"}});
+  EXPECT_EQ(count_check(d, "R2", "discarded-task"), 1);
+}
+
+TEST(LintR2, OverloadedNamesAreSkipped) {
+  // Link::send returns void while Channel::send returns Task — the audit
+  // must not guess which overload a bare call resolves to.
+  auto d = lint_one(
+      "sim::Task<void> send(int chan);\n"
+      "void send(double frame);\n"
+      "void f() { send(2.0); }");
+  EXPECT_EQ(count_check(d, "R2", "discarded-task"), 0);
+}
+
+// --------------------------------------------------------------------------
+// R3: no real concurrency or blocking
+// --------------------------------------------------------------------------
+
+TEST(LintR3, FlagsThreadsMutexesSleeps) {
+  EXPECT_EQ(1, count_check(lint_one("void f() { std::thread t(g); }"), "R3",
+                           "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("std::mutex g_lock;"), "R3",
+                           "banned-token"));
+  EXPECT_GE(count_check(
+                lint_one("void f() { std::this_thread::sleep_for(d); }"),
+                "R3", "banned-token"),
+            1);
+  EXPECT_EQ(1, count_check(lint_one("void f() { usleep(100); }"), "R3",
+                           "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { pthread_create(a, b, c, d); }"),
+                           "R3", "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("#include <thread>\n"), "R3",
+                           "banned-header"));
+}
+
+TEST(LintR3, SimSleepMembersAreFine) {
+  EXPECT_TRUE(lint_one("sim::Task<void> Subprocess::sleep(sim::Duration d) {"
+                       " co_await delay(sim_, d); }")
+                  .empty());
+  EXPECT_TRUE(lint_one("sim::Task<void> f(Subprocess& sp) {"
+                       " co_await sp.sleep(5); }")
+                  .empty());
+}
+
+// --------------------------------------------------------------------------
+// R4: layering
+// --------------------------------------------------------------------------
+
+TEST(LintR4, LowerLayersMayNotIncludeUpper) {
+  EXPECT_EQ(1, count_check(lint_one("#include \"hw/link.hpp\"\n",
+                                    "sim/event_queue.cpp"),
+                           "R4", "layer-inversion"));
+  EXPECT_EQ(1, count_check(lint_one("#include \"vorx/kernel.hpp\"\n",
+                                    "src/hw/cluster.cpp"),
+                           "R4", "layer-inversion"));
+  EXPECT_EQ(1, count_check(lint_one("#include \"apps/fft.hpp\"\n",
+                                    "vorx/system.cpp"),
+                           "R4", "layer-inversion"));
+}
+
+TEST(LintR4, UpperLayersMayIncludeLower) {
+  EXPECT_TRUE(lint_one("#include \"sim/simulator.hpp\"\n"
+                       "#include \"hw/link.hpp\"\n"
+                       "#include \"vorx/kernel.hpp\"\n",
+                       "apps/fft.cpp")
+                  .empty());
+  EXPECT_TRUE(lint_one("#include \"sim/simulator.hpp\"\n", "sim/cpu.cpp")
+                  .empty());
+}
+
+TEST(LintR4, PeerLeafLayersAreIsolated) {
+  EXPECT_EQ(1, count_check(lint_one("#include \"tools/cdb.hpp\"\n",
+                                    "apps/bitmap.cpp"),
+                           "R4", "peer-include"));
+  EXPECT_EQ(1, count_check(lint_one("#include \"apps/fft.hpp\"\n",
+                                    "tools/prof.cpp"),
+                           "R4", "peer-include"));
+}
+
+// --------------------------------------------------------------------------
+// Suppressions
+// --------------------------------------------------------------------------
+
+TEST(LintSuppress, LineDirectiveCoversItsLineAndTheNext) {
+  EXPECT_TRUE(lint_one("int f() { return rand(); }  "
+                       "// vorx-lint: allow(R1) seeding test corpus\n")
+                  .empty());
+  EXPECT_TRUE(lint_one("// vorx-lint: allow(R1) seeding test corpus\n"
+                       "int f() { return rand(); }\n")
+                  .empty());
+  // ...but not two lines down, and not other rules.
+  EXPECT_EQ(1, count_check(lint_one("// vorx-lint: allow(R1) too far away\n"
+                                    "int x;\n"
+                                    "int f() { return rand(); }\n"),
+                           "R1", "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("// vorx-lint: allow(R3) wrong rule\n"
+                                    "int f() { return rand(); }\n"),
+                           "R1", "banned-token"));
+}
+
+TEST(LintSuppress, FileDirectiveCoversWholeFile) {
+  EXPECT_TRUE(lint_one("// vorx-lint-file: allow(R1,R3) calibration shim\n"
+                       "int f() { return rand(); }\n"
+                       "std::mutex g_lock;\n")
+                  .empty());
+}
+
+// --------------------------------------------------------------------------
+// Seeded fixture files (the same ones the WILL_FAIL ctest cases feed to the
+// vorx-lint binary)
+// --------------------------------------------------------------------------
+
+TEST(LintFixtures, R1FixtureViolates) {
+  auto d = lint({{"r1_determinism.cpp", read_fixture("r1_determinism.cpp")}});
+  EXPECT_GE(count_check(d, "R1", "banned-token"), 4);
+  EXPECT_GE(count_check(d, "R1", "banned-header"), 1);
+}
+
+TEST(LintFixtures, R2FixtureViolates) {
+  auto d = lint({{"r2_coroutine.cpp", read_fixture("r2_coroutine.cpp")}});
+  EXPECT_EQ(count_check(d, "R2", "coroutine-return-type"), 1);
+  EXPECT_EQ(count_check(d, "R2", "discarded-task"), 1);
+  EXPECT_EQ(count_check(d, "R2", "lambda-capture"), 1);
+}
+
+TEST(LintFixtures, R3FixtureViolates) {
+  auto d = lint({{"r3_concurrency.cpp", read_fixture("r3_concurrency.cpp")}});
+  EXPECT_GE(count_check(d, "R3", "banned-token"), 3);
+  EXPECT_GE(count_check(d, "R3", "banned-header"), 2);
+}
+
+TEST(LintFixtures, R4FixtureViolates) {
+  auto d = lint({{"sim/r4_layering.cpp", read_fixture("sim/r4_layering.cpp")}});
+  EXPECT_EQ(count_check(d, "R4", "layer-inversion"), 2);
+}
+
+TEST(LintFixtures, CleanFixturePasses) {
+  auto d = lint({{"clean.cpp", read_fixture("clean.cpp")}});
+  EXPECT_TRUE(d.empty()) << d.size() << " unexpected diagnostics, first: "
+                         << (d.empty() ? "" : d[0].message);
+}
+
+// Diagnostics must come out sorted so runs are byte-identical (R1 applies
+// to the linter too).
+TEST(LintOutput, DiagnosticsAreSorted) {
+  auto d = lint({{"b.cpp", "int f() { return rand(); }\n"},
+                 {"a.cpp", "int g() { srand(1); return rand(); }\n"}});
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].file, "a.cpp");
+  EXPECT_EQ(d[1].file, "a.cpp");
+  EXPECT_EQ(d[2].file, "b.cpp");
+  EXPECT_LE(d[0].line, d[1].line);
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 // accounting (§5).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "vorx_test_util.hpp"
 
 namespace hpcvorx::vorx {
@@ -26,8 +28,9 @@ TEST(Subprocess, ThreeSubprocessStructureOverlapsInputComputeOutput) {
       "worker", [&](Subprocess& sp) -> sim::Task<void> {
         Channel* in = co_await sp.open("to-worker");
         Channel* out = co_await sp.open("from-worker");
-        auto* work = new VSemaphore(sp.node(), 0);     // input -> compute
-        auto* results = new VSemaphore(sp.node(), 0);  // compute -> output
+        // shared_ptr so the semaphores live as long as the worker closures.
+        auto work = std::make_shared<VSemaphore>(sp.node(), 0);     // in -> compute
+        auto results = std::make_shared<VSemaphore>(sp.node(), 0);  // compute -> out
         // Input subprocess.
         sp.process().spawn(
             [&, in, work](Subprocess& isp) -> sim::Task<void> {
@@ -103,8 +106,8 @@ TEST(Subprocess, ContextSwitchCostsEightyMicroseconds) {
   System sys(sim, SystemConfig{});
   constexpr int kRounds = 50;
   sys.node(0).spawn_process("pp", [&](Subprocess& sp) -> sim::Task<void> {
-    auto* ping = new VSemaphore(sp.node(), 0);
-    auto* pong = new VSemaphore(sp.node(), 0);
+    auto ping = std::make_shared<VSemaphore>(sp.node(), 0);
+    auto pong = std::make_shared<VSemaphore>(sp.node(), 0);
     sp.process().spawn(
         [ping, pong](Subprocess& a) -> sim::Task<void> {
           for (int i = 0; i < kRounds; ++i) {
@@ -140,8 +143,8 @@ TEST(Subprocess, CoroutineStructuringSwitchesCheaper) {
     System sys(sim, SystemConfig{});
     constexpr int kRounds = 50;
     sys.node(0).spawn_process("pp", [&](Subprocess& sp) -> sim::Task<void> {
-      auto* ping = new VSemaphore(sp.node(), 0);
-      auto* pong = new VSemaphore(sp.node(), 0);
+      auto ping = std::make_shared<VSemaphore>(sp.node(), 0);
+      auto pong = std::make_shared<VSemaphore>(sp.node(), 0);
       for (int side = 0; side < 2; ++side) {
         sp.process().spawn(
             [ping, pong, side](Subprocess& t) -> sim::Task<void> {
@@ -200,7 +203,7 @@ TEST(Subprocess, SemaphoreValuesAndFifoWakeups) {
   System sys(sim, SystemConfig{});
   std::vector<int> order;
   sys.node(0).spawn_process("sem", [&](Subprocess& sp) -> sim::Task<void> {
-    auto* s = new VSemaphore(sp.node(), 0);
+    auto s = std::make_shared<VSemaphore>(sp.node(), 0);
     for (int i = 0; i < 3; ++i) {
       sp.process().spawn(
           [s, i, &order](Subprocess& w) -> sim::Task<void> {
