@@ -68,19 +68,16 @@ double link_buffer_run(int frames) {
   return static_cast<double>(kMsgs) * 1024 / 1e6 / sim::to_sec(last - first);
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("Ablations: side-buffer and link-buffer sizing",
-                 "design choices behind §4's \"many side buffers\" and the "
-                 "HPC's whole-frame link buffering");
-
+void run(bench::Reporter& r) {
   bench::line("channel side buffers (bursty producer, slow consumer):");
   bench::line("%8s %14s %18s", "buffers", "us/msg", "retransmit reqs");
   for (std::size_t b : {1u, 2u, 4u, 8u, 16u, 32u}) {
     const auto [us, retx] = side_buffer_run(b);
     bench::line("%8zu %14.1f %18llu", b, us,
                 static_cast<unsigned long long>(retx));
+    r.row("ablation.side_buffers.us_per_msg.b" + std::to_string(b), "us", us);
+    r.row("ablation.side_buffers.retransmits.b" + std::to_string(b), "reqs",
+          static_cast<double>(retx));
   }
   bench::line("(the default of 16 makes exhaustion \"a rare occurrence\", as");
   bench::line("the paper says, without unbounded kernel memory)");
@@ -89,12 +86,21 @@ int main() {
   bench::line("hardware link buffer depth (raw 1024-B stream over 1 km fiber):");
   bench::line("%8s %14s", "frames", "MB/s");
   for (int f : {1, 2, 3, 4, 8}) {
-    bench::line("%8d %14.2f", f, link_buffer_run(f));
+    const double mbs = link_buffer_run(f);
+    bench::line("%8d %14.2f", f, mbs);
+    r.row("ablation.link_buffers.mbs.f" + std::to_string(f), "MB/s", mbs);
   }
   bench::line("(the curve is nearly flat: with even one whole-frame slot the");
   bench::line("68020-era software costs dominate — exactly the paper's claim");
   bench::line("that \"hardware communications latency in the HPC is much");
   bench::line("smaller than the latency introduced by the communications");
   bench::line("software\".  The reproduction uses 2 slots everywhere.)");
-  return 0;
 }
+
+}  // namespace
+
+HPCVORX_BENCH("ablation_buffers",
+              "Ablations: side-buffer and link-buffer sizing",
+              "design choices behind §4's \"many side buffers\" and the "
+              "HPC's whole-frame link buffering",
+              run);

@@ -73,11 +73,7 @@ sim::Proc vorx_user(sim::Simulator& sim, VorxAllocator& alloc, int user,
   if (!forgets_to_free) alloc.free_user(user);
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("Processor allocation policies under a multi-user day",
-                 "section 3.1 (allocate-at-exec vs explicit allocation)");
+void run_bench(bench::Reporter& r) {
   bench::line("%d users sharing %d processors, 1 hour of edit/compile/run",
               kUsers, kProcessors);
   bench::line("");
@@ -104,6 +100,9 @@ int main() {
                 wanted, failed, 100.0 * failed / std::max(1, wanted));
     bench::line("  time blocked waiting for processors: %s",
                 sim::format_duration(blocked).c_str());
+    r.row("sec31.meglos_not_available", "rejections",
+          static_cast<double>(failed));
+    r.row("sec31.meglos_blocked_min", "min", sim::to_sec(blocked) / 60.0);
   }
 
   // VORX: sessions are stable; one user forgets to free at the end.
@@ -124,10 +123,13 @@ int main() {
     bench::line("");
     bench::line("VORX (explicit user allocation):");
     bench::line("  runs attempted %d, failures %d", wanted, failed);
-    bench::line("  processors still held after the day (user 0 forgot): %d",
-                alloc.held_by(0));
+    r.row("sec31.vorx_failures", "rejections", static_cast<double>(failed));
+    r.row("sec31.vorx_held_after_day", "processors",
+          static_cast<double>(alloc.held_by(0)));
     const int reaped = alloc.reap_idle(kDay + sim::sec(7200), sim::sec(3600));
     bench::line("  idle reaper after 1 h of inactivity reclaims: %d", reaped);
+    r.row("sec31.idle_reaper_reclaims", "processors",
+          static_cast<double>(reaped));
   }
 
   bench::line("");
@@ -135,5 +137,11 @@ int main() {
   bench::line("disappearing in the middle of a program development session\";");
   bench::line("its cost is the forgotten-allocation problem, handled by the");
   bench::line("(careful) force-free command or an idle timeout.");
-  return 0;
 }
+
+}  // namespace
+
+HPCVORX_BENCH("allocation",
+              "Processor allocation policies under a multi-user day",
+              "section 3.1 (allocate-at-exec vs explicit allocation)",
+              run_bench);

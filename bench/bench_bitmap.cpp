@@ -7,22 +7,17 @@
 
 using namespace hpcvorx;
 
-int main() {
-  bench::heading("Real-time bitmap streaming to a workstation frame buffer",
-                 "section 4.1 (3.2 MB/s; 900x900 bi-level at 30 Hz)");
+namespace {
 
+void run(bench::Reporter& r) {
   {
     sim::Simulator sim;
     vorx::System sys(sim, vorx::SystemConfig{});
     apps::BitmapConfig cfg;
-    cfg.frames = 8;
+    cfg.frames = r.iters(8, 2);
     const apps::BitmapResult raw = apps::run_bitmap(sim, sys, cfg);
-    bench::line("%-38s %8.2f MB/s  (paper: 3.2, %+0.1f%%)",
-                "raw stream, hardware flow control", raw.mbytes_per_sec,
-                bench::dev(raw.mbytes_per_sec, 3.2));
-    bench::line("%-38s %8.1f fps   (paper: 30, %+0.1f%%)",
-                "900x900 bi-level refresh rate", raw.frames_per_sec,
-                bench::dev(raw.frames_per_sec, 30));
+    r.row("sec41.bitmap_raw_mbs", "MB/s", raw.mbytes_per_sec, 3.2);
+    r.row("sec41.bitmap_900x900_fps", "fps", raw.frames_per_sec, 30.0);
     bench::line("%-38s %8s", "pixel integrity end to end",
                 raw.checksum_ok ? "exact" : "CORRUPT");
   }
@@ -30,11 +25,10 @@ int main() {
     sim::Simulator sim;
     vorx::System sys(sim, vorx::SystemConfig{});
     apps::BitmapConfig cfg;
-    cfg.frames = 4;
+    cfg.frames = r.iters(4, 2);
     cfg.use_channels = true;
     const apps::BitmapResult chan = apps::run_bitmap(sim, sys, cfg);
-    bench::line("%-38s %8.2f MB/s  (the stop-and-wait ceiling)",
-                "same stream through channels", chan.mbytes_per_sec);
+    r.row("sec41.bitmap_channel_mbs", "MB/s", chan.mbytes_per_sec);
   }
 
   bench::line("");
@@ -46,11 +40,16 @@ int main() {
     apps::BitmapConfig cfg;
     cfg.width = side;
     cfg.height = side;
-    cfg.frames = 4;
+    cfg.frames = r.iters(4, 2);
     cfg.carry_pixels = false;
-    const apps::BitmapResult r = apps::run_bitmap(sim, sys, cfg);
-    bench::line("%6dx%-6d %12.2f %10.1f", side, side, r.mbytes_per_sec,
-                r.frames_per_sec);
+    const apps::BitmapResult res = apps::run_bitmap(sim, sys, cfg);
+    bench::line("%6dx%-6d %12.2f %10.1f", side, side, res.mbytes_per_sec,
+                res.frames_per_sec);
   }
-  return 0;
 }
+
+}  // namespace
+
+HPCVORX_BENCH("bitmap",
+              "Real-time bitmap streaming to a workstation frame buffer",
+              "section 4.1 (3.2 MB/s; 900x900 bi-level at 30 Hz)", run);

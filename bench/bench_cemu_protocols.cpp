@@ -17,7 +17,8 @@ using namespace hpcvorx;
 
 namespace {
 
-apps::CemuResult run(int blocks, apps::CemuTransport t, int window) {
+apps::CemuResult run(int blocks, apps::CemuTransport t, int window,
+                     int cycles) {
   sim::Simulator sim;
   vorx::SystemConfig cfg;
   cfg.nodes = blocks;
@@ -25,19 +26,16 @@ apps::CemuResult run(int blocks, apps::CemuTransport t, int window) {
   vorx::System sys(sim, cfg);
   apps::CemuConfig ccfg;
   ccfg.blocks = blocks;
-  ccfg.cycles = 300;
+  ccfg.cycles = cycles;
   ccfg.transport = t;
   ccfg.window = window;
   return apps::run_cemu(sim, sys, ccfg);
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("CEMU circuit simulation: stop-and-wait vs sliding window",
-                 "section 4.1 (the CEMU sliding-window experiments) and §5 "
-                 "(message-based MOS simulation)");
-  bench::line("random register-bounded circuit, 40 gates/block, 300 clock");
+void run_bench(bench::Reporter& r) {
+  const int cycles = r.iters(300, 100);
+  bench::line("random register-bounded circuit, 40 gates/block, %d clock",
+              cycles);
   bench::line("cycles, boundary flip-flop values exchanged every cycle;");
   bench::line("every row's distributed trace verified against serial");
   bench::line("");
@@ -45,13 +43,18 @@ int main() {
               "sliding window (cycles/s) by k");
   bench::line("%7s | %22s | %8s %8s %8s", "", "", "k=2", "k=8", "k=32");
   for (int blocks : {2, 4, 8}) {
-    const auto chan = run(blocks, apps::CemuTransport::kChannels, 0);
-    const auto w2 = run(blocks, apps::CemuTransport::kSlidingWindow, 2);
-    const auto w8 = run(blocks, apps::CemuTransport::kSlidingWindow, 8);
-    const auto w32 = run(blocks, apps::CemuTransport::kSlidingWindow, 32);
+    const auto chan = run(blocks, apps::CemuTransport::kChannels, 0, cycles);
+    const auto w2 = run(blocks, apps::CemuTransport::kSlidingWindow, 2, cycles);
+    const auto w8 = run(blocks, apps::CemuTransport::kSlidingWindow, 8, cycles);
+    const auto w32 =
+        run(blocks, apps::CemuTransport::kSlidingWindow, 32, cycles);
     bench::line("%7d | %18.0f %s | %8.0f %8.0f %8.0f", blocks,
                 chan.cycles_per_sec, chan.matches_serial ? "ok " : "BAD",
                 w2.cycles_per_sec, w8.cycles_per_sec, w32.cycles_per_sec);
+    r.row("cemu.cycles_per_sec.channels.b" + std::to_string(blocks),
+          "cycles/s", chan.cycles_per_sec);
+    r.row("cemu.cycles_per_sec.window_k8.b" + std::to_string(blocks),
+          "cycles/s", w8.cycles_per_sec);
     if (!w2.matches_serial || !w8.matches_serial || !w32.matches_serial) {
       bench::line("  !! trace mismatch at %d blocks", blocks);
     }
@@ -62,5 +65,12 @@ int main() {
   bench::line("full stop-and-wait round trip per boundary message.  The gain");
   bench::line("saturates with k — the \"update rate\" tuning the paper calls");
   bench::line("application-specific.");
-  return 0;
 }
+
+}  // namespace
+
+HPCVORX_BENCH("cemu_protocols",
+              "CEMU circuit simulation: stop-and-wait vs sliding window",
+              "section 4.1 (the CEMU sliding-window experiments) and §5 "
+              "(message-based MOS simulation)",
+              run_bench);

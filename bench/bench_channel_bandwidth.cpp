@@ -39,25 +39,24 @@ Stream stream(std::uint32_t bytes, int msgs) {
   return s;
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("Channel latency and bandwidth headline numbers",
-                 "section 4 (303 us / 4 B; 1027 kB/s at 1024 B)");
-  const Stream small = stream(4, 1000);
-  const Stream big = stream(1024, 1000);
-  bench::line("%-34s %12s %12s %8s", "metric", "measured", "paper", "dev%");
-  bench::line("%-34s %9.1f us %9.0f us %+7.1f%%",
-              "4-byte end-to-end latency", small.us_per_msg, 303.0,
-              bench::dev(small.us_per_msg, 303));
-  bench::line("%-34s %7.0f kB/s %7.0f kB/s %+7.1f%%",
-              "1024-byte stream bandwidth", big.kbytes_per_sec, 1027.0,
-              bench::dev(big.kbytes_per_sec, 1027));
+void run(bench::Reporter& r) {
+  const int msgs = r.iters(1000, 200);
+  const Stream small = stream(4, msgs);
+  const Stream big = stream(1024, msgs);
+  r.row("sec4.latency_4B_us", "us", small.us_per_msg, 303.0);
+  r.row("sec4.bandwidth_1024B_kbs", "kB/s", big.kbytes_per_sec, 1027.0);
   bench::line("");
   bench::line("bandwidth vs message size (stop-and-wait: one ack per message):");
   bench::line("%10s %14s", "size", "kB/s");
   for (std::uint32_t b : {16u, 64u, 128u, 256u, 512u, 1024u}) {
-    bench::line("%8u B %14.0f", b, stream(b, 500).kbytes_per_sec);
+    const double kbs = stream(b, r.iters(500, 100)).kbytes_per_sec;
+    bench::line("%8u B %14.0f", b, kbs);
+    r.row("sec4.bandwidth_kbs." + std::to_string(b) + "B", "kB/s", kbs);
   }
-  return 0;
 }
+
+}  // namespace
+
+HPCVORX_BENCH("channel_bandwidth",
+              "Channel latency and bandwidth headline numbers",
+              "section 4 (303 us / 4 B; 1027 kB/s at 1024 B)", run);

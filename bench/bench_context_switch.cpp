@@ -17,7 +17,7 @@ using vorx::VSemaphore;
 
 namespace {
 
-constexpr int kRounds = 500;
+int kRounds = 500;  // reduced in --quick mode
 
 // Two contexts hand a token back and forth; returns us per handoff.
 double pingpong_us(sim::Duration switch_cost) {
@@ -57,7 +57,7 @@ double interrupt_level_us() {
     vorx::Udco* u = co_await sp.open_udco("iping");
     u->set_isr([&, u](hw::Frame f) {
       // Echo from interrupt level: no subprocess ever wakes.
-      if (f.seq < kRounds) {
+      if (f.seq < static_cast<std::uint64_t>(kRounds)) {
         hw::Frame back;
         back.kind = vorx::msg::kUdco;
         back.obj = u->peer_end_id();
@@ -84,27 +84,22 @@ double interrupt_level_us() {
   return sim::to_usec(ended - started) / kRounds;
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("Context switching and the §5 structuring alternatives",
-                 "section 5 (80 us full switch; coroutines; interrupt level)");
+void run(bench::Reporter& r) {
+  kRounds = r.iters(500, 100);
   const auto& costs = vorx::default_cost_model();
 
   const double sub = pingpong_us(costs.subprocess_switch);
   const double coro = pingpong_us(costs.coroutine_switch);
   bench::line("token handoff between two execution contexts on one node:");
-  bench::line("%-42s %8.1f us/handoff", "subprocesses (full register save)",
-              sub);
-  bench::line("%-42s %8.1f us/handoff", "coroutines (switch at known points)",
-              coro);
-  bench::line("%-42s %8.1f us   (the §5 figure)", "  of which context switch",
-              sim::to_usec(costs.subprocess_switch));
+  r.row("sec5.subprocess_handoff_us", "us", sub);
+  r.row("sec5.coroutine_handoff_us", "us", coro);
+  r.row("sec5.context_switch_us", "us", sim::to_usec(costs.subprocess_switch),
+        80.0);
   bench::line("");
   bench::line("remote ping-pong where one side is structured entirely at");
   bench::line("interrupt level (no context restore on that node):");
   const double isr = interrupt_level_us();
-  bench::line("%-42s %8.1f us/round", "ISR-echo round trip", isr);
+  r.row("sec5.isr_echo_us", "us", isr);
 
   // Reference: the same remote ping-pong with a normally-scheduled peer.
   sim::Simulator sim;
@@ -127,7 +122,13 @@ int main() {
     ended = sim.now();
   });
   sim.run();
-  bench::line("%-42s %8.1f us/round", "subprocess-echo round trip",
-              sim::to_usec(ended - started) / kRounds);
-  return 0;
+  r.row("sec5.subprocess_echo_us", "us",
+        sim::to_usec(ended - started) / kRounds);
 }
+
+}  // namespace
+
+HPCVORX_BENCH("context_switch",
+              "Context switching and the §5 structuring alternatives",
+              "section 5 (80 us full switch; coroutines; interrupt level)",
+              run);

@@ -38,31 +38,34 @@ LaunchStats run(int nodes, DownloadScheme scheme) {
   return *stats;
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("Program download: per-process stubs vs shared stub + tree",
-                 "section 3.3 (12 s vs 2 s for 70 processes)");
+void run_bench(bench::Reporter& r) {
   bench::line("256 kB program image, download + start every process");
   bench::line("");
   bench::line("%6s | %18s %6s | %18s %6s | %8s", "procs", "per-process stubs",
               "stubs", "tree download", "stubs", "speedup");
-  for (int nodes : {4, 8, 16, 32, 48, 64, 70}) {
+  const std::vector<int> sweep =
+      r.quick() ? std::vector<int>{4, 16, 70}
+                : std::vector<int>{4, 8, 16, 32, 48, 64, 70};
+  LaunchStats a70, b70;
+  for (int nodes : sweep) {
     const LaunchStats a = run(nodes, DownloadScheme::kPerProcessStubs);
     const LaunchStats b = run(nodes, DownloadScheme::kSharedStubTree);
     bench::line("%6d | %15.2f s  %6d | %15.2f s  %6d | %7.1fx", nodes,
                 sim::to_sec(a.elapsed()), a.stubs_created,
                 sim::to_sec(b.elapsed()), b.stubs_created,
                 sim::to_sec(a.elapsed()) / sim::to_sec(b.elapsed()));
+    if (nodes == 70) {
+      a70 = a;
+      b70 = b;
+    }
   }
   bench::line("");
-  const LaunchStats a70 = run(70, DownloadScheme::kPerProcessStubs);
-  const LaunchStats b70 = run(70, DownloadScheme::kSharedStubTree);
-  bench::line("paper @70: 12 s vs 2 s.  measured: %.1f s (%+.0f%%) vs %.1f s "
-              "(%+.0f%%)",
-              sim::to_sec(a70.elapsed()),
-              bench::dev(sim::to_sec(a70.elapsed()), 12.0),
-              sim::to_sec(b70.elapsed()),
-              bench::dev(sim::to_sec(b70.elapsed()), 2.0));
-  return 0;
+  r.row("sec33.per_process_stubs_s_70", "s", sim::to_sec(a70.elapsed()), 12.0);
+  r.row("sec33.shared_stub_tree_s_70", "s", sim::to_sec(b70.elapsed()), 2.0);
 }
+
+}  // namespace
+
+HPCVORX_BENCH("download",
+              "Program download: per-process stubs vs shared stub + tree",
+              "section 3.3 (12 s vs 2 s for 70 processes)", run_bench);

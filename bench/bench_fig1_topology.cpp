@@ -31,12 +31,7 @@ void render_system(vorx::System& sys) {
   bench::line("");
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("Figure 1 — A Typical Local Area Multiprocessor System",
-                 "Figure 1 + the §1 interconnect-scaling claims");
-
+void run(bench::Reporter& r) {
   // The paper's operational system: 70 nodes + 10 workstations.
   sim::Simulator sim;
   vorx::SystemConfig cfg;
@@ -66,9 +61,11 @@ int main() {
   for (const auto& [len, count] : histo) {
     bench::line("  %d hops: %6d station pairs", len, count);
   }
-  bench::line("  mean %.2f, max %d (hardware latency stays far below the",
-              static_cast<double>(total) / static_cast<double>(pairs), max_len);
-  bench::line("  ~300 us software latency, as the paper requires)");
+  r.row("fig1.mean_route_hops", "hops",
+        static_cast<double>(total) / static_cast<double>(pairs));
+  r.row("fig1.max_route_hops", "hops", static_cast<double>(max_len));
+  bench::line("  (hardware latency stays far below the ~300 us software");
+  bench::line("  latency, as the paper requires)");
 
   // §1 claim: "A hypercube-based system with 1024 nodes can be built with
   // 256 clusters by using 8 of the 12 ports on each cluster for
@@ -82,6 +79,8 @@ int main() {
               big->num_stations(), big->num_clusters(),
               hw::dimension_of(big->num_clusters()),
               big->num_clusters() == 256 ? "MATCHES" : "MISMATCH");
+  r.row("fig1.clusters_for_1024_nodes", "clusters",
+        static_cast<double>(big->num_clusters()), 256.0);
 
   // And a delivered-frame sanity pass across the production system: one
   // frame between the extreme stations in each direction.
@@ -97,7 +96,12 @@ int main() {
     sim.run();
   }
   bench::line("");
-  bench::line("end-to-end delivery across the figure's system: %d/4 frames",
-              delivered);
-  return 0;
+  r.row("fig1.extreme_pair_frames_delivered", "frames",
+        static_cast<double>(delivered));
 }
+
+}  // namespace
+
+HPCVORX_BENCH("fig1_topology",
+              "Figure 1 — A Typical Local Area Multiprocessor System",
+              "Figure 1 + the §1 interconnect-scaling claims", run);

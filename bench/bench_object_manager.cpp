@@ -55,28 +55,42 @@ Result run(int nodes, bool centralized) {
   return r;
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("Channel-open set-up: centralized vs distributed managers",
-                 "section 3.2 (the resource-manager bottleneck)");
+void run_bench(bench::Reporter& r) {
   bench::line("start-up storm: every node opens channels to its two ring "
               "neighbours at once");
   bench::line("");
   bench::line("%6s | %16s %10s | %16s %10s | %8s", "nodes",
               "Meglos setup ms", "max queue", "VORX setup ms", "max queue",
               "speedup");
-  for (int nodes : {4, 8, 12, 16, 24, 32, 48, 64, 70}) {
+  const std::vector<int> sweep = r.quick()
+                                     ? std::vector<int>{4, 8, 16, 32, 70}
+                                     : std::vector<int>{4, 8, 12, 16, 24, 32,
+                                                        48, 64, 70};
+  for (int nodes : sweep) {
     const Result meglos = run(nodes, true);
     const Result vorx = run(nodes, false);
     bench::line("%6d | %16.2f %10zu | %16.2f %10zu | %7.1fx", nodes,
                 meglos.setup_ms, meglos.max_queue, vorx.setup_ms,
                 vorx.max_queue, meglos.setup_ms / vorx.setup_ms);
+    if (nodes == 70) {
+      r.row("sec32.meglos_setup_ms_70", "ms", meglos.setup_ms);
+      r.row("sec32.vorx_setup_ms_70", "ms", vorx.setup_ms);
+      r.row("sec32.speedup_70", "x", meglos.setup_ms / vorx.setup_ms);
+      r.row("sec32.meglos_max_queue_70", "opens",
+            static_cast<double>(meglos.max_queue));
+      r.row("sec32.vorx_max_queue_70", "opens",
+            static_cast<double>(vorx.max_queue));
+    }
   }
   bench::line("");
   bench::line("paper: \"this is appropriate for a small system, [but] causes a");
   bench::line("serious performance bottleneck for systems with over ten");
   bench::line("processors\" — the Meglos column grows linearly with the node");
   bench::line("count while the VORX column stays nearly flat.");
-  return 0;
 }
+
+}  // namespace
+
+HPCVORX_BENCH("object_manager",
+              "Channel-open set-up: centralized vs distributed managers",
+              "section 3.2 (the resource-manager bottleneck)", run_bench);

@@ -114,35 +114,40 @@ Outcome run_hpc(int senders, std::uint32_t bytes, int per_sender) {
   return o;
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("S/NET flow control vs HPC hardware flow control",
-                 "section 2 (fifo overflow, lockout, recovery strategies)");
-
-  bench::line("many-to-one burst: 4 senders x 50 messages of 1000 B, 0.5 s budget");
+void run(bench::Reporter& r) {
+  const int per = r.iters(50, 15);
+  bench::line("many-to-one burst: 4 senders x %d messages of 1000 B", per);
   bench::line("%-28s %10s %12s %10s %10s", "strategy", "delivered",
               "us/delivered", "overflows", "partials");
-  const auto busy = run_snet(SnetPolicy::kBusyRetry, 4, 1000, 50, sim::msec(500));
+  const auto busy =
+      run_snet(SnetPolicy::kBusyRetry, 4, 1000, per, sim::msec(500));
   bench::line("%-28s %10d %12.0f %10llu %10llu",
               "S/NET busy retransmission", busy.delivered, busy.per_msg_us,
               static_cast<unsigned long long>(busy.overflows),
               static_cast<unsigned long long>(busy.partials));
   const auto back =
-      run_snet(SnetPolicy::kRandomBackoff, 4, 1000, 50, sim::sec(30));
+      run_snet(SnetPolicy::kRandomBackoff, 4, 1000, per, sim::sec(30));
   bench::line("%-28s %10d %12.0f %10llu %10llu", "S/NET random backoff",
               back.delivered, back.per_msg_us,
               static_cast<unsigned long long>(back.overflows),
               static_cast<unsigned long long>(back.partials));
   const auto resv =
-      run_snet(SnetPolicy::kReservation, 4, 1000, 50, sim::sec(30));
+      run_snet(SnetPolicy::kReservation, 4, 1000, per, sim::sec(30));
   bench::line("%-28s %10d %12.0f %10llu %10llu", "S/NET reservation",
               resv.delivered, resv.per_msg_us,
               static_cast<unsigned long long>(resv.overflows),
               static_cast<unsigned long long>(resv.partials));
-  const auto hpc = run_hpc(4, 1000, 50);
+  const auto hpc = run_hpc(4, 1000, per);
   bench::line("%-28s %10d %12.0f %10s %10s", "HPC hardware flow control",
               hpc.delivered, hpc.per_msg_us, "impossible", "none");
+  r.row("sec2.busy_retry.delivered", "msgs",
+        static_cast<double>(busy.delivered));
+  r.row("sec2.busy_retry.overflows", "events",
+        static_cast<double>(busy.overflows));
+  r.row("sec2.backoff.us_per_delivered", "us", back.per_msg_us);
+  r.row("sec2.reservation.overflows", "events",
+        static_cast<double>(resv.overflows));
+  r.row("sec2.hpc.us_per_delivered", "us", hpc.per_msg_us);
 
   bench::line("");
   bench::line("reservation tax on an uncontended message (the reason §2 rejected it):");
@@ -151,6 +156,8 @@ int main() {
   bench::line("  direct send: %.0f us     with reservation: %.0f us (+%.0f%%)",
               one_direct.per_msg_us, one_resv.per_msg_us,
               bench::dev(one_resv.per_msg_us, one_direct.per_msg_us));
+  r.row("sec2.reservation_tax_pct", "%",
+        bench::dev(one_resv.per_msg_us, one_direct.per_msg_us));
 
   bench::line("");
   bench::line("the Meglos workaround (\"12 processors could each send a 150 byte");
@@ -158,5 +165,12 @@ int main() {
   const auto meglos = run_snet(SnetPolicy::kBusyRetry, 12, 150, 1, sim::sec(1));
   bench::line("  12 x 150 B: delivered %d/12, overflows %llu", meglos.delivered,
               static_cast<unsigned long long>(meglos.overflows));
-  return 0;
+  r.row("sec2.meglos_12x150.overflows", "events",
+        static_cast<double>(meglos.overflows), 0.0);
 }
+
+}  // namespace
+
+HPCVORX_BENCH("snet_flow_control",
+              "S/NET flow control vs HPC hardware flow control",
+              "section 2 (fifo overflow, lockout, recovery strategies)", run);

@@ -15,11 +15,10 @@ using vorx::Udco;
 
 namespace {
 
-double one_way_latency_us(std::uint32_t bytes, bool channels) {
+double one_way_latency_us(std::uint32_t bytes, bool channels, int kMsgs) {
   sim::Simulator sim;
   vorx::System sys(sim, vorx::SystemConfig{});
   std::vector<sim::Duration> lat;
-  constexpr int kMsgs = 500;
   sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
     if (channels) {
       vorx::Channel* ch = co_await sp.open("lat");
@@ -68,18 +67,12 @@ double one_way_latency_us(std::uint32_t bytes, bool channels) {
   return sim::to_usec(sim.now() - started) / kMsgs / 2.0;
 }
 
-}  // namespace
-
-int main() {
-  bench::heading("Parallel SPICE: raw 64-byte latency and the full solve",
-                 "section 4.1 (60 us / 64 B with no protocol)");
-  const double raw = one_way_latency_us(64, false);
-  const double chan = one_way_latency_us(64, true);
-  bench::line("%-44s %10.1f us  (paper: 60 us, %+0.1f%%)",
-              "64-byte one-way, user-defined object", raw,
-              bench::dev(raw, 60));
-  bench::line("%-44s %10.1f us  (the protocol tax)",
-              "64-byte one-way, channel protocol", chan);
+void run_bench(bench::Reporter& r) {
+  const int msgs = r.iters(500, 100);
+  const double raw = one_way_latency_us(64, false, msgs);
+  const double chan = one_way_latency_us(64, true, msgs);
+  r.row("sec41.spice_raw_64B_us", "us", raw, 60.0);
+  r.row("sec41.spice_channel_64B_us", "us", chan);
   bench::line("");
 
   bench::line("distributed conductance-matrix solve (CG, 8-wide grid = 64-byte halos):");
@@ -109,6 +102,14 @@ int main() {
                 raw_res.matches_serial && chan_res.matches_serial
                     ? "(verified)"
                     : "(MISMATCH)");
+    r.row("sec41.spice_solve_speedup.8x" + std::to_string(ny) + "p" +
+              std::to_string(p),
+          "x", sim::to_msec(chan_res.elapsed) / sim::to_msec(raw_res.elapsed));
   }
-  return 0;
 }
+
+}  // namespace
+
+HPCVORX_BENCH("spice_latency",
+              "Parallel SPICE: raw 64-byte latency and the full solve",
+              "section 4.1 (60 us / 64 B with no protocol)", run_bench);

@@ -24,10 +24,15 @@ using vorx::Udco;
 
 namespace {
 
-double measure(int buffers, std::uint32_t bytes) {
+double measure(bench::Reporter& rep, int buffers, std::uint32_t bytes,
+               int kMsgs) {
   sim::Simulator sim;
-  vorx::System sys(sim, vorx::SystemConfig{});
-  constexpr int kMsgs = 1000;
+  vorx::SystemConfig cfg;
+  // --trace: the protocol bookkeeping runs as user-category compute, so
+  // these traces show all four slice kinds (user/system/ctxsw/idle).
+  cfg.record_intervals = rep.tracing();
+  cfg.record_counters = rep.tracing();
+  vorx::System sys(sim, cfg);
   sim::SimTime started = 0, ended = 0;
   sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
     Udco* u = co_await sp.open_udco("swp");
@@ -43,16 +48,14 @@ double measure(int buffers, std::uint32_t bytes) {
     for (int i = 0; i < kMsgs; ++i) (void)co_await rx.recv(sp);
   });
   sim.run();
+  rep.export_trace(sys,
+                   "b" + std::to_string(buffers) + "." +
+                       std::to_string(bytes) + "B");
   return sim::to_usec(ended - started) / kMsgs;
 }
 
-}  // namespace
-
-int main() {
-  bench::heading(
-      "Table 1 — Message Latency for Reader-Active Communications Protocol",
-      "Table 1 (sliding-window protocol over a user-defined object, 1000 "
-      "messages per cell)");
+void run(bench::Reporter& rep) {
+  const int msgs = rep.iters(1000, 150);
   const double paper[7][4] = {{414, 451, 574, 1071}, {290, 317, 412, 787},
                               {227, 251, 330, 644},  {196, 218, 289, 573},
                               {179, 200, 267, 535},  {172, 192, 257, 518},
@@ -66,9 +69,12 @@ int main() {
     char row[256];
     int off = std::snprintf(row, sizeof row, "%7d |", bufs[r]);
     for (int c = 0; c < 4; ++c) {
-      const double us = measure(bufs[r], sizes[c]);
+      const double us = measure(rep, bufs[r], sizes[c], msgs);
       off += std::snprintf(row + off, sizeof row - static_cast<size_t>(off),
                            " %9.0f /%5.0f us    |", us, paper[r][c]);
+      rep.row("table1.latency_us.b" + std::to_string(bufs[r]) + "." +
+                  std::to_string(sizes[c]) + "B",
+              "us", us, paper[r][c]);
     }
     bench::line("%s", row);
   }
@@ -82,5 +88,13 @@ int main() {
   bench::line(
       "the floor at smaller k than the paper's hardware did; the endpoints");
   bench::line("and the crossover against channels match (see EXPERIMENTS.md).");
-  return 0;
 }
+
+}  // namespace
+
+HPCVORX_BENCH(
+    "table1_sliding_window",
+    "Table 1 — Message Latency for Reader-Active Communications Protocol",
+    "Table 1 (sliding-window protocol over a user-defined object, 1000 "
+    "messages per cell)",
+    run);

@@ -15,37 +15,42 @@ using vorx::Subprocess;
 
 namespace {
 
-double measure(std::uint32_t bytes) {
+double measure(bench::Reporter& r, std::uint32_t bytes, int msgs) {
   sim::Simulator sim;
-  vorx::System sys(sim, vorx::SystemConfig{});
-  constexpr int kMsgs = 1000;
+  vorx::SystemConfig cfg;
+  // --trace: record ledger intervals and counters and export the run as a
+  // Perfetto-loadable trace (one file per message size).
+  cfg.record_intervals = r.tracing();
+  cfg.record_counters = r.tracing();
+  vorx::System sys(sim, cfg);
   sim::SimTime started = 0, ended = 0;
   sys.node(0).spawn_process("tx", [&](Subprocess& sp) -> sim::Task<void> {
     Channel* ch = co_await sp.open("bench");
     started = sim.now();
-    for (int i = 0; i < kMsgs; ++i) co_await sp.write(*ch, bytes);
+    for (int i = 0; i < msgs; ++i) co_await sp.write(*ch, bytes);
     ended = sim.now();
   });
   sys.node(1).spawn_process("rx", [&](Subprocess& sp) -> sim::Task<void> {
     Channel* ch = co_await sp.open("bench");
-    for (int i = 0; i < kMsgs; ++i) (void)co_await sp.read(*ch);
+    for (int i = 0; i < msgs; ++i) (void)co_await sp.read(*ch);
   });
   sim.run();
-  return sim::to_usec(ended - started) / kMsgs;
+  r.export_trace(sys, std::to_string(bytes) + "B");
+  return sim::to_usec(ended - started) / msgs;
+}
+
+void run(bench::Reporter& r) {
+  const int msgs = r.iters(1000, 200);
+  const std::pair<std::uint32_t, double> rows[] = {
+      {4, 303}, {64, 341}, {256, 474}, {1024, 997}};
+  for (const auto& [bytes, paper] : rows) {
+    r.row("table2.latency_us." + std::to_string(bytes) + "B", "us",
+          measure(r, bytes, msgs), paper);
+  }
 }
 
 }  // namespace
 
-int main() {
-  bench::heading("Table 2 — Message Latency for Channel Communications",
-                 "Table 2 (stop-and-wait channel protocol, 1000 messages)");
-  bench::line("%10s %14s %14s %8s", "size", "measured us", "paper us", "dev%");
-  const std::pair<std::uint32_t, double> rows[] = {
-      {4, 303}, {64, 341}, {256, 474}, {1024, 997}};
-  for (const auto& [bytes, paper] : rows) {
-    const double us = measure(bytes);
-    bench::line("%8u B %14.1f %14.0f %+7.1f%%", bytes, us, paper,
-                bench::dev(us, paper));
-  }
-  return 0;
-}
+HPCVORX_BENCH("table2_channels",
+              "Table 2 — Message Latency for Channel Communications",
+              "Table 2 (stop-and-wait channel protocol, 1000 messages)", run);

@@ -1,13 +1,44 @@
-// Shared output helpers for the reproduction benchmarks.  Every bench
-// prints the rows/series of the paper artifact it regenerates, with the
-// paper's value alongside where one exists.
+// The shared bench harness.  Every reproduction benchmark registers a run
+// function with HPCVORX_BENCH; the common entry point (bench_main.cpp,
+// linked into every bench binary — see bench/CMakeLists.txt) runs the
+// registered benches and can emit one machine-readable BENCH_results.json
+// whose rows EXPERIMENTS.md references by metric key.
+//
+// A bench does two kinds of output:
+//   * bench::line(...) — free-form human-readable tables and commentary;
+//   * Reporter::row(metric, unit, measured[, paper]) — one recorded result
+//     row per paper-table cell or headline number.  Rows are echoed to
+//     stdout with their metric key and land in the JSON file.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
+
+namespace hpcvorx::vorx {
+class System;
+}  // namespace hpcvorx::vorx
 
 namespace hpcvorx::bench {
+
+/// One machine-readable result: a cell of a paper table, a headline
+/// number, or a reproduction-only measurement.  `paper` holds the
+/// published value when the artifact has one.
+struct Row {
+  std::string bench;
+  std::string metric;
+  std::string unit;
+  double measured = 0;
+  std::optional<double> paper;
+};
+
+/// Percent deviation of measured from paper, for side-by-side columns.
+inline double dev(double measured, double paper) {
+  return paper != 0 ? 100.0 * (measured - paper) / paper : 0.0;
+}
 
 inline void heading(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");
@@ -24,9 +55,87 @@ inline void line(const char* fmt, ...) {
   std::printf("\n");
 }
 
-/// Percent deviation of measured from paper, for side-by-side columns.
-inline double dev(double measured, double paper) {
-  return paper != 0 ? 100.0 * (measured - paper) / paper : 0.0;
+/// Collects the rows of one bench run and carries the run mode.
+class Reporter {
+ public:
+  Reporter(std::string bench_name, bool quick, std::string trace_dir = "")
+      : bench_(std::move(bench_name)),
+        quick_(quick),
+        trace_dir_(std::move(trace_dir)) {}
+
+  /// Records a reproduction-only measurement (no paper value).
+  void row(const std::string& metric, const std::string& unit,
+           double measured) {
+    rows_.push_back(Row{bench_, metric, unit, measured, std::nullopt});
+    std::printf("  -> %-44s %14.3f %s\n", metric.c_str(), measured,
+                unit.c_str());
+  }
+
+  /// Records a measurement next to the paper's published value.
+  void row(const std::string& metric, const std::string& unit, double measured,
+           double paper) {
+    rows_.push_back(Row{bench_, metric, unit, measured, paper});
+    std::printf("  -> %-44s %14.3f %-5s (paper %g, %+.1f%%)\n", metric.c_str(),
+                measured, unit.c_str(), paper, dev(measured, paper));
+  }
+
+  /// Quick mode (--quick): the CI smoke run, with reduced iteration
+  /// counts.  Benches that sweep should keep every metric key and shrink
+  /// only the per-cell work, so the JSON schema is identical in both
+  /// modes.
+  [[nodiscard]] bool quick() const { return quick_; }
+  /// Convenience: pick an iteration count by mode.
+  [[nodiscard]] int iters(int full, int quick_count) const {
+    return quick_ ? quick_count : full;
+  }
+
+  /// Trace mode (--trace DIR): benches that opt in should build their
+  /// System with record_intervals and record_counters set, then hand it to
+  /// export_trace after sim.run().
+  [[nodiscard]] bool tracing() const { return !trace_dir_.empty(); }
+  /// Writes `<dir>/<bench>.<tag>.trace.json` (Chrome trace_event format,
+  /// loadable in Perfetto).  No-op unless --trace was given.
+  void export_trace(vorx::System& sys, const std::string& tag);
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::string bench_;
+  bool quick_;
+  std::string trace_dir_;
+  std::vector<Row> rows_;
+};
+
+using BenchFn = void (*)(Reporter&);
+
+struct Bench {
+  std::string name;       // stable id; the JSON rows' "bench" field
+  std::string title;      // human heading
+  std::string paper_ref;  // which paper artifact this regenerates
+  BenchFn fn;
+};
+
+/// Every bench linked into this binary, in registration order (the runner
+/// sorts by name before executing).
+inline std::vector<Bench>& registry() {
+  static std::vector<Bench> r;
+  return r;
 }
+
+struct Registration {
+  Registration(std::string name, std::string title, std::string paper_ref,
+               BenchFn fn) {
+    registry().push_back(
+        Bench{std::move(name), std::move(title), std::move(paper_ref), fn});
+  }
+};
+
+/// Registers `fn` (void(bench::Reporter&)) under `name`.  One per
+/// translation unit.
+#define HPCVORX_BENCH(name, title, paper_ref, fn)            \
+  static const ::hpcvorx::bench::Registration                \
+      hpcvorx_bench_registration_ {                          \
+    name, title, paper_ref, fn                               \
+  }
 
 }  // namespace hpcvorx::bench

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links and file references.
+
+Usage: check_md_links.py [ROOT]
+
+For every *.md under ROOT (default: cwd; .git and build trees skipped):
+  * [text](target) links: relative targets must exist (anchors and
+    external http(s)/mailto targets are skipped — CI runs offline);
+  * `path` code spans that look like repo paths (contain a '/' and one of
+    the known top-level directories) must name an existing file or
+    directory, so docs rot loudly when code moves.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+SPAN_RE = re.compile(r"`([A-Za-z0-9_./-]+)`")
+TOP_DIRS = ("src/", "bench/", "tests/", "examples/", "scripts/", ".github/")
+SKIP_DIRS = {".git", "build", "build-asan", "bench_artifacts", ".claude"}
+# Per-PR scratch files, not maintained documentation.
+SKIP_FILES = {"ISSUE.md"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def check_file(root, path):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    base = os.path.dirname(path)
+
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not os.path.exists(os.path.join(base, rel)):
+            errors.append(f"broken link ({target})")
+
+    for m in SPAN_RE.finditer(text):
+        span = m.group(1)
+        if not span.startswith(TOP_DIRS):
+            continue
+        # `src/vorx/channel` names a module: accept path, path.hpp, path.cpp.
+        candidates = [span, span + ".hpp", span + ".cpp", span + ".py"]
+        if not any(os.path.exists(os.path.join(root, c)) for c in candidates):
+            errors.append(f"dangling path reference `{span}`")
+
+    return errors
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "."
+    bad = 0
+    for path in sorted(md_files(root)):
+        for err in check_file(root, path):
+            print(f"{os.path.relpath(path, root)}: {err}", file=sys.stderr)
+            bad += 1
+    if bad:
+        print(f"check_md_links: FAIL: {bad} problem(s)", file=sys.stderr)
+        return 1
+    print("check_md_links: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

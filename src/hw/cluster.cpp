@@ -9,7 +9,31 @@ Cluster::Cluster(sim::Simulator& sim, std::string name, int num_ports)
       name_(std::move(name)),
       ins_(num_ports, nullptr),
       outs_(num_ports, nullptr),
-      rr_next_(num_ports, 0) {}
+      rr_next_(num_ports, 0),
+      hol_since_(num_ports, -1) {}
+
+// Consumes the head of `in_port`, closing its head-of-line wait span and
+// opening one for the next frame (if any).  All cluster forwarding paths
+// must take input frames through here so the blocked-time counter is exact.
+Frame Cluster::take_input(int in_port) {
+  const auto p = static_cast<std::size_t>(in_port);
+  if (hol_since_[p] >= 0) {
+    hol_blocked_ += sim_.now() - hol_since_[p];
+    hol_since_[p] = -1;
+  }
+  Frame f = *ins_[p]->take();
+  if (ins_[p]->peek() != nullptr) hol_since_[p] = sim_.now();
+  return f;
+}
+
+// Samples the cumulative forwarding counters after a forward completed.
+void Cluster::sample_forwarded() {
+  sim::CounterTimeline& ct = sim_.counters();
+  if (!ct.enabled()) return;
+  ct.sample(name_, "kbytes_forwarded", sim_.now(),
+            static_cast<double>(bytes_fwd_) / 1e3);
+  ct.sample(name_, "hol_blocked_us", sim_.now(), sim::to_usec(hol_blocked_));
+}
 
 void Cluster::attach_in(int port, Link* in) {
   assert(port >= 0 && port < num_ports() && ins_[port] == nullptr);
@@ -53,6 +77,11 @@ int Cluster::route_for(const Frame& f) const {
 void Cluster::on_input(int in_port) {
   const Frame* head = ins_[in_port]->peek();
   if (head == nullptr) return;  // already forwarded by a nested callback
+  // Open the head-of-line wait span now; take_input closes it (a frame
+  // forwarded within this event cascade accrues zero, as time stands still).
+  if (hol_since_[static_cast<std::size_t>(in_port)] < 0) {
+    hol_since_[static_cast<std::size_t>(in_port)] = sim_.now();
+  }
   if (head->group != 0) {
     forward_head(in_port);
     return;
@@ -79,12 +108,14 @@ bool Cluster::forward_head(int in_port) {
       return false;
     }
   }
-  Frame f = *ins_[in_port]->take();
+  Frame f = take_input(in_port);
   ++f.hops;
   for (int p : ports) {
     ++forwarded_;
+    bytes_fwd_ += f.wire_bytes();
     outs_[static_cast<std::size_t>(p)]->send(f);
   }
+  sample_forwarded();
   // The next head may be unicast or multicast; give it a chance now.
   if (const Frame* next = ins_[in_port]->peek()) {
     if (next->group != 0) {
@@ -126,10 +157,12 @@ void Cluster::try_output(int out_port) {
     }
     if (chosen < 0) return;
     rr_next_[out_port] = (chosen + 1) % n;
-    Frame f = *ins_[chosen]->take();  // frees the input slot upstream
+    Frame f = take_input(chosen);  // frees the input slot upstream
     ++f.hops;
     ++forwarded_;
+    bytes_fwd_ += f.wire_bytes();
     out->send(f);
+    sample_forwarded();
     // Head-of-line unblocking: the frame now at the head of this input may
     // route to a *different* output that has been idle all along (so its
     // ready callback will never fire).  Kick that output's arbiter.

@@ -51,8 +51,18 @@ class Cluster {
   [[nodiscard]] int num_ports() const { return static_cast<int>(outs_.size()); }
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  /// Frames forwarded through this cluster (diagnostics).
+  // ---- counters (diagnostics and the trace exporter) ----
+
+  /// Frames forwarded through this cluster (multicast replicas counted
+  /// once per output port).
   [[nodiscard]] std::uint64_t frames_forwarded() const { return forwarded_; }
+  /// Wire bytes forwarded (same replica accounting as frames_forwarded).
+  [[nodiscard]] std::uint64_t bytes_forwarded() const { return bytes_fwd_; }
+  /// Total time frames spent blocked at the head of an input fifo waiting
+  /// for their output port (head-of-line time, summed over input ports).
+  [[nodiscard]] sim::Duration head_of_line_blocked() const {
+    return hol_blocked_;
+  }
 
  private:
   [[nodiscard]] int route_for(const Frame& f) const;
@@ -60,6 +70,8 @@ class Cluster {
   bool forward_head(int in_port);  // returns whether the head was consumed
   void on_input(int in_port);
   void try_output(int out_port);
+  Frame take_input(int in_port);   // take + head-of-line accounting
+  void sample_forwarded();
 
   sim::Simulator& sim_;
   std::string name_;
@@ -67,8 +79,11 @@ class Cluster {
   std::vector<Link*> outs_;
   std::vector<int> rr_next_;       // per-output round-robin cursor
   std::vector<int> route_;         // station id -> output port (-1 unset)
+  std::vector<sim::SimTime> hol_since_;  // per-input head-wait start (-1 idle)
   std::unordered_map<std::uint64_t, std::vector<int>> mcast_routes_;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t bytes_fwd_ = 0;
+  sim::Duration hol_blocked_ = 0;
 };
 
 }  // namespace hpcvorx::hw

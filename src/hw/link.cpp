@@ -1,5 +1,7 @@
 #include "hw/link.hpp"
 
+#include <algorithm>
+
 namespace hpcvorx::hw {
 
 void Link::send(Frame f) {
@@ -10,14 +12,17 @@ void Link::send(Frame f) {
       static_cast<sim::Duration>(f.wire_bytes()) * p_.ns_per_byte;
   // Transmitter frees after serialization; the frame lands one propagation
   // latency later.
-  sim_.schedule_after(ser, [this] {
+  sim_.post_after(ser, [this] {
     tx_busy_ = false;
     notify_ready();
   });
-  sim_.schedule_after(ser + p_.latency, [this, f = std::move(f)]() mutable {
+  sim_.post_after(ser + p_.latency, [this, f = std::move(f)]() mutable {
     --in_flight_;
-    buffer_.push_back(std::move(f));
     ++frames_carried_;
+    bytes_carried_ += f.wire_bytes();
+    buffer_.push_back(std::move(f));
+    peak_buffered_ = std::max(peak_buffered_, buffer_.size());
+    sample_depth();
     if (deliver_cb_) deliver_cb_();
   });
 }
@@ -26,8 +31,18 @@ std::optional<Frame> Link::take() {
   if (buffer_.empty()) return std::nullopt;
   Frame f = std::move(buffer_.front());
   buffer_.pop_front();
+  sample_depth();
   notify_ready();
   return f;
+}
+
+void Link::sample_depth() {
+  sim::CounterTimeline& ct = sim_.counters();
+  if (!ct.enabled()) return;
+  ct.sample(name_, "buffered_frames", sim_.now(),
+            static_cast<double>(buffer_.size()));
+  ct.sample(name_, "kbytes_carried", sim_.now(),
+            static_cast<double>(bytes_carried_) / 1e3);
 }
 
 }  // namespace hpcvorx::hw

@@ -72,13 +72,20 @@ class Link {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Params& params() const { return p_; }
 
-  /// Cumulative frames delivered downstream (diagnostics).
+  // ---- counters (diagnostics and the trace exporter) ----
+
+  /// Cumulative frames delivered downstream.
   [[nodiscard]] std::uint64_t frames_carried() const { return frames_carried_; }
+  /// Cumulative wire bytes (payload + header) delivered downstream.
+  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_carried_; }
+  /// High-water mark of the downstream buffer occupancy.
+  [[nodiscard]] std::size_t peak_buffered() const { return peak_buffered_; }
 
  private:
   void notify_ready() {
     if (ready_cb_ && ready()) ready_cb_();
   }
+  void sample_depth();
 
   sim::Simulator& sim_;
   std::string name_;
@@ -89,6 +96,8 @@ class Link {
   std::function<void()> ready_cb_;
   std::function<void()> deliver_cb_;
   std::uint64_t frames_carried_ = 0;
+  std::uint64_t bytes_carried_ = 0;
+  std::size_t peak_buffered_ = 0;
 };
 
 }  // namespace hpcvorx::hw

@@ -80,6 +80,9 @@ void Cpu::start_slice(Job* job) {
   } else if (job->owner != last_owner_) {
     job->switch_left = job->switch_in_cost;
     last_owner_ = job->owner;
+    ++ctx_switches_;
+    sim_.counters().sample(name_, "ctxsw", sim_.now(),
+                           static_cast<double>(ctx_switches_));
   }
   const Duration total = job->switch_left + job->work_left;
   slice_end_event_ =

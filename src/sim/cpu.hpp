@@ -76,6 +76,11 @@ class Cpu {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }
 
+  /// Number of context switches dispatched (owner changed and the full
+  /// switch-in cost was charged; borrowed-context ISR entries don't count,
+  /// matching §5's definition of "a context switch").
+  [[nodiscard]] std::uint64_t ctx_switches() const { return ctx_switches_; }
+
   /// Closes the open idle/busy span so ledger totals cover [0, now].
   /// Call once at the end of an experiment before reading the ledger.
   void finalize_accounting();
@@ -113,6 +118,7 @@ class Cpu {
   EventHandle slice_end_event_;
   std::int64_t last_owner_ = -1;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t ctx_switches_ = 0;
 
   bool idle_open_ = true;      // an idle span is open from time 0
   SimTime idle_start_ = 0;

@@ -10,21 +10,18 @@ struct EventHandle::State {
   bool fired = false;
 };
 
-struct EventQueue::Entry {
-  SimTime at;
-  std::uint64_t seq;
-  std::function<void()> fn;
-  std::shared_ptr<EventHandle::State> state;
-};
+namespace {
 
 // Max-heap comparator inverted for min-heap behaviour with std::*_heap.
 struct Later {
-  bool operator()(const std::shared_ptr<EventQueue::Entry>& a,
-                  const std::shared_ptr<EventQueue::Entry>& b) const {
-    if (a->at != b->at) return a->at > b->at;
-    return a->seq > b->seq;
+  bool operator()(const EventQueue::Entry& a,
+                  const EventQueue::Entry& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
   }
 };
+
+}  // namespace
 
 bool EventHandle::cancel() {
   if (!state_ || state_->cancelled || state_->fired) return false;
@@ -38,15 +35,19 @@ bool EventHandle::pending() const {
 
 EventHandle EventQueue::push(SimTime at, std::function<void()> fn) {
   auto state = std::make_shared<EventHandle::State>();
-  auto entry = std::make_shared<Entry>(
-      Entry{at, next_seq_++, std::move(fn), state});
-  heap_.push_back(std::move(entry));
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), state});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   return EventHandle{std::move(state)};
 }
 
+void EventQueue::post(SimTime at, std::function<void()> fn) {
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), nullptr});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.front()->state->cancelled) {
+  while (!heap_.empty() && heap_.front().state &&
+         heap_.front().state->cancelled) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -60,17 +61,17 @@ bool EventQueue::empty() const {
 SimTime EventQueue::next_time() const {
   drop_cancelled();
   assert(!heap_.empty());
-  return heap_.front()->at;
+  return heap_.front().at;
 }
 
 std::pair<SimTime, std::function<void()>> EventQueue::pop() {
   drop_cancelled();
   assert(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  auto entry = std::move(heap_.back());
+  Entry entry = std::move(heap_.back());
   heap_.pop_back();
-  entry->state->fired = true;
-  return {entry->at, std::move(entry->fn)};
+  if (entry.state) entry.state->fired = true;
+  return {entry.at, std::move(entry.fn)};
 }
 
 }  // namespace hpcvorx::sim

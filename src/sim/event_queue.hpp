@@ -3,6 +3,12 @@
 // Events fire in (time, insertion-sequence) order, which makes every
 // simulation deterministic: two events scheduled for the same instant fire
 // in the order they were scheduled.
+//
+// This queue is the innermost loop of every benchmark, so the storage is
+// allocation-lean: entries live by value inside the heap vector, and the
+// shared cancellation state exists only for events scheduled through
+// push() — post() schedules an uncancellable event with no per-event
+// control-block allocation at all.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +47,12 @@ class EventQueue {
   /// Schedules `fn` at absolute time `at`.
   EventHandle push(SimTime at, std::function<void()> fn);
 
+  /// Schedules `fn` at absolute time `at` with no cancellation handle.
+  /// This is the hot path: most events (frame deliveries, coroutine
+  /// wakeups) are never cancelled, and skipping the handle skips the
+  /// shared-state allocation entirely.
+  void post(SimTime at, std::function<void()> fn);
+
   /// True if no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const;
 
@@ -55,12 +67,20 @@ class EventQueue {
   /// and its time, popping it from the queue.  Precondition: !empty().
   std::pair<SimTime, std::function<void()>> pop();
 
-  struct Entry;  // implementation detail; defined in event_queue.cpp
+  /// Entry is an implementation detail, public only so the comparator in
+  /// event_queue.cpp can see it.  Entries are stored by value: heap sifts
+  /// move them, which moves the std::function (cheap; no reallocation).
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;  // null for post()ed events
+  };
 
  private:
   void drop_cancelled() const;
 
-  mutable std::vector<std::shared_ptr<Entry>> heap_;
+  mutable std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -18,6 +18,14 @@ EventHandle Simulator::schedule_after(Duration d, std::function<void()> fn) {
   return schedule_at(now_ + std::max<Duration>(d, 0), std::move(fn));
 }
 
+void Simulator::post_at(SimTime at, std::function<void()> fn) {
+  queue_.post(std::max(at, now_), std::move(fn));
+}
+
+void Simulator::post_after(Duration d, std::function<void()> fn) {
+  post_at(now_ + std::max<Duration>(d, 0), std::move(fn));
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto [at, fn] = queue_.pop();

@@ -10,6 +10,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace hpcvorx::sim {
 
@@ -34,6 +35,12 @@ class Simulator {
   /// Schedules `fn` to run `d` after the current time (d clamped to >= 0).
   EventHandle schedule_after(Duration d, std::function<void()> fn);
 
+  /// Handle-free variants for events that are never cancelled (the common
+  /// case: frame deliveries, coroutine wakeups).  Skipping the handle skips
+  /// the per-event cancellation-state allocation — see EventQueue::post.
+  void post_at(SimTime at, std::function<void()> fn);
+  void post_after(Duration d, std::function<void()> fn);
+
   /// Runs one pending event.  Returns false if none remain.
   bool step();
 
@@ -50,10 +57,16 @@ class Simulator {
   /// Number of pending events (upper bound, see EventQueue::size()).
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Counter timeline for the trace exporter (disabled by default).
+  /// Hardware and OS components sample into it when it is enabled.
+  [[nodiscard]] CounterTimeline& counters() { return counters_; }
+  [[nodiscard]] const CounterTimeline& counters() const { return counters_; }
+
  private:
   SimTime now_ = 0;
   bool stopped_ = false;
   EventQueue queue_;
+  CounterTimeline counters_;
 };
 
 }  // namespace hpcvorx::sim

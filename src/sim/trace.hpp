@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstddef>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -94,6 +95,42 @@ class TimeLedger {
   std::array<Duration, kNumCategories> totals_{};
   std::vector<Interval> intervals_;
   bool recording_ = false;
+};
+
+/// Opt-in timeline of named hardware/OS counters (queue depths, cumulative
+/// messages/bytes, blocked time, context switches).  Components sample into
+/// the Simulator's timeline whenever a counter changes; the trace exporter
+/// (src/tools/trace_export.hpp) turns the samples into Chrome trace_event
+/// counter tracks.  Disabled by default so long benchmark runs pay only a
+/// branch per change; all timestamps are virtual time.
+class CounterTimeline {
+ public:
+  struct Sample {
+    std::string track;    // the emitting entity, e.g. "node0", "link:n0->c0"
+    std::string counter;  // e.g. "txq_depth", "bytes", "blocked_us"
+    SimTime t;
+    double value;
+  };
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Records one sample (no-op while disabled).  Samples are kept in
+  /// insertion order, which is chronological: the simulator's clock never
+  /// goes backwards.
+  void sample(std::string_view track, std::string_view counter, SimTime t,
+              double value) {
+    if (!enabled_) return;
+    samples_.push_back(
+        Sample{std::string(track), std::string(counter), t, value});
+  }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<Sample> samples_;
 };
 
 }  // namespace hpcvorx::sim

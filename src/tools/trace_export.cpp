@@ -1,0 +1,144 @@
+#include "tools/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "vorx/system.hpp"
+
+namespace hpcvorx::tools {
+
+namespace {
+
+// Virtual nanoseconds rendered as microseconds with a fixed three-digit
+// fraction.  Integer arithmetic, so the text depends only on the SimTime.
+std::string usec_fixed(sim::SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+std::string number_fixed(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceExporter::add_station(const std::string& name,
+                                const sim::TimeLedger& ledger) {
+  stations_.push_back(StationTrack{name, ledger.intervals()});
+}
+
+void TraceExporter::add_counters(const sim::CounterTimeline& timeline) {
+  samples_.insert(samples_.end(), timeline.samples().begin(),
+                  timeline.samples().end());
+}
+
+TraceExporter TraceExporter::from_system(vorx::System& system) {
+  system.finalize_accounting();
+  TraceExporter exp;
+  const int stations = system.num_nodes() + system.num_hosts();
+  for (int s = 0; s < stations; ++s) {
+    sim::Cpu& cpu = system.station(s).cpu();
+    exp.add_station(cpu.name(), cpu.ledger());
+  }
+  exp.add_counters(system.simulator().counters());
+  return exp;
+}
+
+std::string TraceExporter::render() const {
+  // Track name -> pid.  Stations claim pids [0, N); counter tracks that are
+  // not stations get synthetic pids in first-appearance order, which is
+  // deterministic because samples are kept in insertion order.
+  std::unordered_map<std::string, int> pid_of;
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    pid_of.emplace(stations_[i].name, static_cast<int>(i));
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& ev) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += ev;
+  };
+
+  auto process_name = [](const std::string& name, int pid) {
+    return "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           json_escape(name) + "\"}}";
+  };
+
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    emit(process_name(stations_[i].name, static_cast<int>(i)));
+  }
+
+  // Synthetic processes for non-station counter tracks, in first-appearance
+  // order so the metadata block is stable.
+  int next_pid = static_cast<int>(stations_.size());
+  for (const sim::CounterTimeline::Sample& s : samples_) {
+    if (pid_of.emplace(s.track, next_pid).second) {
+      emit(process_name(s.track, next_pid));
+      ++next_pid;
+    }
+  }
+
+  // Execution slices: one "X" complete event per ledger interval, all on
+  // tid 0 so each station renders as a single oscilloscope-style row.
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    for (const sim::Interval& iv : stations_[i].intervals) {
+      emit("{\"name\":\"" +
+           std::string(sim::category_name(iv.category)) +
+           "\",\"ph\":\"X\",\"cat\":\"cpu\",\"pid\":" + std::to_string(i) +
+           ",\"tid\":0,\"ts\":" + usec_fixed(iv.start) +
+           ",\"dur\":" + usec_fixed(iv.end - iv.start) + "}");
+    }
+  }
+
+  // Counter series, in sample (== chronological) order.
+  for (const sim::CounterTimeline::Sample& s : samples_) {
+    emit("{\"name\":\"" + json_escape(s.counter) +
+         "\",\"ph\":\"C\",\"pid\":" + std::to_string(pid_of.at(s.track)) +
+         ",\"ts\":" + usec_fixed(s.t) + ",\"args\":{\"" +
+         json_escape(s.counter) + "\":" + number_fixed(s.value) + "}}");
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+bool TraceExporter::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << render();
+  return f.good();
+}
+
+}  // namespace hpcvorx::tools

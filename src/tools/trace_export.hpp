@@ -1,0 +1,66 @@
+// Chrome trace_event exporter: turns the simulator's execution ledgers and
+// counter timeline into a JSON trace that loads directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping:
+//   * each station becomes one trace *process* (pid = station id) named
+//     after its CPU ("n0", "ws0", ...), carrying one thread of "X"
+//     complete events — the TimeLedger intervals, one slice per
+//     user/system/ctxsw/idle span, exactly what the software oscilloscope
+//     draws as a waveform (§6.2);
+//   * every CounterTimeline track (kernel txq depth, link bytes, cluster
+//     head-of-line time, CPU context switches, ...) becomes a "C" counter
+//     series under its owning process, or under a synthetic process when
+//     the track is not a station (links, clusters).
+//
+// All timestamps are *virtual* time: integer simulated nanoseconds printed
+// as microseconds with a fixed three-digit fraction.  The exporter never
+// reads a wall clock, so two runs of the same deterministic simulation
+// render byte-identical traces (tested by tests/trace_export_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace hpcvorx::vorx {
+class System;
+}  // namespace hpcvorx::vorx
+
+namespace hpcvorx::tools {
+
+class TraceExporter {
+ public:
+  /// Adds one station's execution ledger as a slice track.  Stations must
+  /// be added in station-id order; the ledger must have interval recording
+  /// enabled (SystemConfig::record_intervals) and accounting finalized.
+  void add_station(const std::string& name, const sim::TimeLedger& ledger);
+
+  /// Adds every sample from a counter timeline.  Tracks whose name matches
+  /// a previously added station attach to that process; the rest get
+  /// synthetic processes in first-appearance order.
+  void add_counters(const sim::CounterTimeline& timeline);
+
+  /// Convenience: finalizes accounting and captures every station ledger
+  /// plus the simulator's counter timeline.
+  [[nodiscard]] static TraceExporter from_system(vorx::System& system);
+
+  /// Renders the trace as a JSON object ({"traceEvents":[...]}).  Output
+  /// depends only on the captured data — deterministic byte-for-byte.
+  [[nodiscard]] std::string render() const;
+
+  /// Writes render() to `path`; returns false if the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct StationTrack {
+    std::string name;
+    std::vector<sim::Interval> intervals;
+  };
+
+  std::vector<StationTrack> stations_;
+  std::vector<sim::CounterTimeline::Sample> samples_;
+};
+
+}  // namespace hpcvorx::tools

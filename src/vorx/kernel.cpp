@@ -23,7 +23,19 @@ void Kernel::unregister_object(std::uint64_t obj) { objects_.erase(obj); }
 
 void Kernel::send(hw::Frame f) {
   txq_.push_back(std::move(f));
+  txq_peak_ = std::max(txq_peak_, txq_.size());
+  sample_txq();
   if (!tx_active_) tx_service();
+}
+
+// Samples the transmit-side counters into the simulator's timeline.
+void Kernel::sample_txq() {
+  sim::CounterTimeline& ct = sim_.counters();
+  if (!ct.enabled()) return;
+  ct.sample(cpu_.name(), "txq_depth", sim_.now(),
+            static_cast<double>(txq_.size()));
+  ct.sample(cpu_.name(), "tx_blocked_us", sim_.now(),
+            sim::to_usec(tx_blocked_));
 }
 
 sim::Proc Kernel::rx_service() {
@@ -50,6 +62,7 @@ sim::Proc Kernel::rx_service() {
     // copied, which is what lets the interconnect push the next one.
     hw::Frame f = *ep_.rx_take();
     ++rx_count_;
+    rx_bytes_ += f.payload_bytes;
     dispatch(std::move(f));
   }
   rx_active_ = false;
@@ -76,13 +89,19 @@ sim::Proc Kernel::tx_service() {
   while (!txq_.empty()) {
     if (!ep_.tx_ready()) {
       tx_ready_ev_.reset();
-      if (!ep_.tx_ready()) co_await tx_ready_ev_.wait();
+      if (!ep_.tx_ready()) {
+        const sim::SimTime blocked_at = sim_.now();
+        co_await tx_ready_ev_.wait();
+        tx_blocked_ += sim_.now() - blocked_at;
+      }
       continue;
     }
     hw::Frame f = std::move(txq_.front());
     txq_.pop_front();
     ++tx_count_;
+    tx_bytes_ += f.payload_bytes;
     ep_.transmit(std::move(f));
+    sample_txq();
   }
   tx_active_ = false;
 }

@@ -65,10 +65,22 @@ class Kernel {
   [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
   [[nodiscard]] std::size_t tx_queue_depth() const { return txq_.size(); }
 
+  // ---- counters (diagnostics and the trace exporter) ----
+
+  /// Cumulative payload bytes received / queued for transmission.
+  [[nodiscard]] std::uint64_t bytes_received() const { return rx_bytes_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return tx_bytes_; }
+  /// High-water mark of the transmit queue.
+  [[nodiscard]] std::size_t peak_tx_queue_depth() const { return txq_peak_; }
+  /// Total time the transmit service spent waiting for hardware transmit
+  /// space (the §2 "room became available" interrupt wait).
+  [[nodiscard]] sim::Duration tx_blocked() const { return tx_blocked_; }
+
  private:
   sim::Proc rx_service();
   sim::Proc tx_service();
   void dispatch(hw::Frame f);
+  void sample_txq();
 
   sim::Simulator& sim_;
   hw::Endpoint& ep_;
@@ -85,6 +97,10 @@ class Kernel {
   std::uint64_t rx_count_ = 0;
   std::uint64_t tx_count_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::size_t txq_peak_ = 0;
+  sim::Duration tx_blocked_ = 0;
 };
 
 }  // namespace hpcvorx::vorx

@@ -20,6 +20,7 @@ std::uint64_t name_hash(const std::string& s) {
 System::System(sim::Simulator& sim, SystemConfig cfg)
     : sim_(sim), cfg_(cfg) {
   const int stations = cfg_.nodes + cfg_.hosts;
+  if (cfg_.record_counters) sim_.counters().enable(true);
   hw::FabricParams fp = cfg_.fabric;
   fabric_ = hw::Fabric::make(sim, stations, cfg_.stations_per_cluster, fp);
   Node::Options opts;

@@ -30,6 +30,8 @@ struct SystemConfig {
   bool centralized_object_manager = false;  // Meglos-style single manager
   std::size_t channel_side_buffers = 16;
   bool record_intervals = false;     // software-oscilloscope tracing
+  bool record_counters = false;      // hardware/OS counter timeline (trace
+                                     // exporter; enables sim.counters())
 };
 
 class System {
