@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "bench_util.hpp"
+#include "hw/frame_pool.hpp"
 #include "hw/hypercube.hpp"
 #include "sim/awaitables.hpp"
 #include "sim/cpu.hpp"
@@ -68,6 +69,40 @@ void run(bench::Reporter& r) {
           while (!q.empty()) q.pop().second();
           sink = sink + fired;
         }));
+
+  // Same shape as post_pop, but every event lands beyond the bucket ring's
+  // near-future window, forcing the heap spill path.  Documents what the
+  // ring buys and guards the spill from regressing unnoticed.
+  r.row("engine.event_queue_far_post_pop_items_s", "items/s",
+        items_per_sec(r, 1000, [&sink] {
+          sim::EventQueue q;
+          int fired = 0;
+          constexpr sim::SimTime kFar =
+              static_cast<sim::SimTime>(2 * sim::EventQueue::kWheelBuckets);
+          for (int i = 0; i < 1000; ++i) {
+            q.post(kFar + i * 20000, [&fired] { ++fired; });
+          }
+          while (!q.empty()) q.pop().second();
+          sink = sink + fired;
+        }));
+
+  // Steady-state payload cycle through the recycling pool: buffer out,
+  // payload minted, payload dropped, buffer back.  The counterpart of the
+  // raw make_shared cost that vorx-lint R5 pushes callers away from.
+  {
+    hw::FramePool pool;
+    r.row("engine.frame_pool_payloads_s", "payloads/s",
+          items_per_sec(r, 1000, [&pool, &sink] {
+            std::size_t total = 0;
+            for (int i = 0; i < 1000; ++i) {
+              std::vector<std::byte> b = pool.buffer();
+              b.resize(512);
+              hw::Payload p = pool.make(std::move(b));
+              total += p->size();
+            }
+            sink = sink + static_cast<int>(total & 1);
+          }));
+  }
 
   r.row("engine.coroutine_resumes_s", "resumes/s",
         items_per_sec(r, 1000, [&sink] {

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_results.json artifacts and fail on perf regressions.
+
+Usage: compare_bench_json.py BASELINE CURRENT [--threshold PCT]
+                             [--prefix PREFIX ...]
+       compare_bench_json.py --self-test
+
+Compares every metric whose key starts with one of the given prefixes
+(default: "engine.") between a baseline artifact (typically the previous
+build's uploaded bench-results) and the current run.  Exits nonzero when
+any compared metric regressed by more than PCT percent (default 10).
+
+Direction is inferred from the row's unit: rates ("items/s", "frames/s",
+...) regress when they drop; durations ("us", "ms", "s", "ns") regress
+when they rise.  Metrics present in only one file are reported but are
+not failures — new rows appear and old ones retire as benches evolve.
+
+The engine.* rows are wall-clock rates of the simulation substrate itself
+(the one bench allowed to read a real clock), so they are noisy across
+machines; CI compares artifacts produced on the same runner class and the
+threshold absorbs normal jitter.  Every other metric in the file is
+virtual-time deterministic and is guarded separately by the determinism
+goldens, not by this script.
+
+--self-test exercises the comparator on synthetic documents, including a
+negative case verifying that an injected >threshold regression makes the
+script fail; CI runs it before trusting the real comparison.
+"""
+import json
+import sys
+
+RATE_SUFFIX = "/s"
+DURATION_UNITS = {"ns", "us", "ms", "s", "sec", "seconds"}
+DEFAULT_THRESHOLD = 10.0
+DEFAULT_PREFIXES = ["engine."]
+
+
+def fail(msg):
+    print(f"compare_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "hpcvorx-bench-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, want 'hpcvorx-bench-v1'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        fail(f"{path}: 'rows' must be an array")
+    return {r["metric"]: r for r in rows}
+
+
+def higher_is_better(unit):
+    """True for rate-like units, False for duration-like, None if unknown."""
+    if unit.endswith(RATE_SUFFIX):
+        return True
+    if unit in DURATION_UNITS:
+        return False
+    return None
+
+
+def compare(base_rows, cur_rows, threshold, prefixes):
+    """Returns (regressions, compared, skipped) over the selected metrics."""
+    regressions = []
+    compared = 0
+    skipped = []
+    keys = sorted(
+        k
+        for k in set(base_rows) | set(cur_rows)
+        if any(k.startswith(p) for p in prefixes)
+    )
+    for key in keys:
+        if key not in base_rows or key not in cur_rows:
+            skipped.append((key, "only in one artifact"))
+            continue
+        base = base_rows[key]
+        cur = cur_rows[key]
+        direction = higher_is_better(cur.get("unit", ""))
+        if direction is None:
+            skipped.append((key, f"unknown unit {cur.get('unit')!r}"))
+            continue
+        b = base["measured"]
+        c = cur["measured"]
+        if b == 0:
+            skipped.append((key, "baseline is zero"))
+            continue
+        # Positive delta_pct == regression, regardless of direction.
+        delta_pct = 100.0 * ((b - c) / b if direction else (c - b) / b)
+        compared += 1
+        verdict = "REGRESSED" if delta_pct > threshold else "ok"
+        print(
+            f"compare_bench_json: {verdict:9s} {key}: "
+            f"{b:g} -> {c:g} {cur['unit']} "
+            f"({'-' if delta_pct >= 0 else '+'}{abs(delta_pct):.1f}%)"
+        )
+        if delta_pct > threshold:
+            regressions.append((key, delta_pct))
+    return regressions, compared, skipped
+
+
+def doc_of(metrics):
+    """A minimal hpcvorx-bench-v1 document from {key: (unit, measured)}."""
+    return {
+        "schema": "hpcvorx-bench-v1",
+        "quick": True,
+        "rows": [
+            {
+                "bench": "t",
+                "metric": k,
+                "unit": u,
+                "measured": m,
+                "paper": None,
+                "deviation_pct": None,
+            }
+            for k, (u, m) in metrics.items()
+        ],
+    }
+
+
+def rows_of(metrics):
+    return {r["metric"]: r for r in doc_of(metrics)["rows"]}
+
+
+def self_test():
+    # Positive case: jitter inside the threshold passes both directions.
+    base = rows_of(
+        {
+            "engine.rate_items_s": ("items/s", 1_000_000.0),
+            "engine.latency_us": ("us", 80.0),
+            "table1.ignored": ("us", 1.0),
+        }
+    )
+    good = rows_of(
+        {
+            "engine.rate_items_s": ("items/s", 950_000.0),  # -5%: ok
+            "engine.latency_us": ("us", 86.0),  # +7.5%: ok
+            "table1.ignored": ("us", 99.0),  # outside prefix: ignored
+        }
+    )
+    regs, compared, _ = compare(base, good, DEFAULT_THRESHOLD, DEFAULT_PREFIXES)
+    if regs or compared != 2:
+        fail(f"self-test: clean comparison produced {regs}, compared={compared}")
+
+    # Negative case: an injected >10% regression MUST be caught, for both a
+    # rate drop and a duration rise.
+    for key, bad_metrics in [
+        (
+            "engine.rate_items_s",
+            {
+                "engine.rate_items_s": ("items/s", 850_000.0),  # -15%
+                "engine.latency_us": ("us", 80.0),
+            },
+        ),
+        (
+            "engine.latency_us",
+            {
+                "engine.rate_items_s": ("items/s", 1_000_000.0),
+                "engine.latency_us": ("us", 95.0),  # +18.75%
+            },
+        ),
+    ]:
+        regs, _, _ = compare(
+            base, rows_of(bad_metrics), DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+        )
+        if [k for k, _ in regs] != [key]:
+            fail(f"self-test: injected regression in {key} not caught: {regs}")
+
+    # An improvement is never a regression.
+    better = rows_of({"engine.rate_items_s": ("items/s", 2_000_000.0)})
+    regs, _, _ = compare(base, better, DEFAULT_THRESHOLD, DEFAULT_PREFIXES)
+    if regs:
+        fail(f"self-test: improvement misread as regression: {regs}")
+
+    print("compare_bench_json: self-test OK")
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    if args == ["--self-test"]:
+        return self_test()
+    paths = []
+    threshold = DEFAULT_THRESHOLD
+    prefixes = []
+    while args:
+        if args[0] == "--threshold" and len(args) >= 2:
+            threshold = float(args[1])
+            args = args[2:]
+        elif args[0] == "--prefix" and len(args) >= 2:
+            prefixes.append(args[1])
+            args = args[2:]
+        elif args[0].startswith("-"):
+            fail(f"unknown argument {args[0]!r}")
+        else:
+            paths.append(args[0])
+            args = args[1:]
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if not prefixes:
+        prefixes = DEFAULT_PREFIXES
+
+    base_rows = load_rows(paths[0])
+    cur_rows = load_rows(paths[1])
+    regressions, compared, skipped = compare(
+        base_rows, cur_rows, threshold, prefixes
+    )
+    for key, why in skipped:
+        print(f"compare_bench_json: skipped {key}: {why}")
+    if regressions:
+        worst = max(regressions, key=lambda kv: kv[1])
+        fail(
+            f"{len(regressions)} metric(s) regressed more than "
+            f"{threshold:g}% (worst: {worst[0]} at -{worst[1]:.1f}%)"
+        )
+    print(
+        f"compare_bench_json: OK: {compared} metric(s) within "
+        f"{threshold:g}% of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -34,6 +34,12 @@ class BitmapSource {
                                              std::size_t offset,
                                              std::size_t len) const;
 
+  /// chunk() into a caller-provided buffer (cleared first), so streaming
+  /// senders can fill recycled hw::FramePool storage instead of minting a
+  /// fresh vector per scan-line chunk.
+  void chunk_into(std::uint64_t frame, std::size_t offset, std::size_t len,
+                  std::vector<std::byte>& out) const;
+
   /// FNV-1a over the whole frame (what the frame buffer should hold).
   [[nodiscard]] std::uint64_t frame_checksum(std::uint64_t frame) const;
 

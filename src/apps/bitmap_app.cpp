@@ -40,8 +40,13 @@ BitmapResult run_bitmap(sim::Simulator& sim, vorx::System& sys,
                 std::min<std::size_t>(kChunk, frame_bytes - off));
             hw::Payload data;
             if (cfg.carry_pixels) {
-              data = hw::make_payload(
-                  src->chunk(static_cast<std::uint64_t>(f), off, n));
+              // Fill a recycled pool buffer: the display stream is the
+              // hottest payload producer in the repo (900x900 frames in
+              // 1024-byte chunks).
+              hw::FramePool& pool = sp.node().frame_pool();
+              std::vector<std::byte> bytes = pool.buffer();
+              src->chunk_into(static_cast<std::uint64_t>(f), off, n, bytes);
+              data = pool.make(std::move(bytes));
             }
             if (cfg.use_channels) {
               co_await sp.write(*ch, n, std::move(data));

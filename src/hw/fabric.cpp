@@ -43,6 +43,7 @@ void Fabric::add_station(int cluster_index, int local_port) {
                         params_.rx_buffer_frames);
   cl.attach_out(local_port, down);
   ep->in_ = down;
+  ep->pool_ = &pool_;
 
   endpoints_.push_back(std::move(ep));
   station_cluster_.push_back(cluster_index);
@@ -51,15 +52,32 @@ void Fabric::add_station(int cluster_index, int local_port) {
 
 void Fabric::program_routes() {
   const int n_clusters = num_clusters();
+  // Pass 1: the cluster-pair next-hop table.  Every later consumer
+  // (unicast route programming below, multicast tree construction, and
+  // any per-frame diagnostics) reads this instead of re-deriving the hop
+  // bit by bit.
+  cluster_next_dim_.assign(
+      static_cast<std::size_t>(n_clusters) * static_cast<std::size_t>(n_clusters),
+      std::int16_t{-1});
+  for (int c = 0; c < n_clusters; ++c) {
+    for (int d = 0; d < n_clusters; ++d) {
+      if (c == d) continue;
+      const int next = next_hypercube_hop(c, d, n_clusters);
+      const int dim = dimension_of((c ^ next) + 1) - 1;  // log2 of the bit
+      cluster_next_dim_[static_cast<std::size_t>(c) *
+                            static_cast<std::size_t>(n_clusters) +
+                        static_cast<std::size_t>(d)] =
+          static_cast<std::int16_t>(dim);
+    }
+  }
+  // Pass 2: the clusters' flat station->port maps.
   for (int c = 0; c < n_clusters; ++c) {
     for (StationId d = 0; d < num_stations(); ++d) {
       const int dc = station_cluster_[static_cast<std::size_t>(d)];
       if (dc == c) {
         clusters_[c]->set_route(d, station_local_port_[static_cast<std::size_t>(d)]);
       } else {
-        const int next = next_hypercube_hop(c, dc, n_clusters);
-        const int dim = dimension_of((c ^ next) + 1) - 1;  // log2 of the bit
-        clusters_[c]->set_route(d, dim);
+        clusters_[c]->set_route(d, next_hop_dim(c, dc));
       }
     }
   }
@@ -140,10 +158,11 @@ void Fabric::add_multicast_group(std::uint64_t gid, StationId root,
     const int mc = cluster_of(m);
     int c = root_cluster;
     while (c != mc) {
-      const int next = next_hypercube_hop(c, mc, n_clusters);
-      const int dim = dimension_of((c ^ next) + 1) - 1;
+      // Walk the precomputed next-hop table: the dim is both the egress
+      // port at `c` and the bit flipped to reach the next cluster.
+      const int dim = next_hop_dim(c, mc);
       ports[static_cast<std::size_t>(c)].insert(dim);
-      c = next;
+      c ^= 1 << dim;
     }
     ports[static_cast<std::size_t>(mc)].insert(
         station_local_port_[static_cast<std::size_t>(m)]);

@@ -15,11 +15,14 @@
 // buffer and a receive interrupt.
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "hw/cluster.hpp"
+#include "hw/frame_pool.hpp"
 #include "hw/hypercube.hpp"
 #include "hw/link.hpp"
 
@@ -58,12 +61,18 @@ class Endpoint {
   /// Frames this endpoint has injected (diagnostics).
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
 
+  /// The fabric-wide payload buffer pool.  The OS layer builds its
+  /// steady-state payloads through this so the buffers recycle instead of
+  /// round-tripping through make_shared (see frame_pool.hpp).
+  [[nodiscard]] FramePool& frame_pool() { return *pool_; }
+
  private:
   friend class Fabric;
   sim::Simulator* sim_ = nullptr;
   StationId id_ = -1;
   Link* out_ = nullptr;  // station -> cluster
   Link* in_ = nullptr;   // cluster -> station
+  FramePool* pool_ = nullptr;  // owned by the Fabric
   std::uint64_t frames_sent_ = 0;
 };
 
@@ -109,6 +118,21 @@ class Fabric {
   /// Cluster hops a frame between the two stations traverses.
   [[nodiscard]] int route_length(StationId a, StationId b) const;
 
+  /// The cube dimension (== inter-cluster port) of the first hop from
+  /// cluster `from` towards cluster `to`, from the next-hop table
+  /// precomputed at topology-build time.  Precondition: from != to.
+  [[nodiscard]] int next_hop_dim(int from, int to) const {
+    const auto d = cluster_next_dim_.at(
+        static_cast<std::size_t>(from) * clusters_.size() +
+        static_cast<std::size_t>(to));
+    assert(d >= 0);
+    return d;
+  }
+
+  /// The pool Frame payload buffers are recycled through (also reachable
+  /// per station via Endpoint::frame_pool()).
+  [[nodiscard]] FramePool& frame_pool() { return pool_; }
+
   /// Programs hardware multicast group `gid`: a frame injected by `root`
   /// with Frame::group == gid is replicated inside the clusters along the
   /// union of root->member routes and delivered to every member except the
@@ -122,6 +146,7 @@ class Fabric {
   Fabric(sim::Simulator& sim, Params params) : sim_(sim), params_(params) {}
   Link* new_link(std::string name, int buffer_frames);
   void add_station(int cluster_index, int local_port);
+  /// Fills cluster_next_dim_, then the clusters' flat station->port maps.
   void program_routes();
 
   sim::Simulator& sim_;
@@ -132,6 +157,12 @@ class Fabric {
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<int> station_cluster_;     // station -> cluster index
   std::vector<int> station_local_port_;  // station -> port on its cluster
+  // Next-hop cube dimension for every (from, to) cluster pair, computed
+  // once by program_routes (-1 on the diagonal).  Unicast route
+  // programming and multicast tree construction both walk this table
+  // instead of re-deriving hops bit by bit.
+  std::vector<std::int16_t> cluster_next_dim_;
+  FramePool pool_;
 };
 
 }  // namespace hpcvorx::hw

@@ -24,8 +24,12 @@ inline constexpr std::uint32_t kHeaderBytes = 16;        // modelled header
 
 using Payload = std::shared_ptr<const std::vector<std::byte>>;
 
-/// Convenience: wraps bytes into a shareable payload.
+/// Convenience: wraps bytes into a shareable payload.  Fine for tests,
+/// apps, and one-off control frames; steady-state OS-layer payloads should
+/// come from hw::FramePool instead (vorx-lint R5 enforces this).
+// vorx-lint: allow(R5) this is the definition the rule points away from
 [[nodiscard]] inline Payload make_payload(std::vector<std::byte> bytes) {
+  // vorx-lint: allow(R5) the one sanctioned make_shared payload spelling
   return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
 }
 

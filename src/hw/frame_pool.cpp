@@ -1,0 +1,123 @@
+// vorx-lint-file: allow(R5) this file *is* the pool R5 points call sites at
+#include "hw/frame_pool.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace hpcvorx::hw {
+
+struct FramePool::Impl {
+  std::vector<std::vector<std::byte>> free_bufs;
+  // Uniform-size raw blocks backing the allocate_shared owner nodes (one
+  // instantiation => one size; the guard below keeps it honest).
+  std::vector<void*> free_blocks;
+  std::size_t block_size = 0;
+  std::size_t max_free = 4096;
+  std::uint64_t created = 0;
+  std::uint64_t recycled = 0;
+  std::uint64_t made = 0;
+
+  ~Impl() {
+    for (void* p : free_blocks) ::operator delete(p);
+  }
+
+  std::vector<std::byte> take_buffer() {
+    if (!free_bufs.empty()) {
+      std::vector<std::byte> b = std::move(free_bufs.back());
+      free_bufs.pop_back();
+      b.clear();  // keeps capacity
+      ++recycled;
+      return b;
+    }
+    ++created;
+    return {};
+  }
+
+  void release_buffer(std::vector<std::byte>&& b) {
+    if (free_bufs.size() < max_free) free_bufs.push_back(std::move(b));
+  }
+
+  void* alloc_block(std::size_t bytes) {
+    if (bytes == block_size && !free_blocks.empty()) {
+      void* p = free_blocks.back();
+      free_blocks.pop_back();
+      return p;
+    }
+    return ::operator new(bytes);
+  }
+
+  void free_block(void* p, std::size_t bytes) {
+    if ((block_size == 0 || block_size == bytes) &&
+        free_blocks.size() < max_free) {
+      block_size = bytes;
+      free_blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+};
+
+/// Owns one payload's bytes; its destructor is the recycle hook.  The
+/// Payload handed to callers is an aliasing shared_ptr onto `buf`.
+struct FramePool::Node {
+  std::vector<std::byte> buf;
+  std::shared_ptr<Impl> pool;
+
+  Node(std::vector<std::byte> b, std::shared_ptr<Impl> p)
+      : buf(std::move(b)), pool(std::move(p)) {}
+  ~Node() { pool->release_buffer(std::move(buf)); }
+};
+
+/// Routes allocate_shared's single control-block+node allocation through
+/// the pool's block free list.  Holds the Impl by shared_ptr: the standard
+/// requires the control block's allocator copy to be taken out before
+/// deallocation, so the Impl outlives every payload even after the last
+/// FramePool handle is gone.
+template <typename T>
+struct FramePool::CtrlAlloc {
+  using value_type = T;
+
+  std::shared_ptr<Impl> impl;
+
+  explicit CtrlAlloc(std::shared_ptr<Impl> i) : impl(std::move(i)) {}
+  template <typename U>
+  CtrlAlloc(const CtrlAlloc<U>& other) : impl(other.impl) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(impl->alloc_block(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    impl->free_block(p, n * sizeof(T));
+  }
+  template <typename U>
+  bool operator==(const CtrlAlloc<U>& other) const {
+    return impl == other.impl;
+  }
+};
+
+FramePool::FramePool() : impl_(std::make_shared<Impl>()) {}
+
+std::vector<std::byte> FramePool::buffer() { return impl_->take_buffer(); }
+
+Payload FramePool::make(std::vector<std::byte> bytes) {
+  ++impl_->made;
+  std::shared_ptr<Node> node = std::allocate_shared<Node>(
+      CtrlAlloc<Node>{impl_}, std::move(bytes), impl_);
+  return Payload(node, &node->buf);
+}
+
+Payload FramePool::make_copy(const std::byte* data, std::size_t n) {
+  std::vector<std::byte> b = buffer();
+  b.resize(n);
+  if (n != 0) std::memcpy(b.data(), data, n);
+  return make(std::move(b));
+}
+
+void FramePool::set_max_free(std::size_t n) { impl_->max_free = n; }
+
+std::uint64_t FramePool::buffers_created() const { return impl_->created; }
+std::uint64_t FramePool::buffers_recycled() const { return impl_->recycled; }
+std::uint64_t FramePool::payloads_made() const { return impl_->made; }
+std::size_t FramePool::free_buffers() const { return impl_->free_bufs.size(); }
+
+}  // namespace hpcvorx::hw

@@ -58,13 +58,21 @@ namespace hpcvorx::hw {
   }
 }
 
+/// Appends the route from `from` to `to` (excluding `from`, including
+/// `to`) to `out` without clearing it.  The allocation-free sibling of
+/// hypercube_route for per-frame callers that reuse a scratch vector.
+inline void hypercube_route_into(int from, int to, int n,
+                                 std::vector<int>& out) {
+  while (from != to) {
+    from = next_hypercube_hop(from, to, n);
+    out.push_back(from);
+  }
+}
+
 /// The full route from `from` to `to` (excluding `from`, including `to`).
 [[nodiscard]] inline std::vector<int> hypercube_route(int from, int to, int n) {
   std::vector<int> route;
-  while (from != to) {
-    from = next_hypercube_hop(from, to, n);
-    route.push_back(from);
-  }
+  hypercube_route_into(from, to, n, route);
   return route;
 }
 

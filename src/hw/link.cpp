@@ -7,24 +7,27 @@ namespace hpcvorx::hw {
 void Link::send(Frame f) {
   assert(ready() && "Link::send called while not ready");
   tx_busy_ = true;
-  ++in_flight_;
   const sim::Duration ser =
       static_cast<sim::Duration>(f.wire_bytes()) * p_.ns_per_byte;
+  inflight_.push_back(std::move(f));
   // Transmitter frees after serialization; the frame lands one propagation
   // latency later.
   sim_.post_after(ser, [this] {
     tx_busy_ = false;
     notify_ready();
   });
-  sim_.post_after(ser + p_.latency, [this, f = std::move(f)]() mutable {
-    --in_flight_;
-    ++frames_carried_;
-    bytes_carried_ += f.wire_bytes();
-    buffer_.push_back(std::move(f));
-    peak_buffered_ = std::max(peak_buffered_, buffer_.size());
-    sample_depth();
-    if (deliver_cb_) deliver_cb_();
-  });
+  sim_.post_after(ser + p_.latency, [this] { deliver_head(); });
+}
+
+void Link::deliver_head() {
+  Frame f = std::move(inflight_.front());
+  inflight_.pop_front();
+  ++frames_carried_;
+  bytes_carried_ += f.wire_bytes();
+  buffer_.push_back(std::move(f));
+  peak_buffered_ = std::max(peak_buffered_, buffer_.size());
+  sample_depth();
+  if (deliver_cb_) deliver_cb_();
 }
 
 std::optional<Frame> Link::take() {

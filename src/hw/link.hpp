@@ -43,7 +43,7 @@ class Link {
   /// downstream buffer slot can be reserved.
   [[nodiscard]] bool ready() const {
     return !tx_busy_ &&
-           in_flight_ + buffer_.size() <
+           inflight_.size() + buffer_.size() <
                static_cast<std::size_t>(p_.buffer_frames);
   }
 
@@ -85,13 +85,20 @@ class Link {
   void notify_ready() {
     if (ready_cb_ && ready()) ready_cb_();
   }
+  void deliver_head();
   void sample_depth();
 
   sim::Simulator& sim_;
   std::string name_;
   Params p_;
   bool tx_busy_ = false;
-  std::size_t in_flight_ = 0;  // reserved slots for frames still propagating
+  // Frames serialized but still propagating, in arrival order.  Arrival
+  // order equals send order: the transmitter serializes sends, so a later
+  // frame's arrival (start + ser_a + ser_b + latency) is strictly after an
+  // earlier one's (start + ser_a + latency).  Keeping the frames here lets
+  // the delivery event capture only `this` — a whole Frame in the capture
+  // would spill the event queue's inline storage.
+  std::deque<Frame> inflight_;
   std::deque<Frame> buffer_;
   std::function<void()> ready_cb_;
   std::function<void()> deliver_cb_;

@@ -37,12 +37,14 @@ void SnetBus::grant_next() {
   const sim::Duration xfer =
       params_.arbitration +
       static_cast<sim::Duration>(req.frame.wire_bytes()) * params_.ns_per_byte;
-  sim_.schedule_after(xfer, [this, req = std::move(req)]() mutable {
-    finish_transfer(std::move(req));
-  });
+  xfer_ = std::move(req);
+  // post_after: bus completions are never cancelled, so skip the handle.
+  sim_.post_after(xfer, [this] { finish_transfer(); });
 }
 
-void SnetBus::finish_transfer(Request req) {
+void SnetBus::finish_transfer() {
+  Request req = std::move(*xfer_);
+  xfer_.reset();
   const auto dst = static_cast<std::size_t>(req.frame.dst);
   const std::uint32_t need = req.frame.wire_bytes();
   const std::uint32_t free = params_.fifo_bytes - fifo_used_[dst];

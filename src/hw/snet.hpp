@@ -112,12 +112,17 @@ class SnetBus {
   };
 
   void grant_next();
-  void finish_transfer(Request req);
+  void finish_transfer();
 
   sim::Simulator& sim_;
   Params params_;
   std::deque<Request> queue_;
   bool bus_busy_ = false;
+  // The request currently crossing the bus.  bus_busy_ serializes
+  // transfers, so at most one is in flight; parking it here lets the
+  // completion event capture only `this` (inline in the event queue)
+  // instead of hauling the whole Request through the callback.
+  std::optional<Request> xfer_;
   std::vector<std::deque<Fragment>> fifos_;
   std::vector<std::uint32_t> fifo_used_;
   std::vector<std::function<void()>> rx_cb_;

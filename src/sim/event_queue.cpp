@@ -1,7 +1,11 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
+
+#include "sim/small_pool.hpp"
 
 namespace hpcvorx::sim {
 
@@ -33,45 +37,199 @@ bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->fired;
 }
 
-EventHandle EventQueue::push(SimTime at, std::function<void()> fn) {
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), state});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+EventQueue::EventQueue() {
+  constexpr std::size_t kBucketBytes =
+      static_cast<std::size_t>(kWheelBuckets) * sizeof(std::uint32_t);
+  constexpr std::size_t kBitmapBytes =
+      static_cast<std::size_t>(kWords) * sizeof(std::uint64_t);
+  wheel_mem_ =
+      std::make_unique_for_overwrite<std::byte[]>(kBucketBytes + kBitmapBytes);
+  buckets_ = reinterpret_cast<std::uint32_t*>(wheel_mem_.get());
+  occupancy_ = reinterpret_cast<std::uint64_t*>(wheel_mem_.get() + kBucketBytes);
+  std::memset(occupancy_, 0, kBitmapBytes);
+}
+
+EventHandle EventQueue::push(SimTime at, InlineFn&& fn) {
+  // allocate_shared through the small-block pool: the state + control
+  // block recycle instead of hitting malloc once per cancellable event
+  // (one per CPU slice — the busiest push() caller in the system).
+  auto state = std::allocate_shared<EventHandle::State>(
+      SmallBlockAllocator<EventHandle::State>{});
+  auto state_copy = state;
+  insert(at, next_seq_++, std::move(fn), std::move(state_copy));
   return EventHandle{std::move(state)};
 }
 
-void EventQueue::post(SimTime at, std::function<void()> fn) {
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), nullptr});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+void EventQueue::post(SimTime at, InlineFn&& fn) {
+  insert(at, next_seq_++, std::move(fn), nullptr);
+}
+
+void EventQueue::insert(SimTime at, std::uint64_t seq, InlineFn&& fn,
+                        std::shared_ptr<EventHandle::State>&& state) {
+  if (at >= base_ && static_cast<std::uint64_t>(at - base_) < kWheelBuckets) {
+    // Ring path: O(1) append to the exact-tick bucket's FIFO.  Reserving
+    // the slab on first use sidesteps vector-doubling relocation of live
+    // entries through the warm-up of a fresh queue.
+    if (slab_.capacity() == 0) slab_.reserve(1024);
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      Node& n = slab_[idx];
+      free_head_ = n.next;
+      n.e.at = at;
+      n.e.seq = seq;
+      n.e.fn = std::move(fn);
+      n.e.state = std::move(state);
+      n.next = kNil;
+    } else {
+      idx = static_cast<std::uint32_t>(slab_.size());
+      slab_.push_back(
+          Node{Entry{at, seq, std::move(fn), std::move(state)}, kNil, kNil});
+    }
+    const std::size_t b = bucket_index(at);
+    if (!bucket_occupied(b)) {
+      occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
+      buckets_[b] = idx;
+      slab_[idx].bucket_tail = idx;
+    } else {
+      Node& head_node = slab_[buckets_[b]];
+      slab_[head_node.bucket_tail].next = idx;
+      head_node.bucket_tail = idx;
+    }
+    if (wheel_count_ == 0 || at < wheel_min_) {
+      wheel_min_ = at;
+      wheel_head_ = idx;
+    }
+    ++wheel_count_;
+  } else {
+    // Spill path: far future (beyond the window) or behind the frontier.
+    heap_.push_back(Entry{at, seq, std::move(fn), std::move(state)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+}
+
+EventQueue::Entry* EventQueue::next_head(bool& from_wheel) const {
+  const bool have_wheel = wheel_count_ > 0;
+  const bool have_heap = !heap_.empty();
+  if (!have_wheel && !have_heap) return nullptr;
+  if (have_wheel && !have_heap) {
+    from_wheel = true;
+    return &slab_[wheel_head_].e;
+  }
+  if (!have_wheel) {
+    from_wheel = false;
+    return &heap_.front();
+  }
+  Entry& w = slab_[wheel_head_].e;
+  Entry& h = heap_.front();
+  from_wheel = (w.at != h.at) ? (w.at < h.at) : (w.seq < h.seq);
+  return from_wheel ? &w : &h;
+}
+
+void EventQueue::discard_wheel_head() const {
+  const std::size_t b = bucket_index(wheel_min_);
+  const std::uint32_t idx = wheel_head_;
+  Node& n = slab_[idx];
+  const std::uint32_t next = n.next;
+  n.e.fn.reset();
+  n.e.state.reset();
+  n.next = free_head_;
+  free_head_ = idx;
+  --wheel_count_;
+  if (next == kNil) {
+    occupancy_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    if (wheel_count_ > 0) advance_wheel_min(b);
+  } else {
+    slab_[next].bucket_tail = n.bucket_tail;  // tail rides on the new head
+    buckets_[b] = next;
+    wheel_head_ = next;
+  }
+}
+
+void EventQueue::discard_heap_head() const {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+void EventQueue::advance_wheel_min(std::size_t emptied_bucket) const {
+  // wheel_min_ was the global ring minimum, so every occupied bucket lies
+  // circularly *after* its bucket in window order; the first set bit from
+  // emptied_bucket + 1 onwards is the new minimum.
+  const std::size_t b = (emptied_bucket + 1) & kMask;
+  std::size_t word = b >> 6;
+  std::uint64_t bits = occupancy_[word] & (~std::uint64_t{0} << (b & 63));
+  for (std::size_t scanned = 0; scanned <= kWords; ++scanned) {
+    if (bits != 0) {
+      const std::size_t found =
+          (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      wheel_min_ = time_of_bucket(found);
+      wheel_head_ = buckets_[found];
+      return;
+    }
+    word = (word + 1) & (kWords - 1);
+    bits = occupancy_[word];
+  }
+  assert(false && "wheel_count_ > 0 but no occupied bucket");
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.front().state &&
-         heap_.front().state->cancelled) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+  bool from_wheel = false;
+  Entry* head;
+  while ((head = next_head(from_wheel)) != nullptr && head->state &&
+         head->state->cancelled) {
+    if (from_wheel) {
+      discard_wheel_head();
+    } else {
+      discard_heap_head();
+    }
   }
 }
 
 bool EventQueue::empty() const {
+  // Fast path: a live, handle-free ring head (the steady state) proves
+  // non-emptiness without touching the heap or the reap loop.
+  if (wheel_count_ > 0 && slab_[wheel_head_].e.state == nullptr) return false;
   drop_cancelled();
-  return heap_.empty();
+  return wheel_count_ == 0 && heap_.empty();
 }
 
 SimTime EventQueue::next_time() const {
   drop_cancelled();
-  assert(!heap_.empty());
-  return heap_.front().at;
+  bool from_wheel = false;
+  const Entry* head = next_head(from_wheel);
+  assert(head != nullptr);
+  return head->at;
 }
 
-std::pair<SimTime, std::function<void()>> EventQueue::pop() {
-  drop_cancelled();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  if (entry.state) entry.state->fired = true;
-  return {entry.at, std::move(entry.fn)};
+std::pair<SimTime, InlineFn> EventQueue::pop() {
+  for (;;) {
+    bool from_wheel = false;
+    Entry* head = next_head(from_wheel);
+    assert(head != nullptr);
+    if (head->state != nullptr) {
+      if (head->state->cancelled) {
+        // Reap lazily-cancelled heads inline instead of a pre-pass so the
+        // common no-handle case costs a single null check.
+        if (from_wheel) {
+          discard_wheel_head();
+        } else {
+          discard_heap_head();
+        }
+        continue;
+      }
+      head->state->fired = true;
+    }
+    std::pair<SimTime, InlineFn> out{head->at, std::move(head->fn)};
+    if (from_wheel) {
+      discard_wheel_head();
+    } else {
+      discard_heap_head();
+    }
+    // Advance the window: the popped entry was the global minimum, so
+    // everything still in the ring is >= at and keeps its bucket mapping.
+    base_ = std::max(base_, out.first);
+    return out;
+  }
 }
 
 }  // namespace hpcvorx::sim

@@ -5,18 +5,39 @@
 // in the order they were scheduled.
 //
 // This queue is the innermost loop of every benchmark, so the storage is
-// allocation-lean: entries live by value inside the heap vector, and the
-// shared cancellation state exists only for events scheduled through
-// push() — post() schedules an uncancellable event with no per-event
-// control-block allocation at all.
+// built around two structures:
+//
+//   * a near-future bucket ring (a degenerate timing wheel with a 1 ns
+//     tick): events within kWheelBuckets ns of the last-popped time go
+//     into the exact-tick bucket `at % kWheelBuckets` as an intrusive
+//     FIFO.  Insert and pop are O(1); FIFO order within a bucket *is*
+//     insertion-sequence order because a 1 ns tick means one bucket holds
+//     exactly one instant.  The overwhelming majority of events (frame
+//     hops, CPU slices, coroutine wakeups) land here.
+//   * a binary heap for the spill: events beyond the ring's window, or
+//     behind the pop frontier, fall back to the classic (time, seq)
+//     min-heap.  pop() compares the ring head against the heap head, so
+//     global firing order is identical to a single heap.
+//
+// Entries carry their callback in an InlineFn (64 inline bytes — see
+// inline_fn.hpp), so scheduling allocates nothing on the steady-state
+// path: no std::function heap spill, and for post() no control block
+// either.  push() still allocates the shared cancellation state its
+// EventHandle hands out.
+//
+// The ring's per-bucket head/tail arrays are allocated uninitialized and
+// consulted only when the bucket's occupancy bit is set, which keeps
+// queue construction cheap (a 2 KB bitmap clear) — benchmarks build
+// thousands of Simulators.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace hpcvorx::sim {
@@ -41,46 +62,121 @@ class EventHandle {
   std::shared_ptr<State> state_;
 };
 
-/// Min-heap of (time, sequence)-ordered callbacks.
+/// (time, sequence)-ordered callback queue: near-future bucket ring over a
+/// binary-heap spill.
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `at`.
-  EventHandle push(SimTime at, std::function<void()> fn);
+  /// Width of the near-future window, in ticks (1 tick = 1 ns).  Power of
+  /// two; events at `[frontier, frontier + kWheelBuckets)` take the O(1)
+  /// ring path.  16384 ns covers every steady-state delay in the model
+  /// (frame hops are 0.8–54 µs end to end but each *event* is a few µs
+  /// out; CPU slices and wakeups are nearer still).
+  static constexpr std::uint64_t kWheelBuckets = 16384;
+
+  EventQueue();
+  EventQueue(EventQueue&&) = default;
+  EventQueue& operator=(EventQueue&&) = default;
+
+  /// Schedules `fn` at absolute time `at`.  Taking the callable by rvalue
+  /// reference (here and in post) means a lambda at the call site
+  /// materializes one InlineFn and relocates straight into queue storage —
+  /// no per-layer parameter moves through the Simulator forwarding chain.
+  EventHandle push(SimTime at, InlineFn&& fn);
 
   /// Schedules `fn` at absolute time `at` with no cancellation handle.
   /// This is the hot path: most events (frame deliveries, coroutine
   /// wakeups) are never cancelled, and skipping the handle skips the
-  /// shared-state allocation entirely.
-  void post(SimTime at, std::function<void()> fn);
+  /// shared-state allocation entirely — with InlineFn storage the whole
+  /// call is allocation-free once the queue's slabs are warm.
+  void post(SimTime at, InlineFn&& fn);
 
   /// True if no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const;
 
-  /// Number of scheduled events (an upper bound: cancelled events that have
-  /// not yet been reaped from the heap interior are included).
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Number of scheduled events (an upper bound: cancelled events that
+  /// have not yet been reaped from the structures' interiors are
+  /// included).
+  [[nodiscard]] std::size_t size() const { return wheel_count_ + heap_.size(); }
 
   /// Time of the earliest live event.  Precondition: !empty().
   [[nodiscard]] SimTime next_time() const;
 
-  /// Removes and runs nothing: returns the earliest live event's callback
-  /// and its time, popping it from the queue.  Precondition: !empty().
-  std::pair<SimTime, std::function<void()>> pop();
+  /// Returns the earliest live event's callback and its time, popping it
+  /// from the queue.  Precondition: !empty().
+  std::pair<SimTime, InlineFn> pop();
 
   /// Entry is an implementation detail, public only so the comparator in
-  /// event_queue.cpp can see it.  Entries are stored by value: heap sifts
-  /// move them, which moves the std::function (cheap; no reallocation).
+  /// event_queue.cpp can see it.  Entries are stored by value in the ring
+  /// slab and the heap vector; sifts and slab growth move them (InlineFn
+  /// relocation — no reallocation of the capture).
   struct Entry {
     SimTime at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    InlineFn fn;
     std::shared_ptr<EventHandle::State> state;  // null for post()ed events
   };
 
  private:
+  static constexpr std::uint64_t kMask = kWheelBuckets - 1;
+  static constexpr std::uint64_t kWords = kWheelBuckets / 64;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// Ring slab node: entry + intrusive FIFO link (doubles as the free
+  /// list's link) + the bucket's tail index, maintained only on the node
+  /// that is currently a bucket head.  Keeping the tail here instead of in
+  /// the bucket array halves that array to 4 bytes/bucket — the whole
+  /// ring block must stay under glibc's 128 KiB mmap threshold or every
+  /// fresh queue pays mmap/munmap plus page faults (measured 2x on the
+  /// post/pop microbench).  The field rides in Node's padding for free.
+  struct Node {
+    Entry e;
+    std::uint32_t next = kNil;
+    std::uint32_t bucket_tail = kNil;
+  };
+
+  void insert(SimTime at, std::uint64_t seq, InlineFn&& fn,
+              std::shared_ptr<EventHandle::State>&& state);
+  /// Entry that pop() would return next (nullptr when truly empty);
+  /// `from_wheel` says which structure holds it.
+  Entry* next_head(bool& from_wheel) const;
+  /// Unlinks and destroys the ring head (the entry at wheel_min_) /
+  /// the heap head.  The caller moves anything it wants out first.
+  void discard_wheel_head() const;
+  void discard_heap_head() const;
+  /// Recomputes wheel_min_ by scanning the occupancy bitmap circularly
+  /// from `emptied_bucket + 1`.  Precondition: wheel_count_ > 0.
+  void advance_wheel_min(std::size_t emptied_bucket) const;
   void drop_cancelled() const;
 
-  mutable std::vector<Entry> heap_;
+  [[nodiscard]] static std::size_t bucket_index(SimTime at) {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(at) & kMask);
+  }
+  [[nodiscard]] SimTime time_of_bucket(std::size_t b) const {
+    const std::uint64_t base_b = static_cast<std::uint64_t>(base_) & kMask;
+    return base_ + static_cast<SimTime>((b - base_b) & kMask);
+  }
+  [[nodiscard]] bool bucket_occupied(std::size_t b) const {
+    return (occupancy_[b >> 6] >> (b & 63)) & 1u;
+  }
+
+  // pop()/drop_cancelled() reaping mutates the containers behind the
+  // logically-const empty()/next_time(), hence the mutables (the original
+  // single-heap queue had the same shape).
+  mutable std::vector<Entry> heap_;         // spill: far-future + past
+  mutable std::vector<Node> slab_;          // ring entry storage
+  mutable std::uint32_t free_head_ = kNil;  // slab free list
+  // One allocation backs the bucket array (uninitialized — trusted only
+  // when the bucket's occupancy bit is set) and the occupancy bitmap
+  // (zeroed at construction).  Separate allocations measured ~100x worse
+  // to construct: three back-to-back 64 KB malloc/free pairs make glibc
+  // trim the heap top every cycle.
+  mutable std::unique_ptr<std::byte[]> wheel_mem_;
+  std::uint32_t* buckets_ = nullptr;        // head index per bucket
+  std::uint64_t* occupancy_ = nullptr;      // into wheel_mem_
+  mutable std::size_t wheel_count_ = 0;
+  mutable SimTime wheel_min_ = 0;  // exact min time in ring; valid iff count>0
+  mutable std::uint32_t wheel_head_ = kNil;  // slab index of ring head
+  SimTime base_ = 0;               // window start == last popped time
   std::uint64_t next_seq_ = 0;
 };
 

@@ -10,19 +10,19 @@ namespace hpcvorx::sim {
 
 Simulator::~Simulator() { ProcRegistry::instance().destroy_all(); }
 
-EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime at, InlineFn&& fn) {
   return queue_.push(std::max(at, now_), std::move(fn));
 }
 
-EventHandle Simulator::schedule_after(Duration d, std::function<void()> fn) {
+EventHandle Simulator::schedule_after(Duration d, InlineFn&& fn) {
   return schedule_at(now_ + std::max<Duration>(d, 0), std::move(fn));
 }
 
-void Simulator::post_at(SimTime at, std::function<void()> fn) {
+void Simulator::post_at(SimTime at, InlineFn&& fn) {
   queue_.post(std::max(at, now_), std::move(fn));
 }
 
-void Simulator::post_after(Duration d, std::function<void()> fn) {
+void Simulator::post_after(Duration d, InlineFn&& fn) {
   post_at(now_ + std::max<Duration>(d, 0), std::move(fn));
 }
 

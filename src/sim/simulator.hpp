@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -30,16 +29,18 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `at` (clamped to now()).
-  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  /// The callable binds by rvalue reference so it relocates exactly once,
+  /// from the call site into queue storage (see EventQueue::push).
+  EventHandle schedule_at(SimTime at, InlineFn&& fn);
 
   /// Schedules `fn` to run `d` after the current time (d clamped to >= 0).
-  EventHandle schedule_after(Duration d, std::function<void()> fn);
+  EventHandle schedule_after(Duration d, InlineFn&& fn);
 
   /// Handle-free variants for events that are never cancelled (the common
   /// case: frame deliveries, coroutine wakeups).  Skipping the handle skips
   /// the per-event cancellation-state allocation — see EventQueue::post.
-  void post_at(SimTime at, std::function<void()> fn);
-  void post_after(Duration d, std::function<void()> fn);
+  void post_at(SimTime at, InlineFn&& fn);
+  void post_after(Duration d, InlineFn&& fn);
 
   /// Runs one pending event.  Returns false if none remain.
   bool step();

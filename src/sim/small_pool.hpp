@@ -1,0 +1,100 @@
+// A size-bucketed free-list recycler for the simulator's small, short-lived
+// heap blocks: coroutine frames (sim::Proc, sim::Task — one frame per
+// channel write, syscall, or delivery) and the event queue's cancellation
+// states.  These are the allocations left on the steady-state path after
+// frame payloads moved to hw::FramePool; at a few dozen per simulated
+// message they dominate the Table 1/2 wall-clock profile.
+//
+// Blocks are rounded up to a 64-byte granule and recycled through an
+// intrusive per-bucket free list (the freed block's first word is the
+// link), so a warm steady state allocates nothing.  Oversized or
+// over-aligned requests fall through to ::operator new.
+//
+// The pool is a process-wide static, matching the simulator's
+// single-threaded execution model — nothing in src/ runs simulation code
+// off the main thread.  Under AddressSanitizer the pool is compiled out
+// entirely (every request hits ::operator new) so use-after-free detection
+// on coroutine frames keeps working in the sanitizer CI job.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace hpcvorx::sim {
+
+class SmallBlockPool {
+ public:
+  static void* allocate(std::size_t bytes) {
+#if defined(__SANITIZE_ADDRESS__)
+    return ::operator new(bytes);
+#else
+    const std::size_t b = bucket_of(bytes);
+    if (b >= kBuckets) return ::operator new(bytes);
+    FreeNode*& head = heads_[b];
+    if (head != nullptr) {
+      FreeNode* n = head;
+      head = n->next;
+      return n;
+    }
+    return ::operator new((b + 1) * kGranule);
+#endif
+  }
+
+  static void deallocate(void* p, [[maybe_unused]] std::size_t bytes) noexcept {
+#if defined(__SANITIZE_ADDRESS__)
+    ::operator delete(p);
+#else
+    const std::size_t b = bucket_of(bytes);
+    if (b >= kBuckets) {
+      ::operator delete(p);
+      return;
+    }
+    FreeNode* n = static_cast<FreeNode*>(p);
+    n->next = heads_[b];
+    heads_[b] = n;
+#endif
+  }
+
+ private:
+  // 64-byte granule: coroutine frames cluster in the 128–512 byte range,
+  // so a finer granule buys little and a coarser one wastes a cache line
+  // per block.  2 KiB cap: anything larger is not a steady-state object.
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kMaxBytes = 2048;
+  static constexpr std::size_t kBuckets = kMaxBytes / kGranule;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  [[nodiscard]] static std::size_t bucket_of(std::size_t bytes) {
+    return bytes == 0 ? 0 : (bytes - 1) / kGranule;
+  }
+
+  // Reachable from static storage, so LeakSanitizer sees retained blocks
+  // as live; the OS reclaims them at process exit like any allocator pool.
+  inline static FreeNode* heads_[kBuckets] = {};
+};
+
+/// Minimal std::allocator replacement routing through SmallBlockPool; lets
+/// std::allocate_shared put a control block + payload in a recycled slot
+/// (the event queue's per-push cancellation state uses this).
+template <typename T>
+struct SmallBlockAllocator {
+  using value_type = T;
+  SmallBlockAllocator() = default;
+  template <typename U>
+  SmallBlockAllocator(const SmallBlockAllocator<U>&) noexcept {}  // NOLINT
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(SmallBlockPool::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    SmallBlockPool::deallocate(p, n * sizeof(T));
+  }
+  template <typename U>
+  bool operator==(const SmallBlockAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace hpcvorx::sim

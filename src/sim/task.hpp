@@ -21,6 +21,7 @@
 
 #include "sim/proc_registry.hpp"
 #include "sim/simulator.hpp"
+#include "sim/small_pool.hpp"
 #include "sim/time.hpp"
 
 namespace hpcvorx::sim {
@@ -28,6 +29,17 @@ namespace hpcvorx::sim {
 /// Return type for simulated-process coroutines.
 struct Proc {
   struct promise_type {
+    // Frames recycle through the simulator's small-block pool: processes
+    // are spawned per message on the hot path (delivery, retransmission),
+    // and the pool makes the steady state allocation-free.  The sized
+    // overload is the only delete, so every frame returns to its bucket.
+    static void* operator new(std::size_t n) {
+      return SmallBlockPool::allocate(n);
+    }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      SmallBlockPool::deallocate(p, n);
+    }
+
     promise_type() {
       ProcRegistry::instance().add(
           std::coroutine_handle<promise_type>::from_promise(*this),
@@ -99,6 +111,15 @@ template <typename T>
 class [[nodiscard]] Task {
  public:
   struct promise_type {
+    // Task frames are per-operation (one per write/read/syscall) and
+    // recycle through the simulator's small-block pool; see Proc.
+    static void* operator new(std::size_t n) {
+      return SmallBlockPool::allocate(n);
+    }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      SmallBlockPool::deallocate(p, n);
+    }
+
     Task get_return_object() noexcept {
       return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
     }
@@ -156,6 +177,14 @@ template <>
 class [[nodiscard]] Task<void> {
  public:
   struct promise_type {
+    // See Task<T>: per-operation frames, pooled.
+    static void* operator new(std::size_t n) {
+      return SmallBlockPool::allocate(n);
+    }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      SmallBlockPool::deallocate(p, n);
+    }
+
     Task get_return_object() noexcept {
       return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
     }

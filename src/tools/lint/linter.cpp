@@ -44,6 +44,14 @@ const std::vector<RuleInfo> kRules = {
      "models, hw nothing of the OS, vorx nothing of applications.",
      "Move shared declarations down a layer, or invert the dependency with "
      "a callback/interface owned by the lower layer."},
+    {"R5", "hot-path-allocation",
+     "Steady-state frame payloads in the hw/ and vorx/ layers must come "
+     "from hw::FramePool.  Every make_payload or make_shared<vector<byte>> "
+     "there mints a fresh control block plus byte buffer per frame — "
+     "exactly the per-event allocation traffic the pool exists to absorb "
+     "(tests, apps, and tools are exempt: they are not on the hot path).",
+     "Build payloads through the fabric's pool: frame_pool().buffer() + "
+     "frame_pool().make(std::move(bytes)), or frame_pool().make_copy(p, n)."},
 };
 
 // ---------------------------------------------------------------------------
@@ -752,6 +760,48 @@ std::vector<Diagnostic> Linter::run() {
         emit(p, inc.line, "R4", "peer-include",
              file_comp + "/ and " + inc_comp +
                  "/ are peer leaf layers and may not include each other: \"" + inc.path + "\"");
+      }
+    }
+
+    // --- R5: hot-path payload allocation (hw/ and vorx/ only) -----------
+    if (file_layer == 1 || file_layer == 2) {
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!is_name_token(t[i])) continue;
+        const std::string& id = t[i].text;
+        if (id == "make_payload" && i + 1 < t.size() &&
+            t[i + 1].text == "(") {
+          emit(p, t[i].line, "R5", "raw-payload-alloc",
+               "make_payload allocates a fresh control block + buffer per "
+               "frame; build steady-state payloads through hw::FramePool "
+               "(frame_pool().make / make_copy)");
+        } else if (id == "make_shared" && i + 1 < t.size() &&
+                   t[i + 1].text == "<") {
+          // Flag only the byte-vector payload spelling: scan the template
+          // argument list for both `vector` and `byte`.
+          bool saw_vector = false;
+          bool saw_byte = false;
+          int depth = 0;
+          for (std::size_t j = i + 1; j < t.size(); ++j) {
+            const std::string& tk = t[j].text;
+            if (tk == "<") {
+              ++depth;
+            } else if (tk == ">") {
+              if (--depth == 0) break;
+            } else if (tk == "vector") {
+              saw_vector = true;
+            } else if (tk == "byte") {
+              saw_byte = true;
+            } else if (tk == ";" || tk == "{" || tk == ")") {
+              break;  // comparison chain, not a template argument list
+            }
+          }
+          if (saw_vector && saw_byte) {
+            emit(p, t[i].line, "R5", "raw-payload-alloc",
+                 "make_shared<...vector<byte>...> is a raw payload "
+                 "allocation on the frame hot path; use "
+                 "hw::FramePool::make instead");
+          }
+        }
       }
     }
 

@@ -59,6 +59,9 @@ class Kernel {
   [[nodiscard]] sim::Cpu& cpu() { return cpu_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const CostModel& costs() const { return costs_; }
+  /// The fabric's recycling payload pool; the OS layer's steady-state
+  /// payload construction goes through this (vorx-lint R5).
+  [[nodiscard]] hw::FramePool& frame_pool() { return ep_.frame_pool(); }
 
   [[nodiscard]] std::uint64_t frames_received() const { return rx_count_; }
   [[nodiscard]] std::uint64_t frames_sent() const { return tx_count_; }

@@ -36,6 +36,8 @@ class Node {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] sim::Cpu& cpu() { return cpu_; }
   [[nodiscard]] Kernel& kernel() { return kernel_; }
+  /// Shorthand for kernel().frame_pool().
+  [[nodiscard]] hw::FramePool& frame_pool() { return kernel_.frame_pool(); }
   [[nodiscard]] ChannelService& channels() { return chans_; }
   [[nodiscard]] OmService& om() { return om_; }
   [[nodiscard]] McastService& mcast() { return mcast_; }

@@ -15,12 +15,13 @@ std::int64_t next_manager_owner() {
   return ++next;
 }
 
-hw::Payload encode_name(const std::string& name) {
-  std::vector<std::byte> bytes(name.size());
+hw::Payload encode_name(hw::FramePool& pool, const std::string& name) {
+  std::vector<std::byte> bytes = pool.buffer();
+  bytes.resize(name.size());
   for (std::size_t i = 0; i < name.size(); ++i) {
     bytes[i] = static_cast<std::byte>(name[i]);
   }
-  return hw::make_payload(std::move(bytes));
+  return pool.make(std::move(bytes));
 }
 
 std::string decode_name(const hw::Frame& f) {
@@ -76,7 +77,7 @@ sim::Task<OpenResult> OmService::do_request(Subprocess& sp, std::uint32_t kind,
   f.seq = rid;
   f.aux = type;
   f.payload_bytes = static_cast<std::uint32_t>(name.size()) + 8;
-  f.data = encode_name(name);
+  f.data = encode_name(kernel_.frame_pool(), name);
   kernel_.send(std::move(f));
   sp.set_state(SpState::kBlockedOpen);
   OpenResult r;
@@ -131,7 +132,7 @@ void OmService::handle_request(const hw::Frame& f) {
     accept.aux = (server_end << 32) | client_end;
     accept.obj = static_cast<std::uint64_t>(f.src);
     accept.payload_bytes = static_cast<std::uint32_t>(name.size()) + 8;
-    accept.data = encode_name(name);
+    accept.data = encode_name(kernel_.frame_pool(), name);
     kernel_.send(std::move(accept));
     return;
   }

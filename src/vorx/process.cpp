@@ -74,12 +74,11 @@ sim::Task<ChannelMsg> Subprocess::read(Channel& ch) { return ch.read(*this); }
 sim::Task<void> Subprocess::write_all(Channel& ch, hw::Payload data) {
   assert(data != nullptr);
   const std::size_t total = data->size();
+  hw::FramePool& pool = node().frame_pool();
   for (std::size_t off = 0; off < total; off += kMaxChannelMsg) {
     const std::size_t n = std::min<std::size_t>(kMaxChannelMsg, total - off);
     co_await ch.write(*this, static_cast<std::uint32_t>(n),
-                      hw::make_payload(std::vector<std::byte>(
-                          data->begin() + static_cast<long>(off),
-                          data->begin() + static_cast<long>(off + n))));
+                      pool.make_copy(data->data() + off, n));
   }
 }
 

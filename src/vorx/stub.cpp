@@ -28,12 +28,13 @@ struct ReqHeader {
   std::uint64_t client;
 };
 
-hw::Payload encode_request(const ReqHeader& h, const std::byte* body,
-                           std::size_t body_len) {
-  std::vector<std::byte> bytes(sizeof(ReqHeader) + body_len);
+hw::Payload encode_request(hw::FramePool& pool, const ReqHeader& h,
+                           const std::byte* body, std::size_t body_len) {
+  std::vector<std::byte> bytes = pool.buffer();
+  bytes.resize(sizeof(ReqHeader) + body_len);
   std::memcpy(bytes.data(), &h, sizeof h);
   if (body_len > 0) std::memcpy(bytes.data() + sizeof h, body, body_len);
-  return hw::make_payload(std::move(bytes));
+  return pool.make(std::move(bytes));
 }
 
 ReqHeader decode_header(const hw::Frame& f) {
@@ -105,9 +106,7 @@ sim::Proc Stub::serve() {
                                       : 0;
         const std::size_t n = std::min<std::size_t>(avail, h.arg);
         if (n > 0) {
-          res.data = hw::make_payload(std::vector<std::byte>(
-              file->begin() + static_cast<long>(off),
-              file->begin() + static_cast<long>(off + n)));
+          res.data = host_.frame_pool().make_copy(file->data() + off, n);
         }
         it->second.second += n;
         res.value = static_cast<std::int64_t>(n);
@@ -190,9 +189,10 @@ sim::Task<SyscallResult> SyscallClient::call(Subprocess& sp, Sys op,
   f.obj = stub_id_;
   f.seq = rid;
   if (payload != nullptr) {
-    f.data = encode_request(h, payload->data(), payload->size());
+    f.data = encode_request(node_.frame_pool(), h, payload->data(),
+                            payload->size());
   } else {
-    f.data = encode_request(h, nullptr, 0);
+    f.data = encode_request(node_.frame_pool(), h, nullptr, 0);
   }
   f.payload_bytes = static_cast<std::uint32_t>(sizeof(ReqHeader)) + payload_bytes;
   node_.kernel().send(std::move(f));
@@ -208,10 +208,12 @@ sim::Task<SyscallResult> SyscallClient::call(Subprocess& sp, Sys op,
 
 sim::Task<SyscallResult> SyscallClient::sys_open(Subprocess& sp,
                                                  const std::string& path) {
-  std::vector<std::byte> body(path.size());
+  std::vector<std::byte> body = node_.frame_pool().buffer();
+  body.resize(path.size());
   std::memcpy(body.data(), path.data(), path.size());
   const auto n = static_cast<std::uint32_t>(body.size());
-  return call(sp, Sys::kOpen, 0, 0, hw::make_payload(std::move(body)), n);
+  return call(sp, Sys::kOpen, 0, 0, node_.frame_pool().make(std::move(body)),
+              n);
 }
 
 sim::Task<SyscallResult> SyscallClient::sys_close(Subprocess& sp, int fd) {

@@ -54,7 +54,7 @@ sim::Task<void> Udco::send(Subprocess& sp, std::uint32_t bytes,
 sim::Task<void> Udco::send_gather(Subprocess& sp,
                                   const std::vector<hw::Payload>& pieces,
                                   std::uint64_t seq, std::uint64_t aux) {
-  std::vector<std::byte> merged;
+  std::vector<std::byte> merged = kernel_.frame_pool().buffer();
   for (const hw::Payload& p : pieces) {
     assert(p != nullptr);
     merged.insert(merged.end(), p->begin(), p->end());
@@ -72,7 +72,7 @@ sim::Task<void> Udco::send_gather(Subprocess& sp,
   f.seq = seq;
   f.aux = aux;
   f.payload_bytes = static_cast<std::uint32_t>(merged.size());
-  f.data = hw::make_payload(std::move(merged));
+  f.data = kernel_.frame_pool().make(std::move(merged));
   kernel_.send(std::move(f));
   ++sent_;
 }

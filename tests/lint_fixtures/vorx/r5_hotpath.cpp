@@ -1,0 +1,24 @@
+// Seeded R5 fixture: a vorx/-layer file minting raw frame payloads instead
+// of going through hw::FramePool.  vorx-lint must exit non-zero on this
+// file.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace hw {
+using Payload = std::shared_ptr<const std::vector<std::byte>>;
+inline Payload make_payload(std::vector<std::byte> b) {
+  return std::make_shared<const std::vector<std::byte>>(std::move(b));
+}
+}  // namespace hw
+
+hw::Payload build_reply(std::vector<std::byte> bytes) {
+  return hw::make_payload(std::move(bytes));  // R5: raw payload allocation
+}
+
+hw::Payload build_raw(std::vector<std::byte> bytes) {
+  // R5: the make_shared spelling is just as hot.
+  return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+}

@@ -240,6 +240,58 @@ TEST(LintR4, PeerLeafLayersAreIsolated) {
 }
 
 // --------------------------------------------------------------------------
+// R5: hot-path payload allocation
+// --------------------------------------------------------------------------
+
+TEST(LintR5, FlagsRawPayloadAllocationInHotLayers) {
+  EXPECT_EQ(1, count_check(lint_one("void f() { auto p = make_payload(b); }",
+                                    "vorx/chan.cpp"),
+                           "R5", "raw-payload-alloc"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { auto p = make_payload(b); }",
+                                    "src/hw/link.cpp"),
+                           "R5", "raw-payload-alloc"));
+  EXPECT_EQ(1, count_check(
+                   lint_one("void f() { auto p = std::make_shared<const "
+                            "std::vector<std::byte>>(std::move(b)); }",
+                            "vorx/chan.cpp"),
+                   "R5", "raw-payload-alloc"));
+}
+
+TEST(LintR5, ColdLayersAreExempt) {
+  // Tests, apps, tools, and sim are not on the frame hot path.
+  for (const char* path :
+       {"apps/linda.cpp", "tools/bench.cpp", "sim/core.cpp", "mytest.cpp"}) {
+    EXPECT_EQ(0, count_check(lint_one("void f() { auto p = make_payload(b); }",
+                                      path),
+                             "R5", "raw-payload-alloc"))
+        << path;
+  }
+}
+
+TEST(LintR5, UnrelatedMakeSharedIsFine) {
+  EXPECT_EQ(0, count_check(lint_one("void f() { auto p = "
+                                    "std::make_shared<Frame>(); }",
+                                    "vorx/chan.cpp"),
+                           "R5", "raw-payload-alloc"));
+  EXPECT_EQ(0, count_check(lint_one("void f() { auto p = std::make_shared<"
+                                    "std::vector<int>>(); }",
+                                    "vorx/chan.cpp"),
+                           "R5", "raw-payload-alloc"));
+  // A comparison chain is not a template argument list.
+  EXPECT_EQ(0, count_check(lint_one("bool f(int make_shared, int b) { "
+                                    "return make_shared < b; }",
+                                    "vorx/chan.cpp"),
+                           "R5", "raw-payload-alloc"));
+}
+
+TEST(LintR5, SuppressibleLikeEveryRule) {
+  EXPECT_TRUE(lint_one("// vorx-lint: allow(R5) the pool itself\n"
+                       "void f() { auto p = make_payload(b); }\n",
+                       "hw/frame_pool.cpp")
+                  .empty());
+}
+
+// --------------------------------------------------------------------------
 // Suppressions
 // --------------------------------------------------------------------------
 
@@ -294,6 +346,13 @@ TEST(LintFixtures, R3FixtureViolates) {
 TEST(LintFixtures, R4FixtureViolates) {
   auto d = lint({{"sim/r4_layering.cpp", read_fixture("sim/r4_layering.cpp")}});
   EXPECT_EQ(count_check(d, "R4", "layer-inversion"), 2);
+}
+
+TEST(LintFixtures, R5FixtureViolates) {
+  auto d = lint({{"vorx/r5_hotpath.cpp", read_fixture("vorx/r5_hotpath.cpp")}});
+  // Two seeded call sites plus the fixture's own helper definition (both
+  // its signature and its make_shared body line count).
+  EXPECT_EQ(count_check(d, "R5", "raw-payload-alloc"), 4);
 }
 
 TEST(LintFixtures, CleanFixturePasses) {
