@@ -10,6 +10,7 @@
 // delays, timeouts, and frame delivery) with no allocation beyond the
 // callable itself.
 #include <chrono>
+#include <deque>
 #include <functional>
 
 #include "bench_util.hpp"
@@ -70,21 +71,68 @@ void run(bench::Reporter& r) {
           sink = sink + fired;
         }));
 
-  // Same shape as post_pop, but every event lands beyond the bucket ring's
-  // near-future window, forcing the heap spill path.  Documents what the
-  // ring buys and guards the spill from regressing unnoticed.
+  // Same shape as post_pop, but at CPU slice-end distances (100–300 µs —
+  // the Table 1/2 costs), interleaved with pops so the frontier advances
+  // and level-1 buckets promote.  Before the two-level wheel these events
+  // took the heap spill; now they are O(1) level-1 traffic.
+  r.row("engine.wheel_l1_post_pop_items_s", "items/s",
+        items_per_sec(r, 1000, [&sink] {
+          sim::EventQueue q;
+          int fired = 0;
+          sim::SimTime now = 0;
+          for (int i = 0; i < 1000; ++i) {
+            const sim::SimTime cost = 100'000 + (i % 3) * 100'000;
+            q.post(now + cost, [&fired] { ++fired; });
+            if ((i & 1) != 0) {
+              auto [at, fn] = q.pop();
+              fn();
+              now = at;
+            }
+          }
+          while (!q.empty()) q.pop().second();
+          sink = sink + fired;
+        }));
+
+  // Same shape again, but every event lands beyond even the level-1 span,
+  // forcing the true heap-spill path.  Documents what the wheels buy and
+  // guards the handle-sifting heap from regressing unnoticed.
   r.row("engine.event_queue_far_post_pop_items_s", "items/s",
         items_per_sec(r, 1000, [&sink] {
           sim::EventQueue q;
           int fired = 0;
           constexpr sim::SimTime kFar =
-              static_cast<sim::SimTime>(2 * sim::EventQueue::kWheelBuckets);
+              static_cast<sim::SimTime>(2 * sim::EventQueue::kL1Span);
           for (int i = 0; i < 1000; ++i) {
             q.post(kFar + i * 20000, [&fired] { ++fired; });
           }
           while (!q.empty()) q.pop().second();
           sink = sink + fired;
         }));
+
+  // Deterministic structure-traffic audit of the slice-end stream above:
+  // the same scripted workload, counted once (virtual-time only, so these
+  // rows are byte-stable and any drift is a behaviour change).  Promoted
+  // level-1 events are counted as promotions, never as spill — the spill
+  // row staying at 0 is the acceptance criterion for the two-level wheel.
+  {
+    sim::EventQueue q;
+    sim::SimTime now = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const sim::SimTime cost = 100'000 + (i % 3) * 100'000;
+      q.post(now + cost, [] {});
+      if ((i & 1) != 0) {
+        auto [at, fn] = q.pop();
+        fn();
+        now = at;
+      }
+    }
+    while (!q.empty()) q.pop().second();
+    const sim::EventQueue::Stats& st = q.stats();
+    r.row("engine.wheel_l1_promoted_events", "events",
+          static_cast<double>(st.l1_promoted));
+    r.row("engine.wheel_l1_spill_events", "events",
+          static_cast<double>(st.heap_inserts));
+  }
 
   // Steady-state payload cycle through the recycling pool: buffer out,
   // payload minted, payload dropped, buffer back.  The counterpart of the
@@ -102,6 +150,28 @@ void run(bench::Reporter& r) {
             }
             sink = sink + static_cast<int>(total & 1);
           }));
+  }
+
+  // Pool-occupancy counters for the measured sizing policy: a scripted
+  // window of 32 in-flight payloads, then apply_high_water_policy().
+  // Deterministic rows — the peak is a property of the workload shape, and
+  // the policy cap derives from it, so drift means the policy changed.
+  {
+    hw::FramePool pool;
+    std::deque<hw::Payload> live;
+    for (int i = 0; i < 1000; ++i) {
+      std::vector<std::byte> b = pool.buffer();
+      b.resize(512);
+      live.push_back(pool.make(std::move(b)));
+      if (live.size() > 32) live.pop_front();
+    }
+    live.clear();
+    r.row("frame_pool.occupancy_peak_payloads", "payloads",
+          static_cast<double>(pool.peak_payloads_live()));
+    r.row("frame_pool.occupancy_max_free_after_policy", "buffers",
+          static_cast<double>(pool.apply_high_water_policy()));
+    r.row("frame_pool.occupancy_free_buffers_after_policy", "buffers",
+          static_cast<double>(pool.free_buffers()));
   }
 
   r.row("engine.coroutine_resumes_s", "resumes/s",

@@ -12,8 +12,14 @@ any compared metric regressed by more than PCT percent (default 10).
 
 Direction is inferred from the row's unit: rates ("items/s", "frames/s",
 ...) regress when they drop; durations ("us", "ms", "s", "ns") regress
-when they rise.  Metrics present in only one file are reported but are
-not failures — new rows appear and old ones retire as benches evolve.
+when they rise.  A few count rows carry a known direction by name rather
+than by unit: the deterministic event-queue structure-traffic counters
+("engine.wheel_l1_*") and the frame-pool occupancy rows
+("frame_pool.occupancy_*") regress when they rise — more spill, more
+promotions, or a fatter pool for the same scripted workload is always a
+behaviour change for the worse.  Metrics present in only one file are
+reported but are not failures — new rows appear and old ones retire as
+benches evolve.
 
 The engine.* rows are wall-clock rates of the simulation substrate itself
 (the one bench allowed to read a real clock), so they are noisy across
@@ -31,8 +37,11 @@ import sys
 
 RATE_SUFFIX = "/s"
 DURATION_UNITS = {"ns", "us", "ms", "s", "sec", "seconds"}
+# Count rows whose direction the unit alone can't tell us, declared by
+# metric prefix: for all of these, a rise is the regression.
+LOWER_IS_BETTER_PREFIXES = ("engine.wheel_l1_", "frame_pool.occupancy_")
 DEFAULT_THRESHOLD = 10.0
-DEFAULT_PREFIXES = ["engine."]
+DEFAULT_PREFIXES = ["engine.", "frame_pool."]
 
 
 def fail(msg):
@@ -51,11 +60,13 @@ def load_rows(path):
     return {r["metric"]: r for r in rows}
 
 
-def higher_is_better(unit):
+def higher_is_better(key, unit):
     """True for rate-like units, False for duration-like, None if unknown."""
     if unit.endswith(RATE_SUFFIX):
         return True
     if unit in DURATION_UNITS:
+        return False
+    if key.startswith(LOWER_IS_BETTER_PREFIXES):
         return False
     return None
 
@@ -76,17 +87,24 @@ def compare(base_rows, cur_rows, threshold, prefixes):
             continue
         base = base_rows[key]
         cur = cur_rows[key]
-        direction = higher_is_better(cur.get("unit", ""))
+        direction = higher_is_better(key, cur.get("unit", ""))
         if direction is None:
             skipped.append((key, f"unknown unit {cur.get('unit')!r}"))
             continue
         b = base["measured"]
         c = cur["measured"]
         if b == 0:
-            skipped.append((key, "baseline is zero"))
-            continue
-        # Positive delta_pct == regression, regardless of direction.
-        delta_pct = 100.0 * ((b - c) / b if direction else (c - b) / b)
+            if not direction:
+                # A lower-is-better count at zero must stay at zero (the
+                # spill row's whole point); any rise is an unbounded
+                # regression.
+                delta_pct = 0.0 if c == 0 else float("inf")
+            else:
+                skipped.append((key, "baseline is zero"))
+                continue
+        else:
+            # Positive delta_pct == regression, regardless of direction.
+            delta_pct = 100.0 * ((b - c) / b if direction else (c - b) / b)
         compared += 1
         verdict = "REGRESSED" if delta_pct > threshold else "ok"
         print(
@@ -171,6 +189,50 @@ def self_test():
     regs, _, _ = compare(base, better, DEFAULT_THRESHOLD, DEFAULT_PREFIXES)
     if regs:
         fail(f"self-test: improvement misread as regression: {regs}")
+
+    # Known-direction count rows: the wheel/pool counters have no rate or
+    # duration unit, but by name a rise is a regression — including a rise
+    # off a zero baseline (the spill row must stay pinned at zero).
+    count_base = rows_of(
+        {
+            "engine.wheel_l1_promoted_events": ("events", 1000.0),
+            "engine.wheel_l1_spill_events": ("events", 0.0),
+            "frame_pool.occupancy_max_free_after_policy": ("buffers", 40.0),
+            "engine.mystery_count": ("widgets", 5.0),  # still unknown
+        }
+    )
+    count_same = rows_of(
+        {
+            "engine.wheel_l1_promoted_events": ("events", 1000.0),
+            "engine.wheel_l1_spill_events": ("events", 0.0),
+            "frame_pool.occupancy_max_free_after_policy": ("buffers", 38.0),
+            "engine.mystery_count": ("widgets", 500.0),
+        }
+    )
+    regs, compared, skipped = compare(
+        count_base, count_same, DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+    )
+    if regs or compared != 3:
+        fail(f"self-test: stable counts misread: {regs}, compared={compared}")
+    if not any(k == "engine.mystery_count" for k, _ in skipped):
+        fail("self-test: unknown-unit count row was not skipped")
+    count_bad = rows_of(
+        {
+            "engine.wheel_l1_promoted_events": ("events", 1300.0),  # +30%
+            "engine.wheel_l1_spill_events": ("events", 7.0),  # 0 -> 7
+            "frame_pool.occupancy_max_free_after_policy": ("buffers", 60.0),
+            "engine.mystery_count": ("widgets", 5.0),
+        }
+    )
+    regs, _, _ = compare(
+        count_base, count_bad, DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+    )
+    if sorted(k for k, _ in regs) != [
+        "engine.wheel_l1_promoted_events",
+        "engine.wheel_l1_spill_events",
+        "frame_pool.occupancy_max_free_after_policy",
+    ]:
+        fail(f"self-test: count-row regressions not caught: {regs}")
 
     print("compare_bench_json: self-test OK")
     return 0

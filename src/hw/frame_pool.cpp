@@ -1,6 +1,7 @@
 // vorx-lint-file: allow(R5) this file *is* the pool R5 points call sites at
 #include "hw/frame_pool.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -16,9 +17,19 @@ struct FramePool::Impl {
   std::uint64_t created = 0;
   std::uint64_t recycled = 0;
   std::uint64_t made = 0;
+  std::size_t live = 0;       // payloads made and not yet released
+  std::size_t peak_live = 0;  // high-water mark of `live`
 
   ~Impl() {
     for (void* p : free_blocks) ::operator delete(p);
+  }
+
+  void trim_to_cap() {
+    while (free_bufs.size() > max_free) free_bufs.pop_back();
+    while (free_blocks.size() > max_free) {
+      ::operator delete(free_blocks.back());
+      free_blocks.pop_back();
+    }
   }
 
   std::vector<std::byte> take_buffer() {
@@ -65,7 +76,10 @@ struct FramePool::Node {
 
   Node(std::vector<std::byte> b, std::shared_ptr<Impl> p)
       : buf(std::move(b)), pool(std::move(p)) {}
-  ~Node() { pool->release_buffer(std::move(buf)); }
+  ~Node() {
+    pool->release_buffer(std::move(buf));
+    --pool->live;
+  }
 };
 
 /// Routes allocate_shared's single control-block+node allocation through
@@ -101,6 +115,7 @@ std::vector<std::byte> FramePool::buffer() { return impl_->take_buffer(); }
 
 Payload FramePool::make(std::vector<std::byte> bytes) {
   ++impl_->made;
+  impl_->peak_live = std::max(impl_->peak_live, ++impl_->live);
   std::shared_ptr<Node> node = std::allocate_shared<Node>(
       CtrlAlloc<Node>{impl_}, std::move(bytes), impl_);
   return Payload(node, &node->buf);
@@ -113,11 +128,29 @@ Payload FramePool::make_copy(const std::byte* data, std::size_t n) {
   return make(std::move(b));
 }
 
-void FramePool::set_max_free(std::size_t n) { impl_->max_free = n; }
+void FramePool::set_max_free(std::size_t n) {
+  impl_->max_free = n;
+  impl_->trim_to_cap();
+}
+
+std::size_t FramePool::max_free() const { return impl_->max_free; }
+
+std::size_t FramePool::apply_high_water_policy(double headroom) {
+  // At most peak_live buffers can ever be in flight at once, so that many
+  // free slots (plus headroom for transient bursts) recycle everything the
+  // workload actually needs; at least one slot keeps a quiet pool warm.
+  const double target = static_cast<double>(impl_->peak_live) * headroom;
+  const std::size_t cap =
+      std::max<std::size_t>(1, static_cast<std::size_t>(target + 0.999999));
+  set_max_free(cap);
+  return cap;
+}
 
 std::uint64_t FramePool::buffers_created() const { return impl_->created; }
 std::uint64_t FramePool::buffers_recycled() const { return impl_->recycled; }
 std::uint64_t FramePool::payloads_made() const { return impl_->made; }
 std::size_t FramePool::free_buffers() const { return impl_->free_bufs.size(); }
+std::size_t FramePool::payloads_live() const { return impl_->live; }
+std::size_t FramePool::peak_payloads_live() const { return impl_->peak_live; }
 
 }  // namespace hpcvorx::hw

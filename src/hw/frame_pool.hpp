@@ -55,8 +55,22 @@ class FramePool {
   [[nodiscard]] Payload make_copy(const std::byte* data, std::size_t n);
 
   /// Caps both free lists (buffers and owner blocks); default 4096 each.
-  /// Excess releases simply free their memory.
+  /// Excess releases simply free their memory.  Shrinking the cap trims
+  /// the lists immediately.
   void set_max_free(std::size_t n);
+
+  /// Current free-list cap.
+  [[nodiscard]] std::size_t max_free() const;
+
+  /// Measured sizing policy (ROADMAP "FramePool sizing policy"): caps the
+  /// free lists from the recorded live-payload high-water mark instead of
+  /// the unbounded-ish default.  The peak number of simultaneously-live
+  /// payloads is exactly the most buffers that can ever come back, so
+  /// `ceil(peak * headroom)` free slots make the steady state
+  /// allocation-free while long multi-tenant runs (§3.1 allocation day)
+  /// stop hoarding every buffer they ever touched.  Trims immediately;
+  /// returns the new cap.
+  std::size_t apply_high_water_policy(double headroom = 1.25);
 
   // ---- stats (tests, benches, diagnostics) ----
 
@@ -69,6 +83,12 @@ class FramePool {
   [[nodiscard]] std::uint64_t payloads_made() const;
   /// Released buffers currently waiting for reuse.
   [[nodiscard]] std::size_t free_buffers() const;
+  /// Payloads currently alive (made and not yet fully released).
+  [[nodiscard]] std::size_t payloads_live() const;
+  /// High-water mark of payloads_live() — the pool-occupancy measurement
+  /// apply_high_water_policy() sizes from (also a bench counter:
+  /// frame_pool.occupancy_* rows).
+  [[nodiscard]] std::size_t peak_payloads_live() const;
 
  private:
   struct Impl;

@@ -113,6 +113,7 @@ void Cpu::account_progress(Job* job, SimTime from, SimTime to) {
 void Cpu::preempt_running() {
   assert(running_ != nullptr);
   slice_end_event_.cancel();
+  ++preemptions_;
   account_progress(running_, slice_start_, sim_.now());
   // A preempted job resumes ahead of queued peers at its priority.
   ready_[running_->prio].push_front(running_);
@@ -121,6 +122,10 @@ void Cpu::preempt_running() {
 
 void Cpu::on_slice_complete() {
   assert(running_ != nullptr);
+  // Drop the handle to the just-fired event so its cancellation state
+  // recycles through the small-block pool before the next slice's
+  // allocate_shared, instead of pinning one block per idle CPU.
+  slice_end_event_ = EventHandle{};
   Job* job = running_;
   account_progress(job, slice_start_, sim_.now());
   assert(job->switch_left == 0 && job->work_left == 0);

@@ -81,6 +81,13 @@ class Cpu {
   /// matching §5's definition of "a context switch").
   [[nodiscard]] std::uint64_t ctx_switches() const { return ctx_switches_; }
 
+  /// Number of preemptions (a running slice's end event was cancelled by
+  /// a higher-priority arrival).  Each one leaves a cancelled slice-end
+  /// event behind in the queue; the event queue reaps those during
+  /// level-1 promotion (EventQueue::Stats::l1_cancelled_reaped), so the
+  /// two counters correlate in tests.
+  [[nodiscard]] std::uint64_t preemptions() const { return preemptions_; }
+
   /// Closes the open idle/busy span so ledger totals cover [0, now].
   /// Call once at the end of an experiment before reading the ledger.
   void finalize_accounting();
@@ -119,6 +126,7 @@ class Cpu {
   std::int64_t last_owner_ = -1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t ctx_switches_ = 0;
+  std::uint64_t preemptions_ = 0;
 
   bool idle_open_ = true;      // an idle span is open from time 0
   SimTime idle_start_ = 0;

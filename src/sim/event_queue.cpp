@@ -7,25 +7,32 @@
 
 #include "sim/small_pool.hpp"
 
+// Ordering correctness of the two-level wheel rests on one invariant:
+//
+//   PROMOTION INVARIANT.  No event may enter a level-0 tick bucket while
+//   an earlier-sequence event for the same tick still sits in level 1.
+//
+// Three rules uphold it (proof sketch in DESIGN.md §9):
+//   1. Direct level-0 inserts accept only `at - base_ < kL0Window`, one
+//      level-1 bucket short of the ring's width.  Any directly-reachable
+//      tick therefore lies in a level-1 bucket that already satisfied the
+//      promotion condition (bucket end <= base_ + kWheelBuckets).
+//   2. promote_due() drains every such bucket immediately whenever base_
+//      advances — at the end of pop() and inside next_head() — so rule 1's
+//      bucket was emptied before the direct insert could race it.
+//   3. Promotion walks a bucket's FIFO in insertion order and appends to
+//      the exact-tick ring FIFOs, which preserves per-tick sequence order.
+//
+// base_ only ever advances, and only to times <= the global minimum event
+// time, so both wheels' circular mappings stay unambiguous for resident
+// events (level 0 spans kWheelBuckets ticks, level 1 spans kL1Span).
+
 namespace hpcvorx::sim {
 
 struct EventHandle::State {
   bool cancelled = false;
   bool fired = false;
 };
-
-namespace {
-
-// Max-heap comparator inverted for min-heap behaviour with std::*_heap.
-struct Later {
-  bool operator()(const EventQueue::Entry& a,
-                  const EventQueue::Entry& b) const {
-    if (a.at != b.at) return a.at > b.at;
-    return a.seq > b.seq;
-  }
-};
-
-}  // namespace
 
 bool EventHandle::cancel() {
   if (!state_ || state_->cancelled || state_->fired) return false;
@@ -42,11 +49,22 @@ EventQueue::EventQueue() {
       static_cast<std::size_t>(kWheelBuckets) * sizeof(std::uint32_t);
   constexpr std::size_t kBitmapBytes =
       static_cast<std::size_t>(kWords) * sizeof(std::uint64_t);
-  wheel_mem_ =
-      std::make_unique_for_overwrite<std::byte[]>(kBucketBytes + kBitmapBytes);
-  buckets_ = reinterpret_cast<std::uint32_t*>(wheel_mem_.get());
-  occupancy_ = reinterpret_cast<std::uint64_t*>(wheel_mem_.get() + kBucketBytes);
+  constexpr std::size_t kL1BucketBytes =
+      static_cast<std::size_t>(kL1Buckets) * sizeof(std::uint32_t);
+  constexpr std::size_t kL1BitmapBytes =
+      static_cast<std::size_t>(kL1Words) * sizeof(std::uint64_t);
+  wheel_mem_ = std::make_unique_for_overwrite<std::byte[]>(
+      kBucketBytes + kBitmapBytes + kL1BucketBytes + kL1BitmapBytes);
+  std::byte* p = wheel_mem_.get();
+  buckets_ = reinterpret_cast<std::uint32_t*>(p);
+  occupancy_ = reinterpret_cast<std::uint64_t*>(p + kBucketBytes);
+  l1_buckets_ =
+      reinterpret_cast<std::uint32_t*>(p + kBucketBytes + kBitmapBytes);
+  l1_occupancy_ = reinterpret_cast<std::uint64_t*>(p + kBucketBytes +
+                                                   kBitmapBytes +
+                                                   kL1BucketBytes);
   std::memset(occupancy_, 0, kBitmapBytes);
+  std::memset(l1_occupancy_, 0, kL1BitmapBytes);
 }
 
 EventHandle EventQueue::push(SimTime at, InlineFn&& fn) {
@@ -64,51 +82,152 @@ void EventQueue::post(SimTime at, InlineFn&& fn) {
   insert(at, next_seq_++, std::move(fn), nullptr);
 }
 
+std::uint32_t EventQueue::alloc_node(
+    SimTime at, std::uint64_t seq, InlineFn&& fn,
+    std::shared_ptr<EventHandle::State>&& state) const {
+  // Reserving the slab on first use sidesteps vector-doubling relocation
+  // of live entries through the warm-up of a fresh queue.
+  if (slab_.capacity() == 0) slab_.reserve(1024);
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    Node& n = slab_[idx];
+    free_head_ = n.next;
+    n.e.at = at;
+    n.e.seq = seq;
+    n.e.fn = std::move(fn);
+    n.e.state = std::move(state);
+    n.next = kNil;
+    return idx;
+  }
+  const std::uint32_t idx = static_cast<std::uint32_t>(slab_.size());
+  slab_.push_back(
+      Node{Entry{at, seq, std::move(fn), std::move(state)}, kNil, kNil});
+  return idx;
+}
+
+void EventQueue::free_node(std::uint32_t idx) const {
+  Node& n = slab_[idx];
+  n.e.fn.reset();
+  n.e.state.reset();
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::link_l0(std::uint32_t idx) const {
+  const SimTime at = slab_[idx].e.at;
+  const std::size_t b = bucket_index(at);
+  if (!bucket_occupied(b)) {
+    occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    buckets_[b] = idx;
+    slab_[idx].bucket_tail = idx;
+  } else {
+    Node& head_node = slab_[buckets_[b]];
+    slab_[head_node.bucket_tail].next = idx;
+    head_node.bucket_tail = idx;
+  }
+  if (wheel_count_ == 0 || at < wheel_min_) {
+    wheel_min_ = at;
+    wheel_head_ = idx;
+  }
+  ++wheel_count_;
+}
+
+void EventQueue::link_l1(std::uint32_t idx) const {
+  const SimTime at = slab_[idx].e.at;
+  const std::size_t b = l1_bucket_index(at);
+  if (!l1_bucket_occupied(b)) {
+    l1_occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    l1_buckets_[b] = idx;
+    slab_[idx].bucket_tail = idx;
+  } else {
+    Node& head_node = slab_[l1_buckets_[b]];
+    slab_[head_node.bucket_tail].next = idx;
+    head_node.bucket_tail = idx;
+  }
+  const SimTime start = l1_bucket_start(at);
+  if (l1_count_ == 0 || start < l1_min_start_) l1_min_start_ = start;
+  ++l1_count_;
+}
+
 void EventQueue::insert(SimTime at, std::uint64_t seq, InlineFn&& fn,
                         std::shared_ptr<EventHandle::State>&& state) {
-  if (at >= base_ && static_cast<std::uint64_t>(at - base_) < kWheelBuckets) {
-    // Ring path: O(1) append to the exact-tick bucket's FIFO.  Reserving
-    // the slab on first use sidesteps vector-doubling relocation of live
-    // entries through the warm-up of a fresh queue.
-    if (slab_.capacity() == 0) slab_.reserve(1024);
-    std::uint32_t idx;
-    if (free_head_ != kNil) {
-      idx = free_head_;
-      Node& n = slab_[idx];
-      free_head_ = n.next;
-      n.e.at = at;
-      n.e.seq = seq;
-      n.e.fn = std::move(fn);
-      n.e.state = std::move(state);
-      n.next = kNil;
-    } else {
-      idx = static_cast<std::uint32_t>(slab_.size());
-      slab_.push_back(
-          Node{Entry{at, seq, std::move(fn), std::move(state)}, kNil, kNil});
+  if (at >= base_) {
+    const std::uint64_t delta = static_cast<std::uint64_t>(at - base_);
+    if (delta < kL0Window) {
+      // Level-0 path: O(1) append to the exact-tick bucket's FIFO.
+      link_l0(alloc_node(at, seq, std::move(fn), std::move(state)));
+      ++stats_.l0_inserts;
+      return;
     }
-    const std::size_t b = bucket_index(at);
-    if (!bucket_occupied(b)) {
-      occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
-      buckets_[b] = idx;
-      slab_[idx].bucket_tail = idx;
-    } else {
-      Node& head_node = slab_[buckets_[b]];
-      slab_[head_node.bucket_tail].next = idx;
-      head_node.bucket_tail = idx;
+    if (delta < kL1Span) {
+      // Level-1 path: O(1) append to the coarse bucket's FIFO; the
+      // bucket is redistributed into level 0 when the frontier nears it.
+      link_l1(alloc_node(at, seq, std::move(fn), std::move(state)));
+      ++stats_.l1_inserts;
+      return;
     }
-    if (wheel_count_ == 0 || at < wheel_min_) {
-      wheel_min_ = at;
-      wheel_head_ = idx;
-    }
-    ++wheel_count_;
-  } else {
-    // Spill path: far future (beyond the window) or behind the frontier.
-    heap_.push_back(Entry{at, seq, std::move(fn), std::move(state)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  // True spill: far future (beyond the level-1 span) or behind the
+  // frontier.  The node stays in the slab; only its 4-byte handle sifts.
+  heap_.push_back(alloc_node(at, seq, std::move(fn), std::move(state)));
+  ++stats_.heap_inserts;
+  const auto later = [this](std::uint32_t a, std::uint32_t b) {
+    const Entry& ea = slab_[a].e;
+    const Entry& eb = slab_[b].e;
+    if (ea.at != eb.at) return ea.at > eb.at;
+    return ea.seq > eb.seq;
+  };
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void EventQueue::promote_due() const {
+  // A bucket is due once it fits entirely inside the level-0 window; the
+  // earliest-bucket pointer makes the common case (nothing due) one
+  // compare.  Buckets promote earliest-first, so promoted events are
+  // always strictly earlier than everything still resident in level 1.
+  while (l1_count_ > 0 &&
+         l1_min_start_ + static_cast<SimTime>(kL1Tick) <=
+             base_ + static_cast<SimTime>(kWheelBuckets)) {
+    promote_min_bucket();
   }
 }
 
+void EventQueue::promote_min_bucket() const {
+  const std::size_t b = l1_bucket_index(l1_min_start_);
+  assert(l1_bucket_occupied(b));
+  std::uint32_t idx = l1_buckets_[b];
+  l1_occupancy_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  while (idx != kNil) {
+    Node& n = slab_[idx];
+    const std::uint32_t next = n.next;
+    --l1_count_;
+    if (n.e.state != nullptr && n.e.state->cancelled) {
+      // Reap cancelled events here instead of relinking them: a preempted
+      // CPU slice's cancelled slice-end event never reaches level 0.
+      free_node(idx);
+      ++stats_.l1_cancelled_reaped;
+    } else {
+      n.next = kNil;
+      link_l0(idx);
+      ++stats_.l1_promoted;
+    }
+    idx = next;
+  }
+  if (l1_count_ > 0) advance_l1_min(b);
+}
+
 EventQueue::Entry* EventQueue::next_head(bool& from_wheel) const {
+  promote_due();
+  // Fast-forward: if level 0 is empty and the heap holds nothing earlier
+  // than the earliest level-1 bucket, nothing can fire before that bucket
+  // — jump the frontier to its start and promote it.  (After promote_due,
+  // a non-empty level 0 is always strictly earlier than all of level 1,
+  // so only the heap needs checking.)
+  while (l1_count_ > 0 && wheel_count_ == 0 &&
+         (heap_.empty() || slab_[heap_.front()].e.at >= l1_min_start_)) {
+    base_ = std::max(base_, l1_min_start_);
+    promote_due();
+  }
   const bool have_wheel = wheel_count_ > 0;
   const bool have_heap = !heap_.empty();
   if (!have_wheel && !have_heap) return nullptr;
@@ -118,10 +237,10 @@ EventQueue::Entry* EventQueue::next_head(bool& from_wheel) const {
   }
   if (!have_wheel) {
     from_wheel = false;
-    return &heap_.front();
+    return &slab_[heap_.front()].e;
   }
   Entry& w = slab_[wheel_head_].e;
-  Entry& h = heap_.front();
+  Entry& h = slab_[heap_.front()].e;
   from_wheel = (w.at != h.at) ? (w.at < h.at) : (w.seq < h.seq);
   return from_wheel ? &w : &h;
 }
@@ -131,23 +250,28 @@ void EventQueue::discard_wheel_head() const {
   const std::uint32_t idx = wheel_head_;
   Node& n = slab_[idx];
   const std::uint32_t next = n.next;
-  n.e.fn.reset();
-  n.e.state.reset();
-  n.next = free_head_;
-  free_head_ = idx;
+  const std::uint32_t tail = n.bucket_tail;
+  free_node(idx);
   --wheel_count_;
   if (next == kNil) {
     occupancy_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
     if (wheel_count_ > 0) advance_wheel_min(b);
   } else {
-    slab_[next].bucket_tail = n.bucket_tail;  // tail rides on the new head
+    slab_[next].bucket_tail = tail;  // tail rides on the new head
     buckets_[b] = next;
     wheel_head_ = next;
   }
 }
 
 void EventQueue::discard_heap_head() const {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const auto later = [this](std::uint32_t a, std::uint32_t b) {
+    const Entry& ea = slab_[a].e;
+    const Entry& eb = slab_[b].e;
+    if (ea.at != eb.at) return ea.at > eb.at;
+    return ea.seq > eb.seq;
+  };
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  free_node(heap_.back());
   heap_.pop_back();
 }
 
@@ -172,6 +296,23 @@ void EventQueue::advance_wheel_min(std::size_t emptied_bucket) const {
   assert(false && "wheel_count_ > 0 but no occupied bucket");
 }
 
+void EventQueue::advance_l1_min(std::size_t emptied_bucket) const {
+  const std::size_t b = (emptied_bucket + 1) & kL1Mask;
+  std::size_t word = b >> 6;
+  std::uint64_t bits = l1_occupancy_[word] & (~std::uint64_t{0} << (b & 63));
+  for (std::size_t scanned = 0; scanned <= kL1Words; ++scanned) {
+    if (bits != 0) {
+      const std::size_t found =
+          (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      l1_min_start_ = time_of_l1_bucket(found);
+      return;
+    }
+    word = (word + 1) & (kL1Words - 1);
+    bits = l1_occupancy_[word];
+  }
+  assert(false && "l1_count_ > 0 but no occupied level-1 bucket");
+}
+
 void EventQueue::drop_cancelled() const {
   bool from_wheel = false;
   Entry* head;
@@ -187,10 +328,10 @@ void EventQueue::drop_cancelled() const {
 
 bool EventQueue::empty() const {
   // Fast path: a live, handle-free ring head (the steady state) proves
-  // non-emptiness without touching the heap or the reap loop.
+  // non-emptiness without touching the other structures or the reap loop.
   if (wheel_count_ > 0 && slab_[wheel_head_].e.state == nullptr) return false;
   drop_cancelled();
-  return wheel_count_ == 0 && heap_.empty();
+  return wheel_count_ == 0 && l1_count_ == 0 && heap_.empty();
 }
 
 SimTime EventQueue::next_time() const {
@@ -226,8 +367,12 @@ std::pair<SimTime, InlineFn> EventQueue::pop() {
       discard_heap_head();
     }
     // Advance the window: the popped entry was the global minimum, so
-    // everything still in the ring is >= at and keeps its bucket mapping.
+    // everything still resident is >= at and keeps its bucket mapping.
+    // Promoting due level-1 buckets *now* (not at the next head read)
+    // keeps the promotion invariant against inserts landing before the
+    // next pop.
     base_ = std::max(base_, out.first);
+    promote_due();
     return out;
   }
 }

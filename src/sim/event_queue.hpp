@@ -5,19 +5,31 @@
 // in the order they were scheduled.
 //
 // This queue is the innermost loop of every benchmark, so the storage is
-// built around two structures:
+// built around three structures (all sharing one node slab):
 //
 //   * a near-future bucket ring (a degenerate timing wheel with a 1 ns
-//     tick): events within kWheelBuckets ns of the last-popped time go
-//     into the exact-tick bucket `at % kWheelBuckets` as an intrusive
-//     FIFO.  Insert and pop are O(1); FIFO order within a bucket *is*
+//     tick): events within kL0Window ns of the last-popped time go into
+//     the exact-tick bucket `at % kWheelBuckets` as an intrusive FIFO.
+//     Insert and pop are O(1); FIFO order within a bucket *is*
 //     insertion-sequence order because a 1 ns tick means one bucket holds
 //     exactly one instant.  The overwhelming majority of events (frame
-//     hops, CPU slices, coroutine wakeups) land here.
-//   * a binary heap for the spill: events beyond the ring's window, or
-//     behind the pop frontier, fall back to the classic (time, seq)
-//     min-heap.  pop() compares the ring head against the heap head, so
-//     global firing order is identical to a single heap.
+//     hops, coroutine wakeups) land here.
+//   * a coarse level-1 wheel: 4096 buckets of 4096 ns (~4 µs) each,
+//     covering the next ~16.8 ms beyond the ring.  CPU slice-end events at
+//     Table 1/2 costs (~100–300 µs) — which overshoot the 16 µs ring — land
+//     here in O(1) instead of taking the heap.  When the pop frontier
+//     advances far enough that a level-1 bucket fits entirely inside the
+//     level-0 window, the bucket's events are redistributed ("promoted")
+//     into their exact-tick ring buckets; each event is promoted at most
+//     once, so the two-level path stays amortized O(1).
+//   * a binary heap for the true spill: events beyond the level-1 span, or
+//     behind the pop frontier.  The heap sifts 4-byte slab handles — the
+//     ~104-byte entries themselves stay put in the slab — so heavy spill
+//     traffic moves words, not cache lines.
+//
+// pop() compares the ring head against the heap head (level-1 events are
+// promoted before they can become the head), so global firing order is
+// identical to a single (time, seq) heap.
 //
 // Entries carry their callback in an InlineFn (64 inline bytes — see
 // inline_fn.hpp), so scheduling allocates nothing on the steady-state
@@ -25,10 +37,10 @@
 // either.  push() still allocates the shared cancellation state its
 // EventHandle hands out.
 //
-// The ring's per-bucket head/tail arrays are allocated uninitialized and
-// consulted only when the bucket's occupancy bit is set, which keeps
-// queue construction cheap (a 2 KB bitmap clear) — benchmarks build
-// thousands of Simulators.
+// The per-bucket head arrays of both wheel levels are allocated
+// uninitialized and consulted only when the bucket's occupancy bit is set,
+// which keeps queue construction cheap (a 2.5 KB bitmap clear) —
+// benchmarks build thousands of Simulators.
 #pragma once
 
 #include <cstddef>
@@ -62,16 +74,45 @@ class EventHandle {
   std::shared_ptr<State> state_;
 };
 
-/// (time, sequence)-ordered callback queue: near-future bucket ring over a
-/// binary-heap spill.
+/// (time, sequence)-ordered callback queue: two-level timing wheel over a
+/// handle-sifting binary-heap spill.
 class EventQueue {
  public:
-  /// Width of the near-future window, in ticks (1 tick = 1 ns).  Power of
-  /// two; events at `[frontier, frontier + kWheelBuckets)` take the O(1)
-  /// ring path.  16384 ns covers every steady-state delay in the model
-  /// (frame hops are 0.8–54 µs end to end but each *event* is a few µs
-  /// out; CPU slices and wakeups are nearer still).
+  /// Width of the level-0 ring, in ticks (1 tick = 1 ns).  Power of two;
+  /// the ring maps one instant per bucket across `[frontier, frontier +
+  /// kWheelBuckets)`.  16384 ns covers every steady-state delay in the
+  /// message path (frame hops are 0.8–54 µs end to end but each *event* is
+  /// a few µs out; coroutine wakeups are nearer still).
   static constexpr std::uint64_t kWheelBuckets = 16384;
+  /// Level-1 bucket width: 4096 ns (~the paper's 4 µs granularity) so the
+  /// bucket arrays stay power-of-two and index math is a shift.
+  static constexpr std::uint64_t kL1TickLog2 = 12;
+  static constexpr std::uint64_t kL1Tick = std::uint64_t{1} << kL1TickLog2;
+  static constexpr std::uint64_t kL1Buckets = 4096;
+  /// Level-1 horizon: events within [frontier, frontier + kL1Span) avoid
+  /// the heap entirely.  4096 buckets x 4096 ns ≈ 16.8 ms — two orders of
+  /// magnitude past the largest CPU slice cost in Tables 1/2.
+  static constexpr std::uint64_t kL1Span = kL1Buckets * kL1Tick;
+  /// Direct level-0 insert window, narrowed by one level-1 bucket.  The
+  /// narrowing maintains the promotion invariant: any tick reachable by a
+  /// direct level-0 insert lies in a level-1 bucket that promote_due() has
+  /// already drained, so a bucket is never promoted *behind* a same-tick
+  /// event with a later sequence number (see event_queue.cpp).
+  static constexpr std::uint64_t kL0Window = kWheelBuckets - kL1Tick;
+
+  /// Structure-traffic counters (cumulative since construction).  These
+  /// feed the engine.wheel_l1_* bench rows and the spill-accounting audit:
+  /// `heap_inserts` counts only true spill (beyond the level-1 span or
+  /// behind the frontier) — promoted level-1 events are counted in
+  /// `l1_promoted`, never as spill.
+  struct Stats {
+    std::uint64_t l0_inserts = 0;    // direct ring inserts
+    std::uint64_t l1_inserts = 0;    // level-1 wheel inserts
+    std::uint64_t heap_inserts = 0;  // true spill only
+    std::uint64_t l1_promoted = 0;   // events redistributed level 1 -> 0
+    std::uint64_t l1_cancelled_reaped = 0;  // cancelled events freed at
+                                            // promotion, never relinked
+  };
 
   EventQueue();
   EventQueue(EventQueue&&) = default;
@@ -96,7 +137,9 @@ class EventQueue {
   /// Number of scheduled events (an upper bound: cancelled events that
   /// have not yet been reaped from the structures' interiors are
   /// included).
-  [[nodiscard]] std::size_t size() const { return wheel_count_ + heap_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    return wheel_count_ + l1_count_ + heap_.size();
+  }
 
   /// Time of the earliest live event.  Precondition: !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -105,10 +148,12 @@ class EventQueue {
   /// from the queue.  Precondition: !empty().
   std::pair<SimTime, InlineFn> pop();
 
+  /// Structure-traffic counters; see Stats.
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   /// Entry is an implementation detail, public only so the comparator in
-  /// event_queue.cpp can see it.  Entries are stored by value in the ring
-  /// slab and the heap vector; sifts and slab growth move them (InlineFn
-  /// relocation — no reallocation of the capture).
+  /// event_queue.cpp can see it.  Entries live in the shared node slab for
+  /// all three structures; the heap sifts slab indices, never Entries.
   struct Entry {
     SimTime at;
     std::uint64_t seq;
@@ -119,15 +164,18 @@ class EventQueue {
  private:
   static constexpr std::uint64_t kMask = kWheelBuckets - 1;
   static constexpr std::uint64_t kWords = kWheelBuckets / 64;
+  static constexpr std::uint64_t kL1Mask = kL1Buckets - 1;
+  static constexpr std::uint64_t kL1Words = kL1Buckets / 64;
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
-  /// Ring slab node: entry + intrusive FIFO link (doubles as the free
-  /// list's link) + the bucket's tail index, maintained only on the node
-  /// that is currently a bucket head.  Keeping the tail here instead of in
-  /// the bucket array halves that array to 4 bytes/bucket — the whole
-  /// ring block must stay under glibc's 128 KiB mmap threshold or every
-  /// fresh queue pays mmap/munmap plus page faults (measured 2x on the
-  /// post/pop microbench).  The field rides in Node's padding for free.
+  /// Slab node: entry + intrusive FIFO link (doubles as the free list's
+  /// link) + the bucket's tail index, maintained only on the node that is
+  /// currently a bucket head (either wheel level).  Keeping the tail here
+  /// instead of in the bucket arrays halves those arrays to 4 bytes/bucket
+  /// — the whole wheel block must stay under glibc's 128 KiB mmap
+  /// threshold or every fresh queue pays mmap/munmap plus page faults
+  /// (measured 2x on the post/pop microbench).  The field rides in Node's
+  /// padding for free.  Heap-resident nodes use neither link field.
   struct Node {
     Entry e;
     std::uint32_t next = kNil;
@@ -136,8 +184,28 @@ class EventQueue {
 
   void insert(SimTime at, std::uint64_t seq, InlineFn&& fn,
               std::shared_ptr<EventHandle::State>&& state);
+  /// Takes a node from the free list (or grows the slab) and fills it.
+  std::uint32_t alloc_node(SimTime at, std::uint64_t seq, InlineFn&& fn,
+                           std::shared_ptr<EventHandle::State>&& state) const;
+  /// Destroys the node's payload and returns it to the free list.
+  void free_node(std::uint32_t idx) const;
+  /// Appends an already-filled node to its level-0 exact-tick bucket and
+  /// maintains wheel_min_/wheel_head_.  Precondition: the node's time is
+  /// inside [base_, base_ + kWheelBuckets) and node.next == kNil.
+  void link_l0(std::uint32_t idx) const;
+  /// Appends an already-filled node to its level-1 bucket.
+  void link_l1(std::uint32_t idx) const;
+  /// Promotes every level-1 bucket that fits entirely inside the level-0
+  /// window (bucket_start + kL1Tick <= base_ + kWheelBuckets), earliest
+  /// first.  Called after every frontier advance and before head reads.
+  void promote_due() const;
+  /// Drains the earliest occupied level-1 bucket into level 0 (cancelled
+  /// events are reaped here instead of relinked).
+  void promote_min_bucket() const;
   /// Entry that pop() would return next (nullptr when truly empty);
-  /// `from_wheel` says which structure holds it.
+  /// `from_wheel` says which structure holds it.  Promotes due level-1
+  /// buckets first, and fast-forwards the frontier when only far level-1
+  /// events remain, so an unpromoted level-1 event is never the head.
   Entry* next_head(bool& from_wheel) const;
   /// Unlinks and destroys the ring head (the entry at wheel_min_) /
   /// the heap head.  The caller moves anything it wants out first.
@@ -146,38 +214,67 @@ class EventQueue {
   /// Recomputes wheel_min_ by scanning the occupancy bitmap circularly
   /// from `emptied_bucket + 1`.  Precondition: wheel_count_ > 0.
   void advance_wheel_min(std::size_t emptied_bucket) const;
+  /// Same for the level-1 bitmap and l1_min_start_.  Precondition:
+  /// l1_count_ > 0.
+  void advance_l1_min(std::size_t emptied_bucket) const;
   void drop_cancelled() const;
 
   [[nodiscard]] static std::size_t bucket_index(SimTime at) {
     return static_cast<std::size_t>(static_cast<std::uint64_t>(at) & kMask);
   }
+  [[nodiscard]] static std::size_t l1_bucket_index(SimTime at) {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(at) >> kL1TickLog2) & kL1Mask);
+  }
+  [[nodiscard]] static SimTime l1_bucket_start(SimTime at) {
+    return static_cast<SimTime>(static_cast<std::uint64_t>(at) &
+                                ~(kL1Tick - 1));
+  }
   [[nodiscard]] SimTime time_of_bucket(std::size_t b) const {
     const std::uint64_t base_b = static_cast<std::uint64_t>(base_) & kMask;
     return base_ + static_cast<SimTime>((b - base_b) & kMask);
   }
+  [[nodiscard]] SimTime time_of_l1_bucket(std::size_t b) const {
+    const std::uint64_t base_b =
+        (static_cast<std::uint64_t>(base_) >> kL1TickLog2) & kL1Mask;
+    return l1_bucket_start(base_) +
+           static_cast<SimTime>(((b - base_b) & kL1Mask) << kL1TickLog2);
+  }
   [[nodiscard]] bool bucket_occupied(std::size_t b) const {
     return (occupancy_[b >> 6] >> (b & 63)) & 1u;
   }
+  [[nodiscard]] bool l1_bucket_occupied(std::size_t b) const {
+    return (l1_occupancy_[b >> 6] >> (b & 63)) & 1u;
+  }
 
-  // pop()/drop_cancelled() reaping mutates the containers behind the
-  // logically-const empty()/next_time(), hence the mutables (the original
-  // single-heap queue had the same shape).
-  mutable std::vector<Entry> heap_;         // spill: far-future + past
-  mutable std::vector<Node> slab_;          // ring entry storage
-  mutable std::uint32_t free_head_ = kNil;  // slab free list
-  // One allocation backs the bucket array (uninitialized — trusted only
-  // when the bucket's occupancy bit is set) and the occupancy bitmap
-  // (zeroed at construction).  Separate allocations measured ~100x worse
-  // to construct: three back-to-back 64 KB malloc/free pairs make glibc
-  // trim the heap top every cycle.
+  // pop()/drop_cancelled() reaping and lazy promotion mutate the
+  // containers behind the logically-const empty()/next_time(), hence the
+  // mutables (the original single-heap queue had the same shape).
+  mutable std::vector<std::uint32_t> heap_;  // spill: slab handles only
+  mutable std::vector<Node> slab_;           // entry storage, all structures
+  mutable std::uint32_t free_head_ = kNil;   // slab free list
+  // One allocation backs both levels' bucket arrays (uninitialized —
+  // trusted only when the bucket's occupancy bit is set) and occupancy
+  // bitmaps (zeroed at construction).  Separate allocations measured ~100x
+  // worse to construct: back-to-back 64 KB malloc/free pairs make glibc
+  // trim the heap top every cycle.  Total 82.5 KB — still under the mmap
+  // threshold.
   mutable std::unique_ptr<std::byte[]> wheel_mem_;
-  std::uint32_t* buckets_ = nullptr;        // head index per bucket
+  std::uint32_t* buckets_ = nullptr;        // L0 head index per bucket
   std::uint64_t* occupancy_ = nullptr;      // into wheel_mem_
+  std::uint32_t* l1_buckets_ = nullptr;     // L1 head index per bucket
+  std::uint64_t* l1_occupancy_ = nullptr;   // into wheel_mem_
   mutable std::size_t wheel_count_ = 0;
   mutable SimTime wheel_min_ = 0;  // exact min time in ring; valid iff count>0
   mutable std::uint32_t wheel_head_ = kNil;  // slab index of ring head
-  SimTime base_ = 0;               // window start == last popped time
+  mutable std::size_t l1_count_ = 0;
+  mutable SimTime l1_min_start_ = 0;  // start of earliest occupied L1 bucket;
+                                      // valid iff l1_count_ > 0
+  // The window start (== last popped time).  next_head()'s fast-forward
+  // advances it from const context, hence mutable.
+  mutable SimTime base_ = 0;
   std::uint64_t next_seq_ = 0;
+  mutable Stats stats_;
 };
 
 }  // namespace hpcvorx::sim

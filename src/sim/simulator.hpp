@@ -58,6 +58,14 @@ class Simulator {
   /// Number of pending events (upper bound, see EventQueue::size()).
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Structure-traffic counters of the underlying event queue: which
+  /// wheel level (or the heap spill) inserts landed in, and how many
+  /// level-1 events were promoted or reaped.  Benches and tests use this
+  /// to hold the "slice-end events never spill" property.
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const {
+    return queue_.stats();
+  }
+
   /// Counter timeline for the trace exporter (disabled by default).
   /// Hardware and OS components sample into it when it is enabled.
   [[nodiscard]] CounterTimeline& counters() { return counters_; }

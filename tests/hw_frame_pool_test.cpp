@@ -88,6 +88,56 @@ TEST(FramePool, MaxFreeCapsTheFreeList) {
   EXPECT_EQ(pool.free_buffers(), 2u);  // the rest were simply freed
 }
 
+TEST(FramePool, LiveOccupancyTracksPeak) {
+  FramePool pool;
+  EXPECT_EQ(pool.payloads_live(), 0u);
+  EXPECT_EQ(pool.peak_payloads_live(), 0u);
+  {
+    std::vector<Payload> ps;
+    for (int i = 0; i < 7; ++i) ps.push_back(pool.make(filled(8, std::byte{1})));
+    EXPECT_EQ(pool.payloads_live(), 7u);
+    ps.resize(3);
+    EXPECT_EQ(pool.payloads_live(), 3u);
+    EXPECT_EQ(pool.peak_payloads_live(), 7u);  // high-water survives drops
+    ps.push_back(pool.make(filled(8, std::byte{1})));
+    EXPECT_EQ(pool.payloads_live(), 4u);
+  }
+  EXPECT_EQ(pool.payloads_live(), 0u);
+  EXPECT_EQ(pool.peak_payloads_live(), 7u);
+}
+
+TEST(FramePool, HighWaterPolicySetsCapFromPeakAndTrims) {
+  FramePool pool;
+  {
+    std::vector<Payload> ps;
+    for (int i = 0; i < 8; ++i) ps.push_back(pool.make(filled(8, std::byte{2})));
+  }  // peak 8 live; all 8 buffers now on the free list
+  EXPECT_EQ(pool.free_buffers(), 8u);
+  const std::size_t cap = pool.apply_high_water_policy(/*headroom=*/1.25);
+  EXPECT_EQ(cap, 10u);  // ceil(8 * 1.25)
+  EXPECT_EQ(pool.max_free(), 10u);
+  EXPECT_EQ(pool.free_buffers(), 8u);  // under the cap: nothing trimmed
+
+  const std::size_t tight = pool.apply_high_water_policy(/*headroom=*/0.5);
+  EXPECT_EQ(tight, 4u);
+  EXPECT_EQ(pool.free_buffers(), 4u);  // excess trimmed immediately
+
+  // The cap still recycles the steady state: a fresh burst of 4 reuses
+  // the retained buffers without creating new ones.
+  const std::uint64_t created_before = pool.buffers_created();
+  {
+    std::vector<Payload> ps;
+    for (int i = 0; i < 4; ++i) ps.push_back(pool.make_copy(nullptr, 0));
+  }
+  EXPECT_EQ(pool.buffers_created(), created_before);
+}
+
+TEST(FramePool, HighWaterPolicyOnQuietPoolKeepsOneSlot) {
+  FramePool pool;
+  EXPECT_EQ(pool.apply_high_water_policy(), 1u);  // never a zero cap
+  EXPECT_EQ(pool.max_free(), 1u);
+}
+
 TEST(FramePool, SteadyStateCreatesNoNewBuffers) {
   FramePool pool;
   // Warm up with one round, then cycle: created must stay at 1.

@@ -1,0 +1,299 @@
+// Tests for the two-level timer wheel: level-1 insert/promote behaviour,
+// the promotion frontier, cancellation of promoted events, the structure
+// -traffic stats the CI bench rows are built on, and a randomized
+// differential test whose time distributions deliberately straddle the
+// level-0 / level-1 / spill boundaries.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace hpcvorx::sim {
+namespace {
+
+constexpr SimTime kL0 = static_cast<SimTime>(EventQueue::kL0Window);
+constexpr SimTime kW = static_cast<SimTime>(EventQueue::kWheelBuckets);
+constexpr SimTime kL1Tick = static_cast<SimTime>(EventQueue::kL1Tick);
+constexpr SimTime kL1Span = static_cast<SimTime>(EventQueue::kL1Span);
+
+TEST(EventQueueL1, SliceCostEventsTakeLevel1NotSpill) {
+  // CPU slice-end events at Table 1/2 costs (~100–300 µs) overshoot the
+  // level-0 ring; the whole point of the level-1 wheel is that they never
+  // reach the heap.
+  EventQueue q;
+  SimTime now = 0;
+  std::vector<SimTime> fired;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime at = now + usec(100) + (i % 3) * usec(100);
+    q.post(at, [&fired, at] { fired.push_back(at); });
+    auto [t, fn] = q.pop();
+    fn();
+    now = t;
+  }
+  EXPECT_EQ(fired.size(), 500u);
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1], fired[i]);
+  EXPECT_EQ(q.stats().heap_inserts, 0u);
+  EXPECT_GT(q.stats().l1_inserts, 0u);
+  EXPECT_EQ(q.stats().l1_inserts,
+            q.stats().l1_promoted + q.stats().l1_cancelled_reaped);
+}
+
+TEST(EventQueueL1, BoundaryTimesLandInTheRightStructure) {
+  EventQueue q;
+  std::vector<SimTime> got;
+  auto rec = [&](SimTime t) {
+    q.post(t, [&got, t] { got.push_back(t); });
+  };
+  rec(kL0 - 1);     // last direct level-0 tick
+  rec(kL0);         // first level-1 time
+  rec(kW);          // one full ring width out: level 1
+  rec(kL1Span - 1); // last level-1 time
+  rec(kL1Span);     // first true-spill time
+  EXPECT_EQ(q.stats().l0_inserts, 1u);
+  EXPECT_EQ(q.stats().l1_inserts, 3u);
+  EXPECT_EQ(q.stats().heap_inserts, 1u);
+  std::vector<SimTime> popped;
+  while (!q.empty()) {
+    auto [at, fn] = q.pop();
+    popped.push_back(at);
+    fn();
+  }
+  const std::vector<SimTime> want{kL0 - 1, kL0, kW, kL1Span - 1, kL1Span};
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(popped, want);
+}
+
+TEST(EventQueueL1, EventExactlyOnPromotionFrontierKeepsSeqOrder) {
+  // Two events at the exact same level-1 bucket-start instant, one posted
+  // while the instant is level-1 range (promoted later) and one posted
+  // after the frontier advanced so the same tick is direct level-0 range.
+  // The promoted one has the smaller sequence number and must fire first.
+  EventQueue q;
+  const SimTime frontier = ((kL0 + kL1Tick) / kL1Tick) * kL1Tick;  // bucket start
+  std::vector<int> order;
+  q.post(frontier, [&] { order.push_back(0); });  // level 1 (>= kL0Window)
+  q.post(100, [&] { order.push_back(1); });       // level 0, fires first
+  {
+    auto [at, fn] = q.pop();
+    EXPECT_EQ(at, 100);
+    fn();
+  }
+  // The frontier is now 100; `frontier` may still be beyond the direct
+  // window, so walk the queue up to it with a stepping stone that lands
+  // close enough for a direct level-0 insert of the same tick.
+  q.post(frontier - 50, [&] { order.push_back(2); });
+  {
+    auto [at, fn] = q.pop();
+    EXPECT_EQ(at, frontier - 50);
+    fn();
+  }
+  q.post(frontier, [&] { order.push_back(3); });  // same tick, direct level 0
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0, 3}));
+}
+
+TEST(EventQueueL1, CancelledLevel1EventIsReapedAtPromotionAndNeverFires) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle doomed = q.push(usec(150), [&] { ++fired; });  // level 1
+  EventHandle kept = q.push(usec(151), [&] { ++fired; });    // level 1
+  EXPECT_TRUE(doomed.cancel());
+  // Walk the frontier forward so the level-1 bucket promotes.
+  q.post(usec(140), [] {});
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(kept.pending());  // fired
+  EXPECT_EQ(q.stats().l1_cancelled_reaped, 1u);
+  // The cancelled event was reaped during promotion, not promoted: only
+  // `kept` and the frontier-walking post were relinked into level 0.
+  EXPECT_EQ(q.stats().l1_promoted, 2u);
+  EXPECT_EQ(q.stats().l1_inserts,
+            q.stats().l1_promoted + q.stats().l1_cancelled_reaped);
+}
+
+TEST(EventQueueL1, CancelAfterPromotionStillWorks) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.push(usec(150), [&] { ++fired; });
+  // Promote the bucket by advancing the frontier close to it...
+  q.post(usec(149), [] {});
+  q.pop().second();
+  // ...then cancel the now-level-0-resident event.
+  EXPECT_TRUE(h.cancel());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueL1, OnlyCancelledLevel1EventsMeansEmpty) {
+  EventQueue q;
+  EventHandle a = q.push(usec(200), [] {});
+  EventHandle b = q.push(usec(300), [] {});
+  EXPECT_FALSE(q.empty());
+  a.cancel();
+  b.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueL1, FastForwardAcrossAnEmptyGap) {
+  // A lone event deep in level-1 range: pop() must fast-forward the
+  // frontier to its bucket and fire it, without touching the heap.
+  EventQueue q;
+  int fired = 0;
+  q.post(msec(10), [&] { ++fired; });
+  EXPECT_EQ(q.next_time(), msec(10));
+  auto [at, fn] = q.pop();
+  EXPECT_EQ(at, msec(10));
+  fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().heap_inserts, 0u);
+}
+
+TEST(EventQueueL1, HeapAndLevel1TieAtSameInstantFiresInSeqOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  // Seq 0 goes far beyond the level-1 span (heap).  After the frontier
+  // advances, the same instant becomes level-1 range for seq 2.
+  const SimTime t = kL1Span + usec(100);
+  q.post(t, [&] { order.push_back(0); });  // heap
+  q.post(usec(200), [&] { order.push_back(1); });  // level 1
+  {
+    auto [at, fn] = q.pop();
+    EXPECT_EQ(at, usec(200));
+    fn();
+  }
+  q.post(t, [&] { order.push_back(2); });  // now level-1 range
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(EventQueueL1, CpuSliceEndStreamNeverSpills) {
+  // End to end through the simulator: preemptive CPU jobs at Table 1/2
+  // slice costs.  Their slice-end events must ride the wheels (never the
+  // heap), and every preemption's cancelled slice-end event must be
+  // reaped by promotion or head-reap, not promoted into level 0 work.
+  Simulator sim;
+  Cpu cpu(sim, "t");
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    [](Cpu& c, int prio, int* counter) -> Proc {
+      co_await c.run(prio, usec(100) + (prio % 3) * usec(100),
+                     Category::kUser);
+      ++*counter;
+    }(cpu, i % 7, &done);
+  }
+  sim.run();
+  EXPECT_EQ(done, 200);
+  EXPECT_GT(cpu.preemptions(), 0u);
+  EXPECT_EQ(sim.queue_stats().heap_inserts, 0u);
+  EXPECT_GT(sim.queue_stats().l1_inserts, 0u);
+}
+
+// Randomized differential test against a reference (time, seq) multiset,
+// with the insert distribution spanning every structure boundary: direct
+// level-0 times, the narrowed window edge, level-1 times, the level-1
+// horizon, true far-future spill, past times, and exact bucket-start
+// multiples (the promotion frontier).  Interleaves pops and cancellation
+// (including of already-promoted events) exactly like the level-0 test in
+// sim_wheel_inline_test.cpp.
+TEST(EventQueueL1, MatchesReferenceModelAcrossBoundaryDistributions) {
+  EventQueue q;
+  Rng rng(0xB16B00B5u);
+  std::set<std::pair<SimTime, std::uint64_t>> ref;
+  std::vector<std::pair<EventHandle, std::pair<SimTime, std::uint64_t>>>
+      handles;
+  std::uint64_t seq = 0;
+  SimTime frontier = 0;
+  std::vector<std::pair<SimTime, std::uint64_t>> fired;
+
+  for (int step = 0; step < 30000; ++step) {
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 55 || ref.empty()) {
+      SimTime at;
+      const std::uint64_t kind = rng.below(16);
+      if (kind < 5) {
+        // Direct level-0 window.
+        at = frontier + static_cast<SimTime>(rng.below(EventQueue::kL0Window));
+      } else if (kind < 10) {
+        // Level-1 range: slice-cost-like distances.
+        at = frontier + kL0 +
+             static_cast<SimTime>(rng.below(EventQueue::kL1Span -
+                                            EventQueue::kL0Window));
+      } else if (kind < 12) {
+        // True spill: beyond the level-1 horizon.
+        at = frontier + kL1Span +
+             static_cast<SimTime>(rng.below(3 * EventQueue::kL1Span));
+      } else if (kind < 14) {
+        // Exact boundaries, including level-1 bucket starts (the
+        // promotion frontier) and the window edges.
+        const SimTime bucket_start =
+            ((frontier + kL0 + static_cast<SimTime>(rng.below(64)) * kL1Tick) /
+             kL1Tick) *
+            kL1Tick;
+        const SimTime choices[] = {frontier,
+                                   frontier + kL0 - 1,
+                                   frontier + kL0,
+                                   frontier + kW,
+                                   bucket_start,
+                                   frontier + kL1Span - 1,
+                                   frontier + kL1Span};
+        at = choices[rng.below(sizeof(choices) / sizeof(choices[0]))];
+      } else {
+        // Past times (spill behind the frontier).
+        at = static_cast<SimTime>(
+            rng.below(static_cast<std::uint64_t>(frontier) + 1));
+      }
+      const std::uint64_t s = seq++;
+      auto record = [&fired, at, s] { fired.emplace_back(at, s); };
+      if (rng.below(4) == 0) {
+        handles.emplace_back(q.push(at, record), std::make_pair(at, s));
+      } else {
+        q.post(at, record);
+      }
+      ref.emplace(at, s);
+    } else if (roll < 90) {
+      auto [at, fn] = q.pop();
+      fn();
+      ASSERT_FALSE(fired.empty());
+      ASSERT_EQ(fired.back(), *ref.begin()) << "at step " << step;
+      ASSERT_EQ(at, ref.begin()->first);
+      frontier = std::max(frontier, at);
+      ref.erase(ref.begin());
+    } else if (!handles.empty()) {
+      // Cancel a random live handle — it may sit in either wheel level
+      // (promoted or not) or the heap.
+      const std::size_t i = rng.below(handles.size());
+      if (handles[i].first.cancel()) ref.erase(handles[i].second);
+      handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_EQ(q.empty(), ref.empty()) << "at step " << step;
+  }
+  while (!ref.empty()) {
+    auto [at, fn] = q.pop();
+    fn();
+    ASSERT_EQ(fired.back(), *ref.begin());
+    ASSERT_EQ(at, ref.begin()->first);
+    ref.erase(ref.begin());
+  }
+  EXPECT_TRUE(q.empty());
+  // The workload genuinely exercised all three structures.
+  EXPECT_GT(q.stats().l0_inserts, 0u);
+  EXPECT_GT(q.stats().l1_inserts, 0u);
+  EXPECT_GT(q.stats().heap_inserts, 0u);
+  EXPECT_GT(q.stats().l1_promoted, 0u);
+}
+
+}  // namespace
+}  // namespace hpcvorx::sim
