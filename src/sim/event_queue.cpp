@@ -25,7 +25,10 @@
 //
 // base_ only ever advances, and only to times <= the global minimum event
 // time, so both wheels' circular mappings stay unambiguous for resident
-// events (level 0 spans kWheelBuckets ticks, level 1 spans kL1Span).
+// events: level 0 spans kWheelBuckets ticks, and level 1 accepts only
+// times strictly before l1_bucket_start(base_) + kL1Span, so a resident
+// event's bucket index can never alias the frontier's own bucket (see
+// insert()).
 
 namespace hpcvorx::sim {
 
@@ -159,7 +162,15 @@ void EventQueue::insert(SimTime at, std::uint64_t seq, InlineFn&& fn,
       ++stats_.l0_inserts;
       return;
     }
-    if (delta < kL1Span) {
+    // Level-1 accept window, frontier-bucket-exclusive.  The circular
+    // mapping spans kL1Buckets buckets starting at the frontier's own
+    // bucket, so when base_ sits mid-bucket the last partial bucket of
+    // [base_, base_ + kL1Span) aliases the frontier's bucket index;
+    // time_of_l1_bucket() would report the aliased bucket's start as
+    // ~base_ (kL1Span too early), promote_due() would drain it at once,
+    // and link_l0() would see a time outside the ring window.  Events in
+    // that partial bucket spill to the heap instead.
+    if (delta < kL1Span - (static_cast<std::uint64_t>(base_) & (kL1Tick - 1))) {
       // Level-1 path: O(1) append to the coarse bucket's FIFO; the
       // bucket is redistributed into level 0 when the frontier nears it.
       link_l1(alloc_node(at, seq, std::move(fn), std::move(state)));

@@ -89,9 +89,13 @@ class EventQueue {
   static constexpr std::uint64_t kL1TickLog2 = 12;
   static constexpr std::uint64_t kL1Tick = std::uint64_t{1} << kL1TickLog2;
   static constexpr std::uint64_t kL1Buckets = 4096;
-  /// Level-1 horizon: events within [frontier, frontier + kL1Span) avoid
-  /// the heap entirely.  4096 buckets x 4096 ns ≈ 16.8 ms — two orders of
-  /// magnitude past the largest CPU slice cost in Tables 1/2.
+  /// Level-1 horizon: events within [frontier, l1_bucket_start(frontier)
+  /// + kL1Span) avoid the heap entirely — i.e. the full span minus the
+  /// frontier's offset into its own level-1 bucket, so an accepted
+  /// event's bucket index never aliases the frontier's bucket (the last
+  /// partial bucket spills to the heap; see insert()).  4096 buckets x
+  /// 4096 ns ≈ 16.8 ms — two orders of magnitude past the largest CPU
+  /// slice cost in Tables 1/2.
   static constexpr std::uint64_t kL1Span = kL1Buckets * kL1Tick;
   /// Direct level-0 insert window, narrowed by one level-1 bucket.  The
   /// narrowing maintains the promotion invariant: any tick reachable by a

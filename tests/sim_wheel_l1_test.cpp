@@ -201,6 +201,105 @@ TEST(EventQueueL1, CpuSliceEndStreamNeverSpills) {
   EXPECT_GT(sim.queue_stats().l1_inserts, 0u);
 }
 
+TEST(EventQueueL1, FarEdgeInsertNeverAliasesTheFrontierBucket) {
+  // Regression (REVIEW 2026-08): with a frontier that is not kL1Tick-
+  // aligned (base_ = 100 after the first pop), an event at
+  // base_ + kL1Span - 50 has delta < kL1Span but its level-1 bucket
+  // index equals the frontier's own bucket.  The old accept window
+  // (`delta < kL1Span`) let it into the wheel; advance_l1_min() then
+  // reported that bucket's start as ~base_ (kL1Span too early), it was
+  // promoted immediately into a level-0 ring bucket ~16.8 ms out of
+  // window, and a later direct insert into the same ring bucket fired
+  // *after* it: 13000, far_edge, 16434 instead of 13000, 16434,
+  // far_edge.  The partial last bucket must spill to the heap instead.
+  EventQueue q;
+  std::vector<SimTime> fired;
+  auto rec = [&](SimTime t) {
+    q.post(t, [&fired, t] { fired.push_back(t); });
+  };
+  rec(100);
+  {
+    auto [at, fn] = q.pop();  // frontier now 100: mid-level-1-bucket
+    ASSERT_EQ(at, 100);
+    fn();
+  }
+  const SimTime far_edge = 100 + kL1Span - 50;  // aliases frontier's bucket
+  rec(far_edge);
+  rec(13000);                // due level-1 event: its promotion makes
+                             // advance_l1_min wrap to the aliased bucket
+  rec(100 + 2 * kL1Span);    // true far spill, fires last
+  EXPECT_EQ(q.stats().heap_inserts, 2u);  // far_edge spilled, not level 1
+  {
+    auto [at, fn] = q.pop();
+    ASSERT_EQ(at, 13000);
+    fn();
+  }
+  // Direct level-0 insert into the ring bucket the aliased promotion
+  // used to corrupt (16434 and far_edge share `at % kWheelBuckets`).
+  ASSERT_EQ(16434 % kW, far_edge % kW);
+  rec(16434);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<SimTime>{100, 13000, 16434, far_edge,
+                                         100 + 2 * kL1Span}));
+}
+
+TEST(EventQueueL1, FarEdgeStressWithUnalignedFrontierMatchesReference) {
+  // Randomized differential focused on the aliasing edge the broad test
+  // below misses: an unaligned frontier, inserts concentrated in the
+  // last two level-1 buckets of the window (straddling the truncated
+  // accept boundary), sparse near events so advance_l1_min frequently
+  // wraps with no intervening occupied bucket, and frequent pops.
+  EventQueue q;
+  Rng rng(0xFA11ED6Eu);
+  std::set<std::pair<SimTime, std::uint64_t>> ref;
+  std::uint64_t seq = 0;
+  SimTime frontier = 0;
+  std::vector<std::pair<SimTime, std::uint64_t>> fired;
+  const auto insert = [&](SimTime at) {
+    const std::uint64_t s = seq++;
+    q.post(at, [&fired, at, s] { fired.emplace_back(at, s); });
+    ref.emplace(at, s);
+  };
+  insert(101);  // first pop leaves the frontier mid-bucket
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.below(100) < 50 || ref.empty()) {
+      SimTime at;
+      const std::uint64_t kind = rng.below(8);
+      if (kind < 5) {
+        // The far edge: the last two level-1 buckets of the window,
+        // spanning the truncated accept boundary on both sides.
+        at = frontier + kL1Span - 2 * kL1Tick +
+             static_cast<SimTime>(rng.below(2 * EventQueue::kL1Tick));
+      } else if (kind < 7) {
+        // A due event so promotions (and min-bucket wraps) happen.
+        at = frontier + kL0 + static_cast<SimTime>(rng.below(3 * kL1Tick));
+      } else {
+        // Keep the frontier unaligned: a near, odd-offset event.
+        at = frontier + 1 + static_cast<SimTime>(rng.below(977));
+      }
+      insert(at);
+    } else {
+      auto [at, fn] = q.pop();
+      fn();
+      ASSERT_FALSE(fired.empty());
+      ASSERT_EQ(fired.back(), *ref.begin()) << "at step " << step;
+      frontier = std::max(frontier, at);
+      ref.erase(ref.begin());
+    }
+  }
+  while (!ref.empty()) {
+    auto [at, fn] = q.pop();
+    fn();
+    ASSERT_EQ(fired.back(), *ref.begin());
+    ASSERT_EQ(at, ref.begin()->first);
+    ref.erase(ref.begin());
+  }
+  EXPECT_TRUE(q.empty());
+  // The distribution genuinely straddled the truncated boundary.
+  EXPECT_GT(q.stats().l1_inserts, 0u);
+  EXPECT_GT(q.stats().heap_inserts, 0u);
+}
+
 // Randomized differential test against a reference (time, seq) multiset,
 // with the insert distribution spanning every structure boundary: direct
 // level-0 times, the narrowed window edge, level-1 times, the level-1
