@@ -3,6 +3,11 @@
 // multicast is that as the number of processors is increased, the number
 // of messages received by each processor grows and each process spends
 // more and more time reading data that it is not concerned with."
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "apps/fft2d_app.hpp"
 #include "bench_util.hpp"
 
@@ -25,6 +30,74 @@ apps::Fft2dResult run(int n, int p, Mode mode) {
   fcfg.mcast_mode = mode == Mode::kHardMcast ? vorx::McastMode::kHardware
                                              : vorx::McastMode::kSoftwareTree;
   return apps::run_fft2d(sim, sys, fcfg);
+}
+
+// What the per-group multicast counter tracks recorded during one run.
+struct McastCounters {
+  double switch_copies = 0;    // in-switch replicas (hw::Cluster)
+  double kernel_copies = 0;    // software-made copies (vorx::Mcast)
+  double fanout_depth = 0;     // replication-tree depth
+  double delivery_us_max = 0;  // worst member delivery latency
+  double mcast_samples = 0;    // samples on mcast.* / mcast_copies tracks
+  double wheel_samples = 0;    // samples on the "engine" track
+};
+
+// One counter-instrumented cell: same workload as run(), but with the
+// counter timeline on, measured *from the samples themselves* so the rows
+// in CI validate the exact data the Perfetto trace carries.
+McastCounters run_counted(bench::Reporter& r, int n, int p, Mode mode,
+                          const std::string& tag) {
+  sim::Simulator sim;
+  vorx::SystemConfig cfg;
+  cfg.nodes = p;
+  cfg.stations_per_cluster = 4;
+  cfg.record_counters = true;
+  cfg.record_intervals = r.tracing();  // the slice tracks are trace-only
+  vorx::System sys(sim, cfg);
+  apps::Fft2dConfig fcfg;
+  fcfg.n = n;
+  fcfg.p = p;
+  fcfg.use_multicast = true;
+  fcfg.mcast_mode = mode == Mode::kHardMcast ? vorx::McastMode::kHardware
+                                             : vorx::McastMode::kSoftwareTree;
+  (void)apps::run_fft2d(sim, sys, fcfg);
+
+  McastCounters out;
+  // Software copies are cumulative per (group, node): sum the last sample
+  // of every sw_copies.* series.  Delivery latency and fan-out depth are
+  // read the same way — from the samples, not from side channels.
+  std::vector<std::pair<std::string, double>> last_sw;  // series key -> last
+  for (const sim::CounterTimeline::Sample& s : sim.counters().samples()) {
+    const bool group_track = s.track.rfind("mcast.g", 0) == 0;
+    const bool switch_series = s.counter.rfind("mcast_copies.g", 0) == 0;
+    if (s.track == "engine") ++out.wheel_samples;
+    if (!group_track && !switch_series) continue;
+    ++out.mcast_samples;
+    if (s.counter.rfind("delivery_us.", 0) == 0) {
+      out.delivery_us_max = std::max(out.delivery_us_max, s.value);
+    } else if (s.counter == "fanout_depth") {
+      out.fanout_depth = s.value;
+    } else if (s.counter.rfind("sw_copies.", 0) == 0) {
+      const std::string key = s.track + "|" + s.counter;
+      bool found = false;
+      for (auto& [k, v] : last_sw) {
+        if (k == key) {
+          v = s.value;
+          found = true;
+        }
+      }
+      if (!found) last_sw.emplace_back(key, s.value);
+    }
+  }
+  for (const auto& [k, v] : last_sw) out.kernel_copies += v;
+  // Cross-check the in-switch total against the clusters' own counters.
+  const hw::Fabric& fab = sys.fabric();
+  for (int c = 0; c < fab.num_clusters(); ++c) {
+    out.switch_copies +=
+        static_cast<double>(fab.cluster(c).multicast_copies_total());
+  }
+  r.export_trace(sys, tag);
+  return out;
 }
 
 void run_bench(bench::Reporter& r) {
@@ -61,6 +134,30 @@ void run_bench(bench::Reporter& r) {
       bench::line("  !! result mismatch at P=%d", p);
     }
   }
+  // Counter-instrumented cells at P=8: the per-group multicast counter
+  // tracks (copies in-switch vs in-software, fan-out depth, per-member
+  // delivery time) and the engine's wheel-stats track, validated by CI
+  // from these rows and archived as Perfetto traces under --trace.
+  const McastCounters sw8 =
+      run_counted(r, n, 8, Mode::kSoftMcast, "counters_sw_p8");
+  const McastCounters hw8 =
+      run_counted(r, n, 8, Mode::kHardMcast, "counters_hw_p8");
+  bench::line("");
+  bench::line("counter tracks at P=8 (who copies, how deep, how late):");
+  bench::line("  sw: %.0f kernel copies, depth %.0f, worst delivery %.1f us",
+              sw8.kernel_copies, sw8.fanout_depth, sw8.delivery_us_max);
+  bench::line("  hw: %.0f switch copies, depth %.0f, worst delivery %.1f us",
+              hw8.switch_copies, hw8.fanout_depth, hw8.delivery_us_max);
+  r.row("sec42.mcast.sw_kernel_copies.p8", "copies", sw8.kernel_copies);
+  r.row("sec42.mcast.hw_switch_copies.p8", "copies", hw8.switch_copies);
+  r.row("sec42.mcast.fanout_depth.sw.p8", "hops", sw8.fanout_depth);
+  r.row("sec42.mcast.fanout_depth.hw.p8", "hops", hw8.fanout_depth);
+  r.row("sec42.mcast.member_delivery_us_max.sw.p8", "us", sw8.delivery_us_max);
+  r.row("sec42.mcast.member_delivery_us_max.hw.p8", "us", hw8.delivery_us_max);
+  r.row("sec42.trace.mcast_samples.p8", "samples",
+        sw8.mcast_samples + hw8.mcast_samples);
+  r.row("sec42.trace.wheel_samples.p8", "samples",
+        sw8.wheel_samples + hw8.wheel_samples);
   bench::line("");
   bench::line("even with in-switch replication (\"we designed the HPC hardware");
   bench::line("to be able to implement multicast efficiently\"), multicast");

@@ -8,15 +8,17 @@
 // local-area multicomputer carries interactive traffic and batch work on
 // one interconnect.
 //
-//   ./build/examples/conference [seconds]
+//   ./build/examples/conference [seconds] [--trace DIR]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <cstring>
 
+#include "tools/trace_export.hpp"
 #include "vorx/node.hpp"
 #include "vorx/system.hpp"
 
@@ -104,11 +106,24 @@ sim::Task<void> conferee(Subprocess& sp, int me, int seconds,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int seconds = argc > 1 ? std::atoi(argv[1]) : 2;
+  int seconds = 2;
+  std::string trace_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      seconds = std::atoi(argv[i]);
+    }
+  }
   sim::Simulator sim;
   vorx::SystemConfig cfg;
   cfg.nodes = 8;
   cfg.hosts = 3;  // the conferees' workstations
+  // --trace: record the waveform + counter timeline and export a Perfetto
+  // trace of the whole conference (interactive media against batch load is
+  // the most interesting timeline the examples produce).
+  cfg.record_intervals = !trace_dir.empty();
+  cfg.record_counters = !trace_dir.empty();
   vorx::System sys(sim, cfg);
 
   auto stats = std::make_shared<Stats>();
@@ -154,5 +169,14 @@ int main(int argc, char** argv) {
               3, seconds);
   report("audio (160 B / 20 ms)", stats->audio_latency);
   report("video (8 kB tiles)   ", stats->video_latency);
+
+  if (!trace_dir.empty()) {
+    const std::string path = trace_dir + "/conference.trace.json";
+    if (!hpcvorx::tools::TraceExporter::from_system(sys).write_file(path)) {
+      std::fprintf(stderr, "conference: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", path.c_str());
+  }
   return 0;
 }

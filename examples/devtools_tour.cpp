@@ -5,12 +5,21 @@
 //   * vdb        — what is every subprocess doing right now?
 //   * cdb        — which channel is the bottleneck / is anything deadlocked?
 //
-//   ./build/examples/devtools_tour
+// and of the offline trace replay (§6.2's record-now-display-later, over a
+// CI-archived Perfetto trace instead of a live System):
+//
+//   ./build/examples/devtools_tour [--trace DIR]
+//   ./build/examples/devtools_tour --replay FILE [--cols N]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "tools/cdb.hpp"
 #include "tools/oscilloscope.hpp"
 #include "tools/prof.hpp"
+#include "tools/trace_export.hpp"
+#include "tools/trace_replay.hpp"
 #include "tools/vdb.hpp"
 #include "vorx/node.hpp"
 #include "vorx/system.hpp"
@@ -19,11 +28,51 @@ using namespace hpcvorx;
 using vorx::Channel;
 using vorx::Subprocess;
 
-int main() {
+namespace {
+
+// --replay: re-render a saved *.trace.json and exit.  No simulation runs;
+// this is how an archived CI artifact is inspected offline.
+int replay(const std::string& path, int cols) {
+  const tools::TraceReplay rep = tools::TraceReplay::load(path);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "devtools_tour: cannot replay %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("=== replay of %s: %d stations ===\n%s", path.c_str(),
+              rep.stations(), rep.render(0, rep.end_time(), cols).c_str());
+  std::printf("legend: U user, S system, i idle-input, o idle-output, "
+              "m idle-mixed, . idle-other\n");
+  std::printf("\n=== counter tracks ===\n%s", rep.counter_summary().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string replay_path;
+  std::string trace_dir;
+  int cols = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cols") == 0 && i + 1 < argc) {
+      cols = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace DIR] [--replay FILE [--cols N]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!replay_path.empty()) return replay(replay_path, cols);
+
   sim::Simulator sim;
   vorx::SystemConfig cfg;
   cfg.nodes = 4;
   cfg.record_intervals = true;  // the oscilloscope needs the recording
+  cfg.record_counters = !trace_dir.empty();  // --trace wants counter tracks
   vorx::System sys(sim, cfg);
   tools::Profiler prof;
 
@@ -90,5 +139,16 @@ int main() {
               dl.found ? "CYCLE FOUND" : "no wait-for cycle (the stuck "
                                          "process waits on a half-open "
                                          "channel, not a cycle)");
+
+  if (!trace_dir.empty()) {
+    const std::string path = trace_dir + "/devtools_tour.trace.json";
+    if (tools::TraceExporter::from_system(sys).write_file(path)) {
+      std::printf("\ntrace written to %s (replay with --replay)\n",
+                  path.c_str());
+    } else {
+      std::fprintf(stderr, "devtools_tour: cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

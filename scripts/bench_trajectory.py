@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Concatenate N bench artifacts into one per-metric trajectory CSV.
+
+Usage: bench_trajectory.py --out TRAJECTORY.csv ARTIFACT.json [...]
+       bench_trajectory.py --self-test
+
+The CI bench-trajectory step compares the current run against the single
+most recent main-branch artifact; this tool turns a *sequence* of
+downloaded bench-results artifacts into an actual time series.  Pass the
+artifacts oldest first (CI passes them in the order the runs happened);
+each becomes one labelled point per metric in long-format CSV:
+
+    metric,unit,run,label,measured
+    engine.event_queue_post_pop_items_s,items/s,0,a1b2c3d,2.81e+07
+    engine.event_queue_post_pop_items_s,items/s,1,e4f5a6b,2.94e+07
+    ...
+
+The label is the artifact's parent directory name (CI downloads each
+run's artifact into a directory named after its SHA), falling back to the
+file stem.  Long format loads directly into a spreadsheet pivot or a
+one-liner plot, and appending the next run is a concatenation.
+
+A metric absent from some artifacts simply has no row for those runs —
+holes in the series are visible as missing points, never interpolated.
+"""
+import csv
+import io
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"bench_trajectory: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "hpcvorx-bench-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, want 'hpcvorx-bench-v1'")
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        fail(f"{path}: 'rows' must be an array")
+    return rows
+
+
+def label_of(path):
+    parent = os.path.basename(os.path.dirname(os.path.abspath(path)))
+    if parent and parent not in (".", os.sep):
+        return parent
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def trajectory(artifacts):
+    """[(label, rows)] -> sorted long-format records, one per metric*run."""
+    records = []
+    for run, (label, rows) in enumerate(artifacts):
+        for r in rows:
+            records.append(
+                (r["metric"], r.get("unit", ""), run, label, r["measured"])
+            )
+    # Grouped per metric, runs in artifact (chronological) order.
+    records.sort(key=lambda t: (t[0], t[2]))
+    return records
+
+
+def write_csv(out, records):
+    w = csv.writer(out, lineterminator="\n")
+    w.writerow(["metric", "unit", "run", "label", "measured"])
+    for metric, unit, run, label, measured in records:
+        w.writerow([metric, unit, run, label, f"{measured:.6g}"])
+
+
+def self_test():
+    def doc(metrics):
+        return [
+            {"bench": "t", "metric": k, "unit": u, "measured": m}
+            for k, (u, m) in metrics.items()
+        ]
+
+    arts = [
+        ("sha-old", doc({"engine.rate": ("items/s", 100.0),
+                         "retired.metric": ("us", 5.0)})),
+        ("sha-mid", doc({"engine.rate": ("items/s", 110.0)})),
+        ("sha-new", doc({"engine.rate": ("items/s", 120.0),
+                         "brand.new": ("us", 1.0)})),
+    ]
+    records = trajectory(arts)
+    rates = [r for r in records if r[0] == "engine.rate"]
+    if [r[4] for r in rates] != [100.0, 110.0, 120.0]:
+        fail(f"self-test: trajectory out of order: {rates}")
+    if [r[3] for r in rates] != ["sha-old", "sha-mid", "sha-new"]:
+        fail(f"self-test: labels lost: {rates}")
+    # Holes stay holes: the retired metric has exactly one point, at run 0.
+    retired = [r for r in records if r[0] == "retired.metric"]
+    if len(retired) != 1 or retired[0][2] != 0:
+        fail(f"self-test: hole was filled: {retired}")
+    out = io.StringIO()
+    write_csv(out, records)
+    lines = out.getvalue().splitlines()
+    if lines[0] != "metric,unit,run,label,measured" or len(lines) != 6:
+        fail(f"self-test: bad csv shape: {lines}")
+    print("bench_trajectory: self-test OK")
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    if args == ["--self-test"]:
+        return self_test()
+    out_path = None
+    paths = []
+    while args:
+        if args[0] == "--out" and len(args) >= 2:
+            out_path = args[1]
+            args = args[2:]
+        elif args[0].startswith("-"):
+            fail(f"unknown argument {args[0]!r}")
+        else:
+            paths.append(args[0])
+            args = args[1:]
+    if out_path is None or not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    artifacts = [(label_of(p), load_rows(p)) for p in paths]
+    records = trajectory(artifacts)
+    with open(out_path, "w", encoding="utf-8") as f:
+        write_csv(f, records)
+    n_metrics = len({r[0] for r in records})
+    print(
+        f"bench_trajectory: wrote {len(records)} points "
+        f"({n_metrics} metrics x {len(paths)} runs) to {out_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -82,8 +82,19 @@ def compare(base_rows, cur_rows, threshold, prefixes):
         if any(k.startswith(p) for p in prefixes)
     )
     for key in keys:
-        if key not in base_rows or key not in cur_rows:
-            skipped.append((key, "only in one artifact"))
+        if key not in cur_rows:
+            # A metric that existed in the baseline but vanished from the
+            # candidate run used to disappear from the diff silently —
+            # exactly how a deleted bench row escapes review.  Loudly warn
+            # (non-fatal: rows do legitimately retire) as a removed row.
+            print(f"compare_bench_json: WARNING: removed {key}: present in "
+                  f"baseline ({base_rows[key]['measured']:g} "
+                  f"{base_rows[key].get('unit', '')}) but missing from "
+                  f"candidate")
+            skipped.append((key, "removed: baseline only"))
+            continue
+        if key not in base_rows:
+            skipped.append((key, "new in candidate"))
             continue
         base = base_rows[key]
         cur = cur_rows[key]
@@ -189,6 +200,29 @@ def self_test():
     regs, _, _ = compare(base, better, DEFAULT_THRESHOLD, DEFAULT_PREFIXES)
     if regs:
         fail(f"self-test: improvement misread as regression: {regs}")
+
+    # One-sided metrics: a baseline-only metric is a REMOVED row (reported,
+    # non-fatal), a candidate-only metric is new; neither ever fails the
+    # comparison or is silently dropped.
+    regs, compared, skipped = compare(
+        base,
+        rows_of(
+            {
+                "engine.rate_items_s": ("items/s", 1_000_000.0),
+                "engine.brand_new_metric": ("us", 1.0),
+                # engine.latency_us is gone from the candidate.
+            }
+        ),
+        DEFAULT_THRESHOLD,
+        DEFAULT_PREFIXES,
+    )
+    if regs or compared != 1:
+        fail(f"self-test: one-sided rows misread: {regs}, compared={compared}")
+    reasons = dict(skipped)
+    if reasons.get("engine.latency_us") != "removed: baseline only":
+        fail(f"self-test: removed row not reported as removed: {skipped}")
+    if reasons.get("engine.brand_new_metric") != "new in candidate":
+        fail(f"self-test: new row not reported as new: {skipped}")
 
     # Known-direction count rows: the wheel/pool counters have no rate or
     # duration unit, but by name a rise is a regression — including a rise

@@ -35,6 +35,14 @@ void Cluster::sample_forwarded() {
   ct.sample(name_, "hol_blocked_us", sim_.now(), sim::to_usec(hol_blocked_));
 }
 
+// Samples the in-switch replica count for one group after a replication.
+void Cluster::sample_mcast_copies(std::uint64_t gid) {
+  sim::CounterTimeline& ct = sim_.counters();
+  if (!ct.enabled()) return;
+  ct.sample(name_, "mcast_copies.g" + std::to_string(gid), sim_.now(),
+            static_cast<double>(mcast_copies_[gid]));
+}
+
 void Cluster::attach_in(int port, Link* in) {
   assert(port >= 0 && port < num_ports() && ins_[port] == nullptr);
   ins_[port] = in;
@@ -115,7 +123,13 @@ bool Cluster::forward_head(int in_port) {
     bytes_fwd_ += f.wire_bytes();
     outs_[static_cast<std::size_t>(p)]->send(f);
   }
+  // Replica accounting: k output ports -> k counted above, and the same k
+  // attributed to the frame's group (see the invariant in cluster.hpp).
+  const auto copies = static_cast<std::uint64_t>(ports.size());
+  mcast_copies_[f.group] += copies;
+  mcast_copies_total_ += copies;
   sample_forwarded();
+  sample_mcast_copies(f.group);
   // The next head may be unicast or multicast; give it a chance now.
   if (const Frame* next = ins_[in_port]->peek()) {
     if (next->group != 0) {

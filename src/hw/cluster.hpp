@@ -52,12 +52,31 @@ class Cluster {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   // ---- counters (diagnostics and the trace exporter) ----
+  //
+  // Replica-accounting invariant (tested by hw_cluster_test.cpp): a
+  // multicast frame replicated to k output ports counts k in
+  // frames_forwarded *and* k x wire_bytes in bytes_forwarded — one unit
+  // per physical copy leaving the switch, exactly like k unicast frames —
+  // and the same k is attributed to the frame's group in
+  // multicast_copies(gid).  Hence
+  //   frames_forwarded == unicast forwards + multicast_copies_total().
 
   /// Frames forwarded through this cluster (multicast replicas counted
   /// once per output port).
   [[nodiscard]] std::uint64_t frames_forwarded() const { return forwarded_; }
   /// Wire bytes forwarded (same replica accounting as frames_forwarded).
   [[nodiscard]] std::uint64_t bytes_forwarded() const { return bytes_fwd_; }
+  /// In-switch replicas made for hardware-multicast group `gid` (§4.2's
+  /// "the clusters replicate the frame in the switches"): one count per
+  /// output port each group frame was copied to.
+  [[nodiscard]] std::uint64_t multicast_copies(std::uint64_t gid) const {
+    const auto it = mcast_copies_.find(gid);
+    return it == mcast_copies_.end() ? 0 : it->second;
+  }
+  /// In-switch replicas summed over every group.
+  [[nodiscard]] std::uint64_t multicast_copies_total() const {
+    return mcast_copies_total_;
+  }
   /// Total time frames spent blocked at the head of an input fifo waiting
   /// for their output port (head-of-line time, summed over input ports).
   [[nodiscard]] sim::Duration head_of_line_blocked() const {
@@ -72,6 +91,7 @@ class Cluster {
   void try_output(int out_port);
   Frame take_input(int in_port);   // take + head-of-line accounting
   void sample_forwarded();
+  void sample_mcast_copies(std::uint64_t gid);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -81,6 +101,8 @@ class Cluster {
   std::vector<int> route_;         // station id -> output port (-1 unset)
   std::vector<sim::SimTime> hol_since_;  // per-input head-wait start (-1 idle)
   std::unordered_map<std::uint64_t, std::vector<int>> mcast_routes_;
+  std::unordered_map<std::uint64_t, std::uint64_t> mcast_copies_;
+  std::uint64_t mcast_copies_total_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t bytes_fwd_ = 0;
   sim::Duration hol_blocked_ = 0;

@@ -155,6 +155,10 @@ class EventQueue {
   /// Structure-traffic counters; see Stats.
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Current spill-heap occupancy (entries parked beyond the wheels'
+  /// span; includes not-yet-reaped cancellations).
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+
   /// Entry is an implementation detail, public only so the comparator in
   /// event_queue.cpp can see it.  Entries live in the shared node slab for
   /// all three structures; the heap sifts slab indices, never Entries.

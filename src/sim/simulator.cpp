@@ -31,7 +31,35 @@ bool Simulator::step() {
   auto [at, fn] = queue_.pop();
   now_ = at;
   fn();
+  if (counters_.enabled()) sample_queue_stats();
   return true;
+}
+
+// Samples the event queue's structure-traffic counters onto the "engine"
+// track, but only when something structurally interesting happened since
+// the last sample: an L0-only event cadence would otherwise flood the
+// timeline with one sample per event.  L1 inserts, promotions, spill and
+// reaping are the rare transitions §6.2-style waveforms want to see;
+// l0_inserts and heap occupancy piggy-back on those samples.
+void Simulator::sample_queue_stats() {
+  const EventQueue::Stats& s = queue_.stats();
+  if (s.l1_inserts == sampled_stats_.l1_inserts &&
+      s.heap_inserts == sampled_stats_.heap_inserts &&
+      s.l1_promoted == sampled_stats_.l1_promoted &&
+      s.l1_cancelled_reaped == sampled_stats_.l1_cancelled_reaped) {
+    return;
+  }
+  sampled_stats_ = s;
+  counters_.sample("engine", "wheel_l0_inserts", now_,
+                   static_cast<double>(s.l0_inserts));
+  counters_.sample("engine", "wheel_l1_inserts", now_,
+                   static_cast<double>(s.l1_inserts));
+  counters_.sample("engine", "wheel_spill_events", now_,
+                   static_cast<double>(s.heap_inserts));
+  counters_.sample("engine", "wheel_l1_promoted", now_,
+                   static_cast<double>(s.l1_promoted));
+  counters_.sample("engine", "heap_size", now_,
+                   static_cast<double>(queue_.heap_size()));
 }
 
 void Simulator::run() {

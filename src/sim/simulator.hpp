@@ -72,10 +72,13 @@ class Simulator {
   [[nodiscard]] const CounterTimeline& counters() const { return counters_; }
 
  private:
+  void sample_queue_stats();
+
   SimTime now_ = 0;
   bool stopped_ = false;
   EventQueue queue_;
   CounterTimeline counters_;
+  EventQueue::Stats sampled_stats_;  // last queue_stats() snapshot sampled
 };
 
 }  // namespace hpcvorx::sim

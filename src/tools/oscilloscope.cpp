@@ -168,21 +168,23 @@ sim::SimTime Oscilloscope::Recording::end_time() const {
   return t;
 }
 
-std::string Oscilloscope::Recording::render(sim::SimTime t0, sim::SimTime t1,
-                                            int cols) const {
+std::string render_interval_timeline(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<sim::Interval>>& intervals, sim::SimTime t0,
+    sim::SimTime t1, int cols) {
   std::string out;
   char head[128];
   std::snprintf(head, sizeof head, "time %s .. %s  (%d buckets)\n",
                 sim::format_duration(t0).c_str(),
                 sim::format_duration(t1).c_str(), cols);
   out += head;
-  for (int s = 0; s < stations(); ++s) {
+  for (std::size_t s = 0; s < names.size(); ++s) {
     std::string row;
     for (int b = 0; b < cols; ++b) {
       const sim::SimTime a = t0 + (t1 - t0) * b / cols;
       const sim::SimTime z = t0 + (t1 - t0) * (b + 1) / cols;
       std::array<sim::Duration, sim::kNumCategories> totals{};
-      for (const sim::Interval& iv : intervals_[static_cast<std::size_t>(s)]) {
+      for (const sim::Interval& iv : intervals[s]) {
         const sim::SimTime lo = std::max(iv.start, a);
         const sim::SimTime hi = std::min(iv.end, z);
         if (hi > lo) totals[static_cast<std::size_t>(iv.category)] += hi - lo;
@@ -196,11 +198,15 @@ std::string Oscilloscope::Recording::render(sim::SimTime t0, sim::SimTime t1,
       row += sum == 0 ? ' ' : glyph_for(static_cast<sim::Category>(best));
     }
     char label[32];
-    std::snprintf(label, sizeof label, "%-6s |",
-                  names_[static_cast<std::size_t>(s)].c_str());
+    std::snprintf(label, sizeof label, "%-6s |", names[s].c_str());
     out += label + row + "|\n";
   }
   return out;
+}
+
+std::string Oscilloscope::Recording::render(sim::SimTime t0, sim::SimTime t1,
+                                            int cols) const {
+  return render_interval_timeline(names_, intervals_, t0, t1, cols);
 }
 
 }  // namespace hpcvorx::tools

@@ -27,6 +27,15 @@
 
 namespace hpcvorx::tools {
 
+/// The oscilloscope-style timeline renderer over raw per-station interval
+/// lists: one row per station, `cols` dominant-category glyph buckets over
+/// [t0, t1).  Shared by the live tool's Recording and by tools::TraceReplay
+/// so a trace re-rendered offline matches a recording rendered in-process.
+[[nodiscard]] std::string render_interval_timeline(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<sim::Interval>>& intervals, sim::SimTime t0,
+    sim::SimTime t1, int cols);
+
 class Oscilloscope {
  public:
   explicit Oscilloscope(vorx::System& sys) : sys_(sys) {}

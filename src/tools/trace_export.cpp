@@ -101,8 +101,10 @@ std::string TraceExporter::render() const {
   }
 
   // Synthetic processes for non-station counter tracks, in first-appearance
-  // order so the metadata block is stable.
-  int next_pid = static_cast<int>(stations_.size());
+  // order so the metadata block is stable.  They start at kSyntheticPidBase,
+  // far above any realistic station count, so a track can never collide
+  // with a station pid regardless of add_station/add_counters ordering.
+  int next_pid = kSyntheticPidBase;
   for (const sim::CounterTimeline::Sample& s : samples_) {
     if (pid_of.emplace(s.track, next_pid).second) {
       emit(process_name(s.track, next_pid));

@@ -30,6 +30,13 @@ class System;
 
 namespace hpcvorx::tools {
 
+/// First pid handed to synthetic (non-station) counter-track processes.
+/// Stations own pids [0, N); synthetic tracks start here so no add_station
+/// / add_counters call order — or a station count discovered after counters
+/// were added — can make a counter track collide with a station pid
+/// (regression-tested in tests/trace_export_test.cpp).
+inline constexpr int kSyntheticPidBase = 1 << 20;
+
 class TraceExporter {
  public:
   /// Adds one station's execution ledger as a slice track.  Stations must

@@ -1,0 +1,190 @@
+#include "tools/trace_replay.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "tools/oscilloscope.hpp"
+#include "tools/trace_export.hpp"
+
+namespace hpcvorx::tools {
+
+namespace {
+
+// Parses the exporter's fixed-point microseconds ("123.456") back into
+// integer nanoseconds.  Integer arithmetic both ways, so a replayed time
+// is exactly the SimTime the exporter printed.
+bool parse_fixed_ns(const char* p, sim::SimTime* out) {
+  char* end = nullptr;
+  const long long whole = std::strtoll(p, &end, 10);
+  if (end == p) return false;
+  long long frac = 0;
+  if (*end == '.') {
+    char* fend = nullptr;
+    frac = std::strtoll(end + 1, &fend, 10);
+    if (fend != end + 4) return false;  // the exporter always prints .ddd
+  }
+  *out = whole * 1000 + frac;
+  return true;
+}
+
+// Locates `"key":` in `line` and returns a pointer just past the colon.
+const char* find_key(const std::string& line, const char* key) {
+  std::string pat = "\"";
+  pat += key;
+  pat += "\":";
+  const std::size_t at = line.find(pat);
+  return at == std::string::npos ? nullptr : line.c_str() + at + pat.size();
+}
+
+bool find_ll(const std::string& line, const char* key, long long* out) {
+  const char* p = find_key(line, key);
+  if (p == nullptr) return false;
+  char* end = nullptr;
+  *out = std::strtoll(p, &end, 10);
+  return end != p;
+}
+
+bool find_time(const std::string& line, const char* key, sim::SimTime* out) {
+  const char* p = find_key(line, key);
+  return p != nullptr && parse_fixed_ns(p, out);
+}
+
+// Reads the quoted value after `"key":"` up to the closing quote.  Station
+// and counter names contain no escapes, so no unescaping is needed.
+bool find_str(const std::string& line, const char* key, std::string* out) {
+  const char* p = find_key(line, key);
+  if (p == nullptr || *p != '"') return false;
+  const char* close = std::strchr(p + 1, '"');
+  if (close == nullptr) return false;
+  out->assign(p + 1, close);
+  return true;
+}
+
+bool category_from_name(const std::string& name, sim::Category* out) {
+  for (std::size_t c = 0; c < sim::kNumCategories; ++c) {
+    const auto cat = static_cast<sim::Category>(c);
+    if (name == sim::category_name(cat)) {
+      *out = cat;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TraceReplay TraceReplay::parse(const std::string& json) {
+  TraceReplay rep;
+  std::unordered_map<long long, std::string> proc_name;   // all processes
+  std::unordered_map<long long, std::size_t> station_of;  // pid -> names_ idx
+  std::unordered_map<std::string, std::size_t> series_of; // pid|counter idx
+
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"ph\":\"M\"") != std::string::npos) {
+      // Process metadata: {"name":"process_name",...,"pid":P,
+      //                    "args":{"name":"<track>"}}
+      long long pid = 0;
+      std::string name;
+      const std::size_t args = line.find("\"args\":");
+      if (!find_ll(line, "pid", &pid) || args == std::string::npos) continue;
+      const std::string tail = line.substr(args);
+      if (!find_str(tail, "name", &name)) continue;
+      proc_name.emplace(pid, name);
+      if (pid < kSyntheticPidBase &&
+          station_of.emplace(pid, rep.names_.size()).second) {
+        rep.names_.push_back(name);
+        rep.intervals_.emplace_back();
+      }
+      continue;
+    }
+    if (line.find("\"ph\":\"X\"") != std::string::npos) {
+      long long pid = 0;
+      sim::SimTime ts = 0, dur = 0;
+      std::string name;
+      sim::Category cat{};
+      if (!find_ll(line, "pid", &pid) || !find_time(line, "ts", &ts) ||
+          !find_time(line, "dur", &dur) || !find_str(line, "name", &name) ||
+          !category_from_name(name, &cat)) {
+        continue;
+      }
+      const auto it = station_of.find(pid);
+      if (it == station_of.end()) continue;
+      rep.intervals_[it->second].push_back(sim::Interval{ts, ts + dur, cat});
+      continue;
+    }
+    if (line.find("\"ph\":\"C\"") != std::string::npos) {
+      long long pid = 0;
+      sim::SimTime ts = 0;
+      std::string counter;
+      if (!find_ll(line, "pid", &pid) || !find_time(line, "ts", &ts) ||
+          !find_str(line, "name", &counter)) {
+        continue;
+      }
+      const std::size_t args = line.find("\"args\":");
+      if (args == std::string::npos) continue;
+      const char* v = find_key(line.substr(args), counter.c_str());
+      if (v == nullptr) continue;
+      const double value = std::strtod(v, nullptr);
+      const std::string key = std::to_string(pid) + "|" + counter;
+      auto [entry, inserted] = series_of.emplace(key, rep.counters_.size());
+      if (inserted) {
+        const auto pn = proc_name.find(pid);
+        rep.counters_.push_back(CounterSeries{
+            pn == proc_name.end() ? std::to_string(pid) : pn->second, counter,
+            0, 0, value});
+      }
+      CounterSeries& s = rep.counters_[entry->second];
+      ++s.samples;
+      s.last = value;
+      if (value > s.max) s.max = value;
+      continue;
+    }
+  }
+  rep.ok_ = !proc_name.empty();
+  return rep;
+}
+
+TraceReplay TraceReplay::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return TraceReplay{};
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+sim::SimTime TraceReplay::end_time() const {
+  sim::SimTime t = 0;
+  for (const auto& iv : intervals_) {
+    for (const sim::Interval& i : iv) {
+      if (i.end > t) t = i.end;
+    }
+  }
+  return t;
+}
+
+std::string TraceReplay::render(sim::SimTime t0, sim::SimTime t1,
+                                int cols) const {
+  return render_interval_timeline(names_, intervals_, t0, t1, cols);
+}
+
+std::string TraceReplay::counter_summary() const {
+  std::string out =
+      "track                    counter                       samples"
+      "           last            max\n";
+  char line[160];
+  for (const CounterSeries& s : counters_) {
+    std::snprintf(line, sizeof line, "%-24s %-28s %8zu %14.3f %14.3f\n",
+                  s.track.c_str(), s.counter.c_str(), s.samples, s.last,
+                  s.max);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hpcvorx::tools

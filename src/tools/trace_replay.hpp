@@ -1,0 +1,74 @@
+// Offline trace replay: re-renders a saved Perfetto trace (*.trace.json,
+// written by tools::TraceExporter) without rerunning the simulation.
+//
+// §6.2: "Execution data is recorded while the application is running and
+// later the software oscilloscope is used to display the data."  The live
+// Oscilloscope draws from a running System; this sibling closes the loop
+// for CI artifacts — download a bench's archived trace and inspect the
+// same synchronized waveform (and the counter tracks) in a terminal,
+// long after the run is gone (`devtools_tour --replay FILE`).
+//
+// The parser understands exactly the exporter's line-per-event dialect:
+//   * "M" process_name metadata names each process; pids below
+//     kSyntheticPidBase are stations, the rest are counter-only tracks;
+//   * "X" complete events are TimeLedger intervals (name = category);
+//   * "C" counter events carry one {counter: value} sample.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace hpcvorx::tools {
+
+class TraceReplay {
+ public:
+  /// Parses exporter-dialect trace JSON.  Unrecognized lines are skipped,
+  /// so a hand-edited or truncated trace degrades instead of failing.
+  [[nodiscard]] static TraceReplay parse(const std::string& json);
+
+  /// Reads `path` and parses it.  `ok()` is false if the file could not
+  /// be read or contained no process at all.
+  [[nodiscard]] static TraceReplay load(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  // ---- stations (slice tracks) ----
+  [[nodiscard]] int stations() const { return static_cast<int>(names_.size()); }
+  [[nodiscard]] const std::string& station_name(int s) const {
+    return names_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const std::vector<sim::Interval>& intervals(int s) const {
+    return intervals_[static_cast<std::size_t>(s)];
+  }
+  /// Latest interval end or counter sample time in the trace.
+  [[nodiscard]] sim::SimTime end_time() const;
+
+  /// The same synchronized glyph timeline the live Oscilloscope renders
+  /// (shared renderer: render_interval_timeline).
+  [[nodiscard]] std::string render(sim::SimTime t0, sim::SimTime t1,
+                                   int cols) const;
+
+  // ---- counter tracks ----
+  struct CounterSeries {
+    std::string track;    // owning process name ("engine", "mcast.g7000", ...)
+    std::string counter;  // series name ("heap_size", "fanout_depth", ...)
+    std::size_t samples = 0;
+    double last = 0;  // final sampled value
+    double max = 0;   // maximum sampled value
+  };
+  [[nodiscard]] const std::vector<CounterSeries>& counters() const {
+    return counters_;
+  }
+  /// One line per counter series: track, counter, sample count, last, max.
+  [[nodiscard]] std::string counter_summary() const;
+
+ private:
+  bool ok_ = false;
+  std::vector<std::string> names_;
+  std::vector<std::vector<sim::Interval>> intervals_;
+  std::vector<CounterSeries> counters_;
+};
+
+}  // namespace hpcvorx::tools

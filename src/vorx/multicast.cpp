@@ -16,7 +16,53 @@ Mcast::Mcast(McastService& svc, std::uint64_t gid,
       mode_(mode),
       data_ev_(svc.kernel().simulator()),
       ack_ev_(svc.kernel().simulator()),
-      wlock_(svc.kernel().simulator(), 1) {}
+      wlock_(svc.kernel().simulator(), 1),
+      track_("mcast.g" + std::to_string(gid)) {}
+
+int Mcast::fanout_depth() const {
+  if (mode_ == McastMode::kHardware) return 1;
+  // Depth of the deepest member in the binary tree: floor(log2(n)) for n
+  // members laid out heap-style (root at depth 0).
+  int depth = 0;
+  for (std::size_t last = order_.size(); last > 1; last /= 2) ++depth;
+  return depth;
+}
+
+// Counts one software-made frame copy (root child send or tree forward)
+// and samples the cumulative per-node value onto the group's track.
+void Mcast::record_software_copy() {
+  ++sw_copies_;
+  sim::Simulator& sim = svc_.kernel().simulator();
+  sim::CounterTimeline& ct = sim.counters();
+  if (!ct.enabled()) return;
+  ct.sample(track_, "sw_copies.s" + std::to_string(svc_.kernel().station()),
+            sim.now(), static_cast<double>(sw_copies_));
+}
+
+// Records one network delivery at this member: latency is measured from
+// the root's send time carried in Frame::aux (injected_at is re-stamped
+// at every hop, so it cannot provide an end-to-end measurement).
+void Mcast::record_delivery(const hw::Frame& f) {
+  sim::Simulator& sim = svc_.kernel().simulator();
+  const sim::Duration lat = sim.now() - static_cast<sim::SimTime>(f.aux);
+  ++deliveries_;
+  delivery_latency_total_ += lat;
+  if (lat > delivery_latency_max_) delivery_latency_max_ = lat;
+  sim::CounterTimeline& ct = sim.counters();
+  if (!ct.enabled()) return;
+  ct.sample(track_, "delivery_us.s" + std::to_string(svc_.kernel().station()),
+            sim.now(), sim::to_usec(lat));
+}
+
+// Samples the group's replication-tree depth (constant per group/mode;
+// one sample per root write keeps the track visible for the write's span).
+void Mcast::sample_fanout_depth() {
+  sim::Simulator& sim = svc_.kernel().simulator();
+  sim::CounterTimeline& ct = sim.counters();
+  if (!ct.enabled()) return;
+  ct.sample(track_, "fanout_depth", sim.now(),
+            static_cast<double>(fanout_depth()));
+}
 
 std::vector<hw::StationId> Mcast::children() const {
   std::vector<hw::StationId> out;
@@ -41,6 +87,11 @@ sim::Task<void> Mcast::write(Subprocess& sp, std::uint32_t bytes,
   rxq_.push_back(ChannelMsg{bytes, data, seq, svc_.kernel().station()});
   data_ev_.set();
   pending_[seq].data_seen = true;
+  // Root send time, carried end to end in Frame::aux so every member can
+  // measure its own delivery latency against the same origin.
+  const auto sent_at =
+      static_cast<std::uint64_t>(svc_.kernel().simulator().now());
+  sample_fanout_depth();
   if (mode_ == McastMode::kHardware) {
     // One frame; the clusters replicate it to every member (§4.2's
     // hardware-efficient multicast).  Acks still flow back in software.
@@ -49,6 +100,7 @@ sim::Task<void> Mcast::write(Subprocess& sp, std::uint32_t bytes,
     f.obj = gid_;
     f.group = gid_;
     f.seq = seq;
+    f.aux = sent_at;
     f.dst = -1;
     f.payload_bytes = bytes;
     f.data = data;
@@ -59,10 +111,12 @@ sim::Task<void> Mcast::write(Subprocess& sp, std::uint32_t bytes,
       f.kind = msg::kMcastData;
       f.obj = gid_;
       f.seq = seq;
+      f.aux = sent_at;
       f.dst = child;
       f.payload_bytes = bytes;
       f.data = data;
       svc_.kernel().send(std::move(f));
+      record_software_copy();
     }
   }
   ++writes_;
@@ -144,6 +198,7 @@ sim::Proc McastService::deliver(Mcast* g, hw::Frame f) {
                              sim::Category::kSystem, sim::kBorrowedContext, 0);
   g->rxq_.push_back(ChannelMsg{f.payload_bytes, f.data, f.seq, f.src});
   g->data_ev_.set();
+  g->record_delivery(f);
   if (g->mode_ == McastMode::kHardware) {
     // The switches delivered everyone's copy; just acknowledge the root.
     g->pending_[f.seq].data_seen = true;
@@ -162,11 +217,13 @@ sim::Proc McastService::deliver(Mcast* g, hw::Frame f) {
     fwd.kind = msg::kMcastData;
     fwd.obj = g->gid_;
     fwd.seq = f.seq;
+    fwd.aux = f.aux;  // keep the root's send time for downstream members
     fwd.dst = child;
     fwd.payload_bytes = f.payload_bytes;
     fwd.data = f.data;
     kernel_.send(std::move(fwd));
     ++forwarded_;
+    g->record_software_copy();
   }
   g->pending_[f.seq].data_seen = true;
   maybe_ack_up(g, f.seq);

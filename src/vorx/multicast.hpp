@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -58,10 +59,39 @@ class Mcast {
   [[nodiscard]] std::uint64_t messages_written() const { return writes_; }
   [[nodiscard]] std::uint64_t messages_read() const { return reads_; }
 
+  // ---- per-group observability (§4.2: receiver processing, not wire
+  // time, dominates multicast delivery — these counters show it) ----
+
+  /// Frame copies this node's kernel made for the group in software: the
+  /// root's per-child sends plus tree forwards in deliver().  Hardware
+  /// mode makes its copies in the switches (hw::Cluster::multicast_copies)
+  /// so this stays 0 there beyond nothing — exactly the §4.2 contrast.
+  [[nodiscard]] std::uint64_t software_copies() const { return sw_copies_; }
+  /// Messages delivered to this member over the network (the root's local
+  /// filing is not counted — its delivery time is zero by construction).
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  /// Sum / max of root-send-to-member-delivery virtual time, over every
+  /// network delivery at this member.  The root's send time rides in
+  /// Frame::aux (injected_at is re-stamped per hop and cannot be used).
+  [[nodiscard]] sim::Duration delivery_latency_total() const {
+    return delivery_latency_total_;
+  }
+  [[nodiscard]] sim::Duration delivery_latency_max() const {
+    return delivery_latency_max_;
+  }
+  /// Replication-tree depth a message crosses to reach the farthest
+  /// member: floor(log2(n)) kernel hops for the software binary tree,
+  /// 1 in-switch hop for hardware replication.
+  [[nodiscard]] int fanout_depth() const;
+
  private:
   friend class McastService;
   Mcast(McastService& svc, std::uint64_t gid, std::vector<hw::StationId> order,
         int my_pos, McastMode mode);
+
+  void record_software_copy();
+  void record_delivery(const hw::Frame& f);
+  void sample_fanout_depth();
 
   [[nodiscard]] hw::StationId parent() const {
     return order_[static_cast<std::size_t>((my_pos_ - 1) / 2)];
@@ -88,6 +118,12 @@ class Mcast {
 
   std::uint64_t writes_ = 0;
   std::uint64_t reads_ = 0;
+
+  std::string track_;  // CounterTimeline track ("mcast.g<gid>"), cached
+  std::uint64_t sw_copies_ = 0;
+  std::uint64_t deliveries_ = 0;
+  sim::Duration delivery_latency_total_ = 0;
+  sim::Duration delivery_latency_max_ = 0;
 };
 
 /// Per-node multicast machinery (forwarding + ack aggregation).

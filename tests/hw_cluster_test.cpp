@@ -110,6 +110,58 @@ TEST(Cluster, ContendedOutputServesInputsRoundRobin) {
   }
 }
 
+TEST(Cluster, MulticastReplicaAccountingInvariant) {
+  // The invariant documented in cluster.hpp: a multicast frame replicated
+  // to k output ports counts k in frames_forwarded AND k x wire_bytes in
+  // bytes_forwarded — exactly like k unicast frames — with the same k
+  // attributed to the group via multicast_copies(gid).
+  sim::Simulator sim;
+  sim.counters().enable(true);
+  Rig rig(sim);
+  const std::uint64_t gid = 42;
+  rig.cluster.set_multicast_route(gid, {1, 2, 3});
+  int delivered = 0;
+  for (int p = 1; p <= 3; ++p) {
+    Link* out = rig.outs[static_cast<std::size_t>(p)].get();
+    out->set_deliver_cb([out, &delivered] {
+      while (out->take()) ++delivered;
+    });
+  }
+  Frame mf;
+  mf.group = gid;
+  mf.dst = -1;
+  mf.payload_bytes = 100;
+  rig.ins[0]->send(std::move(mf));
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(rig.cluster.multicast_copies(gid), 3u);
+  EXPECT_EQ(rig.cluster.multicast_copies_total(), 3u);
+  EXPECT_EQ(rig.cluster.frames_forwarded(), 3u);
+  EXPECT_EQ(rig.cluster.bytes_forwarded(), 3u * (100 + kHeaderBytes));
+
+  // A unicast forward afterwards: totals split into unicast + replicas.
+  rig.outs[2]->set_deliver_cb([&] {
+    while (rig.outs[2]->take()) {
+    }
+  });
+  rig.ins[0]->send(frame_to(2, 32));
+  sim.run();
+  EXPECT_EQ(rig.cluster.frames_forwarded(), 4u);
+  EXPECT_EQ(rig.cluster.frames_forwarded(),
+            1u + rig.cluster.multicast_copies_total());
+  EXPECT_EQ(rig.cluster.multicast_copies(7777), 0u);  // unknown group
+
+  // The replication path sampled the per-group counter track.
+  bool sampled = false;
+  for (const auto& s : sim.counters().samples()) {
+    if (s.track == "c0" && s.counter == "mcast_copies.g42") {
+      sampled = true;
+      EXPECT_EQ(s.value, 3.0);
+    }
+  }
+  EXPECT_TRUE(sampled);
+}
+
 TEST(Cluster, BackpressurePropagatesUpstream) {
   sim::Simulator sim;
   Rig rig(sim);

@@ -190,5 +190,44 @@ TEST(TraceExport, CounterTracksGetStablePids) {
   EXPECT_TRUE(named_hw_track);
 }
 
+// Regression: synthetic counter-track pids come from the reserved range
+// [kSyntheticPidBase, ...), never from the station range — regardless of
+// the order in which add_counters and add_station were called, and even
+// when stations are added after (or between) counter batches.
+TEST(TraceExport, SyntheticPidsNeverCollideWithStations) {
+  sim::CounterTimeline tl;
+  tl.enable(true);
+  tl.sample("some-hw-track", "depth", 10, 1.0);
+  tl.sample("another-track", "depth", 20, 2.0);
+
+  tools::TraceExporter exp;
+  sim::TimeLedger ledger;
+  ledger.enable_recording(true);
+  ledger.add(0, 100, sim::Category::kUser);
+  // Counters first, stations afterwards — the historically dangerous
+  // ordering — plus a second add_counters batch for good measure.
+  exp.add_counters(tl);
+  exp.add_station("n0", ledger);
+  exp.add_station("n1", ledger);
+  exp.add_counters(tl);
+  const std::string json = exp.render();
+
+  // Station processes keep pids 0 and 1.
+  EXPECT_NE(json.find("\"pid\":0,\"tid\":0,\"args\":{\"name\":\"n0\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":0,\"args\":{\"name\":\"n1\"}"),
+            std::string::npos);
+  // Synthetic tracks start at the reserved base; no counter event may
+  // carry a station pid.
+  const std::string base = std::to_string(tools::kSyntheticPidBase);
+  EXPECT_NE(json.find("\"pid\":" + base +
+                      ",\"tid\":0,\"args\":{\"name\":\"some-hw-track\"}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"C\",\"pid\":0,"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"C\",\"pid\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\",\"pid\":" + base + ","),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace hpcvorx

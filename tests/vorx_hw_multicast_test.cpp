@@ -145,6 +145,90 @@ TEST(HwMulticast, HardwareModeSkipsKernelForwardingWork) {
   EXPECT_LT(hw_time, sw_time);  // and the distribution finishes sooner
 }
 
+// The per-group observability counters (this PR's tentpole): software
+// copies vs in-switch copies, fan-out depth, and per-member delivery
+// latency, recorded into the handles and sampled into the counter
+// timeline in both modes.
+TEST(HwMulticast, PerGroupCountersContrastSoftwareAndHardware) {
+  struct Outcome {
+    std::uint64_t sw_copies = 0;       // sum over members
+    std::uint64_t switch_copies = 0;   // sum over clusters
+    std::uint64_t deliveries = 0;      // sum over members
+    sim::Duration worst_delivery = 0;  // max over members
+    int fanout_depth = 0;
+    bool sampled_delivery = false;     // mcast.g99 delivery_us.* samples
+    bool sampled_switch = false;       // cluster mcast_copies.g99 samples
+  };
+  auto run = [](McastMode mode) {
+    sim::Simulator sim;
+    SystemConfig cfg;
+    cfg.nodes = 12;
+    cfg.stations_per_cluster = 4;
+    cfg.record_counters = true;
+    System sys(sim, cfg);
+    std::vector<int> idx;
+    for (int i = 0; i < 12; ++i) idx.push_back(i);
+    auto handles = sys.create_multicast_group(99, idx, 0, mode);
+    sys.node(0).spawn_process("root", [&](Subprocess& sp) -> sim::Task<void> {
+      for (int m = 0; m < 10; ++m) co_await handles[0]->write(sp, 1024);
+    });
+    for (int i = 0; i < 12; ++i) {
+      sys.node(i).spawn_process(
+          "m" + std::to_string(i), [&, i](Subprocess& sp) -> sim::Task<void> {
+            for (int m = 0; m < 10; ++m) {
+              (void)co_await handles[static_cast<std::size_t>(i)]->read(sp);
+            }
+          });
+    }
+    sim.run();
+    Outcome out;
+    out.fanout_depth = handles[0]->fanout_depth();
+    for (const Mcast* h : handles) {
+      out.sw_copies += h->software_copies();
+      out.deliveries += h->deliveries();
+      out.worst_delivery =
+          std::max(out.worst_delivery, h->delivery_latency_max());
+    }
+    for (int c = 0; c < sys.fabric().num_clusters(); ++c) {
+      out.switch_copies += sys.fabric().cluster(c).multicast_copies_total();
+      EXPECT_EQ(sys.fabric().cluster(c).multicast_copies(99),
+                sys.fabric().cluster(c).multicast_copies_total());
+    }
+    for (const auto& s : sim.counters().samples()) {
+      if (s.track == "mcast.g99" && s.counter.rfind("delivery_us.", 0) == 0) {
+        out.sampled_delivery = true;
+      }
+      if (s.counter == "mcast_copies.g99") out.sampled_switch = true;
+    }
+    return out;
+  };
+
+  const Outcome sw = run(McastMode::kSoftwareTree);
+  const Outcome hw = run(McastMode::kHardware);
+
+  // Software tree: every one of the 11 non-root members gets its copy from
+  // a kernel (10 messages x 11 copies); the switches replicate nothing.
+  EXPECT_EQ(sw.sw_copies, 10u * 11u);
+  EXPECT_EQ(sw.switch_copies, 0u);
+  EXPECT_EQ(sw.fanout_depth, 3);  // floor(log2(12)) kernel hops
+  // Hardware: all copies are made in-switch, none in software.
+  EXPECT_EQ(hw.sw_copies, 0u);
+  EXPECT_GT(hw.switch_copies, 0u);
+  EXPECT_EQ(hw.fanout_depth, 1);
+  // Every non-root member's delivery was measured, in both modes, and the
+  // deeper software tree has the worse worst-case latency.
+  EXPECT_EQ(sw.deliveries, 10u * 11u);
+  EXPECT_EQ(hw.deliveries, 10u * 11u);
+  EXPECT_GT(sw.worst_delivery, 0);
+  EXPECT_GT(hw.worst_delivery, 0);
+  EXPECT_GT(sw.worst_delivery, hw.worst_delivery);
+  // And the timeline carries the per-group tracks the exporter will emit.
+  EXPECT_TRUE(sw.sampled_delivery);
+  EXPECT_TRUE(hw.sampled_delivery);
+  EXPECT_FALSE(sw.sampled_switch);
+  EXPECT_TRUE(hw.sampled_switch);
+}
+
 TEST(HwMulticast, FlowControlStillGatesTheRoot) {
   sim::Simulator sim;
   SystemConfig cfg;
