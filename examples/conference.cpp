@@ -111,8 +111,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_dir = argv[++i];
-    } else {
+    } else if (argv[i][0] != '-' && std::atoi(argv[i]) > 0) {
       seconds = std::atoi(argv[i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [seconds] [--trace DIR]\n", argv[0]);
+      return 2;
     }
   }
   sim::Simulator sim;

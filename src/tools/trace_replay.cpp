@@ -128,9 +128,11 @@ TraceReplay TraceReplay::parse(const std::string& json) {
       }
       const std::size_t args = line.find("\"args\":");
       if (args == std::string::npos) continue;
-      const char* v = find_key(line.substr(args), counter.c_str());
+      const std::string tail = line.substr(args);
+      const char* v = find_key(tail, counter.c_str());
       if (v == nullptr) continue;
       const double value = std::strtod(v, nullptr);
+      if (ts > rep.counter_end_) rep.counter_end_ = ts;
       const std::string key = std::to_string(pid) + "|" + counter;
       auto [entry, inserted] = series_of.emplace(key, rep.counters_.size());
       if (inserted) {
@@ -159,7 +161,7 @@ TraceReplay TraceReplay::load(const std::string& path) {
 }
 
 sim::SimTime TraceReplay::end_time() const {
-  sim::SimTime t = 0;
+  sim::SimTime t = counter_end_;
   for (const auto& iv : intervals_) {
     for (const sim::Interval& i : iv) {
       if (i.end > t) t = i.end;

@@ -66,6 +66,7 @@ class TraceReplay {
 
  private:
   bool ok_ = false;
+  sim::SimTime counter_end_ = 0;  // latest "C" sample ts seen during parse
   std::vector<std::string> names_;
   std::vector<std::vector<sim::Interval>> intervals_;
   std::vector<CounterSeries> counters_;

@@ -118,6 +118,28 @@ TEST(TraceReplay, CounterTracksSurviveTheRoundTrip) {
   EXPECT_NE(summary.find("wheel_l1_inserts"), std::string::npos);
 }
 
+TEST(TraceReplay, CounterOnlyTraceReportsEndTime) {
+  // A trace carrying counter samples but no intervals (record_counters on,
+  // record_intervals off) must still report when it ends, so
+  // render(0, end_time(), cols) spans the sampled window.
+  const std::string json =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1048576,\"tid\":0,"
+      "\"args\":{\"name\":\"engine\"}},\n"
+      "{\"name\":\"wheel_l1_inserts\",\"ph\":\"C\",\"pid\":1048576,"
+      "\"ts\":12.345,\"args\":{\"wheel_l1_inserts\":3}},\n"
+      "{\"name\":\"wheel_l1_inserts\",\"ph\":\"C\",\"pid\":1048576,"
+      "\"ts\":40.250,\"args\":{\"wheel_l1_inserts\":7}}\n"
+      "]}";
+  const TraceReplay rep = TraceReplay::parse(json);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.end_time(), sim::usec(40) + 250);
+  ASSERT_EQ(rep.counters().size(), 1u);
+  EXPECT_EQ(rep.counters()[0].samples, 2u);
+  EXPECT_EQ(rep.counters()[0].last, 7.0);
+  EXPECT_EQ(rep.counters()[0].max, 7.0);
+}
+
 TEST(TraceReplay, UnreadableInputIsNotOk) {
   EXPECT_FALSE(TraceReplay::load("/nonexistent/никогда.trace.json").ok());
   EXPECT_FALSE(TraceReplay::parse("").ok());
