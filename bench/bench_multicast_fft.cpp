@@ -4,6 +4,7 @@
 // of messages received by each processor grows and each process spends
 // more and more time reading data that it is not concerned with."
 #include <algorithm>
+#include <cstddef>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,6 +55,13 @@ McastCounters run_counted(bench::Reporter& r, int n, int p, Mode mode,
   cfg.record_counters = true;
   cfg.record_intervals = r.tracing();  // the slice tracks are trace-only
   vorx::System sys(sim, cfg);
+  // Full-scale (256x256) cells push on the order of 10^6 counter samples
+  // through the timeline; stride decimation keeps the buffer bounded at a
+  // uniform grain over the whole run.  The cap is far above anything a
+  // --quick run produces, so CI's sample-count rows (sec42.trace.*) and
+  // the archived traces still carry every quick-mode sample.
+  sim.counters().set_retention(sim::CounterTimeline::Retention::kDecimate,
+                               std::size_t{1} << 17);
   apps::Fft2dConfig fcfg;
   fcfg.n = n;
   fcfg.p = p;

@@ -10,6 +10,8 @@
 //
 //   ./build/examples/devtools_tour [--trace DIR]
 //   ./build/examples/devtools_tour --replay FILE [--cols N]
+//   ./build/examples/devtools_tour --replay-diff FILE_A FILE_B [--cols N]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,26 +48,57 @@ int replay(const std::string& path, int cols) {
   return 0;
 }
 
+// --replay-diff: load two traces of the same workload (e.g. the sw- and
+// hw-multicast variants of one bench) and render them side by side — both
+// station timelines, then the counter tracks aligned by (track, counter).
+int replay_diff(const std::string& path_a, const std::string& path_b,
+                int cols) {
+  const tools::TraceReplay a = tools::TraceReplay::load(path_a);
+  const tools::TraceReplay b = tools::TraceReplay::load(path_b);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "devtools_tour: cannot replay %s\n",
+                 (a.ok() ? path_b : path_a).c_str());
+    return 1;
+  }
+  // A shared time axis, so the two waveforms line up column for column.
+  const sim::SimTime end = std::max(a.end_time(), b.end_time());
+  std::printf("=== A: %s (%d stations) ===\n%s", path_a.c_str(), a.stations(),
+              a.render(0, end, cols).c_str());
+  std::printf("=== B: %s (%d stations) ===\n%s", path_b.c_str(), b.stations(),
+              b.render(0, end, cols).c_str());
+  std::printf("legend: U user, S system, i idle-input, o idle-output, "
+              "m idle-mixed, . idle-other\n");
+  std::printf("\n=== counter diff ===\n%s",
+              tools::TraceReplay::counter_diff(a, b, "A", "B").c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string replay_path;
+  std::string diff_a, diff_b;
   std::string trace_dir;
   int cols = 64;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
       replay_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-diff") == 0 && i + 2 < argc) {
+      diff_a = argv[++i];
+      diff_b = argv[++i];
     } else if (std::strcmp(argv[i], "--cols") == 0 && i + 1 < argc) {
       cols = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace DIR] [--replay FILE [--cols N]]\n",
+                   "usage: %s [--trace DIR] [--replay FILE [--cols N]] "
+                   "[--replay-diff FILE_A FILE_B [--cols N]]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (!diff_a.empty()) return replay_diff(diff_a, diff_b, cols);
   if (!replay_path.empty()) return replay(replay_path, cols);
 
   sim::Simulator sim;

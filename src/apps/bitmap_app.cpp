@@ -25,7 +25,7 @@ BitmapResult run_bitmap(sim::Simulator& sim, vorx::System& sys,
   // Sender on processing node 0.
   sys.node(0).spawn_process(
       "bitmap-src",
-      [&sim, &cfg, src, fb, done, started, ended, frame_bytes, total_chunks](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
+      [&sim, &cfg, src, fb, done, started, ended, frame_bytes, total_chunks](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2,R8) closure is copied into the Process's AppFn, which outlives the Task; &sim/&cfg are main()-frame objects that outlive the run
         vorx::Channel* ch = nullptr;
         vorx::Udco* u = nullptr;
         if (cfg.use_channels) {
@@ -64,7 +64,7 @@ BitmapResult run_bitmap(sim::Simulator& sim, vorx::System& sys,
   // Receiver on workstation 0: straight into the frame buffer.
   sys.host(0).spawn_process(
       "display",
-      [&sim, &cfg, src, fb, done, started, ended, frame_bytes, total_chunks](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2) closure is copied into the Process's AppFn, which outlives the Task
+      [&sim, &cfg, src, fb, done, started, ended, frame_bytes, total_chunks](vorx::Subprocess& sp) -> sim::Task<void> {  // vorx-lint: allow(R2,R8) closure is copied into the Process's AppFn, which outlives the Task; &sim/&cfg are main()-frame objects that outlive the run
         vorx::Channel* ch = nullptr;
         vorx::Udco* u = nullptr;
         if (cfg.use_channels) {

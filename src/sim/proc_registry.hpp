@@ -25,7 +25,10 @@ namespace hpcvorx::sim {
 class ProcRegistry {
  public:
   static ProcRegistry& instance() {
-    static ProcRegistry r;
+    // Deliberate process-wide registry: Proc frames have no other owner, and
+    // ~Simulator() drains entries by slot.  A sharded runtime will need a
+    // per-shard registry — tracked in ROADMAP.
+    static ProcRegistry r;  // vorx-lint: allow(R6) owner-of-last-resort registry, see above
     return r;
   }
 
@@ -57,6 +60,9 @@ class ProcRegistry {
 
  private:
   ProcRegistry() = default;
+  // Owner of last resort: fire-and-forget Proc frames are destroyed exactly
+  // once, here or on final_suspend (which unregisters).
+  // vorx-lint: allow(R8) the registry exists to own what nothing else does
   std::vector<std::coroutine_handle<>> handles_;
   std::vector<std::size_t*> slots_;
 };

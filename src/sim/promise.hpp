@@ -26,6 +26,9 @@ struct FutureState {
   explicit FutureState(Simulator& s) : sim(&s) {}
   Simulator* sim;
   std::optional<T> value;
+  // Coroutine-machinery waiter list: handles are parked here only while
+  // suspended on get() and resumed exactly once by set().
+  // vorx-lint: allow(R8) waiter list, resumed exactly once
   std::vector<std::coroutine_handle<>> waiters;
 };
 }  // namespace detail

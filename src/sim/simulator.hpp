@@ -71,10 +71,19 @@ class Simulator {
   [[nodiscard]] CounterTimeline& counters() { return counters_; }
   [[nodiscard]] const CounterTimeline& counters() const { return counters_; }
 
+  /// Mints an id unique within this simulator (1, 2, 3, ...).  The OS layer
+  /// draws owner ids, session ids, and client keys from here instead of
+  /// process-wide statics, so ids depend only on allocation order inside
+  /// this scheduler — never on other simulators in the process (R6,
+  /// shard-readiness).  Ids are only ever compared for equality; 0 and
+  /// negative values (e.g. cpu.hpp's kBorrowedContext) stay reserved.
+  [[nodiscard]] std::int64_t allocate_id() { return ++next_id_; }
+
  private:
   void sample_queue_stats();
 
   SimTime now_ = 0;
+  std::int64_t next_id_ = 0;
   bool stopped_ = false;
   EventQueue queue_;
   CounterTimeline counters_;

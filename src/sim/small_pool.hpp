@@ -73,6 +73,7 @@ class SmallBlockPool {
 
   // Reachable from static storage, so LeakSanitizer sees retained blocks
   // as live; the OS reclaims them at process exit like any allocator pool.
+  // vorx-lint: allow(R6) process-wide free lists are this allocator's point; sharding will swap in per-shard pools (compiled out under ASan already)
   inline static FreeNode* heads_[kBuckets] = {};
 };
 

@@ -1,0 +1,326 @@
+#include "tools/lint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <utility>
+
+namespace hpcvorx::lint {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+namespace {
+
+// Parses "vorx-lint: allow(R1,R3) reason" directives out of one comment
+// line, recording them against `line`.
+void harvest_directives(const std::string& comment, int line,
+                        Suppressions& sup) {
+  for (std::size_t pos = 0;
+       (pos = comment.find("vorx-lint", pos)) != std::string::npos;) {
+    std::size_t cursor = pos + 9;  // past "vorx-lint"
+    const bool whole_file = comment.compare(cursor, 5, "-file") == 0;
+    if (whole_file) cursor += 5;
+    pos = cursor;
+    while (cursor < comment.size() &&
+           (comment[cursor] == ':' || comment[cursor] == ' '))
+      ++cursor;
+    if (comment.compare(cursor, 6, "allow(") != 0) continue;
+    cursor += 6;
+    std::size_t close = comment.find(')', cursor);
+    if (close == std::string::npos) continue;
+    std::string list = comment.substr(cursor, close - cursor);
+    std::string id;
+    auto flush = [&] {
+      if (id.empty()) return;
+      if (whole_file)
+        sup.file_rules.insert(id);
+      else
+        sup.line_rules[line].insert(id);
+      id.clear();
+    };
+    for (char c : list) {
+      if (c == ',' || c == ' ')
+        flush();
+      else
+        id += c;
+    }
+    flush();
+    pos = close;
+  }
+}
+
+// The scanner proper.  Operates on the spliced text (backslash-newline
+// already removed) with a per-character physical-line map, so every
+// consumer — comments, strings, directives — sees logical lines while
+// diagnostics keep physical line numbers.
+class Scanner {
+ public:
+  Scanner(const std::string& raw, LexedSource& out) : out_(out) {
+    // Phase 2: delete each backslash-newline, keeping the line map exact.
+    s_.reserve(raw.size());
+    lines_.reserve(raw.size());
+    int line = 1;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '\\' && i + 1 < raw.size() &&
+          (raw[i + 1] == '\n' ||
+           (raw[i + 1] == '\r' && i + 2 < raw.size() && raw[i + 2] == '\n'))) {
+        i += raw[i + 1] == '\n' ? 1 : 2;
+        ++line;
+        continue;
+      }
+      s_ += raw[i];
+      lines_.push_back(line);
+      if (raw[i] == '\n') ++line;
+    }
+  }
+
+  void run() {
+    bool at_line_start = true;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\n') {
+        at_line_start = true;
+        ++i_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;  // comment runs to the newline; at_line_start unchanged
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start) {
+        preprocessor_line();
+        at_line_start = false;
+        continue;
+      }
+      at_line_start = false;
+      if (ident_start(c)) {
+        identifier_or_literal_prefix();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+      } else if (c == '"') {
+        string_literal();
+      } else if (c == '\'' && !(i_ > 0 && ident_char(s_[i_ - 1]))) {
+        char_literal();
+      } else {
+        punct();
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+  [[nodiscard]] int line_at(std::size_t i) const {
+    return i < lines_.size() ? lines_[i]
+                             : (lines_.empty() ? 1 : lines_.back());
+  }
+
+  void emit(Token::Kind kind, std::string text, int line, bool angled = false) {
+    out_.tokens.push_back(Token{kind, std::move(text), line, angled});
+  }
+
+  // Harvests suppression directives from comment body [a, b), splitting at
+  // newlines so a directive inside a block comment lands on its own line.
+  void harvest_range(std::size_t a, std::size_t b) {
+    std::size_t seg = a;
+    for (std::size_t k = a; k <= b; ++k) {
+      if (k == b || s_[k] == '\n') {
+        if (k > seg)
+          harvest_directives(s_.substr(seg, k - seg), line_at(seg), out_.sup);
+        seg = k + 1;
+      }
+    }
+  }
+
+  void line_comment() {
+    std::size_t end = s_.find('\n', i_);
+    if (end == std::string::npos) end = s_.size();
+    harvest_range(i_, end);
+    i_ = end;  // leave the newline for the main loop (sets at_line_start)
+  }
+
+  void block_comment() {
+    std::size_t end = s_.find("*/", i_ + 2);
+    end = end == std::string::npos ? s_.size() : end + 2;
+    harvest_range(i_, end);
+    i_ = end;
+  }
+
+  // Consumes a whole preprocessor directive.  #include contributes one
+  // kHeader token; everything else contributes nothing, so macro bodies
+  // never reach the statement/scope analysis.  Trailing comments are still
+  // scanned for suppression directives.
+  void preprocessor_line() {
+    ++i_;  // '#'
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
+    std::size_t d = i_;
+    while (d < s_.size() && ident_char(s_[d])) ++d;
+    const std::string directive = s_.substr(i_, d - i_);
+    i_ = d;
+    if (directive == "include") {
+      while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
+      if (i_ < s_.size() && (s_[i_] == '<' || s_[i_] == '"')) {
+        const char close = s_[i_] == '<' ? '>' : '"';
+        const bool angled = s_[i_] == '<';
+        const int line = line_at(i_);
+        std::size_t end = s_.find(close, i_ + 1);
+        if (end != std::string::npos) {
+          emit(Token::Kind::kHeader, s_.substr(i_ + 1, end - i_ - 1), line,
+               angled);
+          i_ = end + 1;
+        }
+      }
+    }
+    // Skim the rest of the directive, honoring comments (directive
+    // suppressions like `#include <x>  // vorx-lint: allow(R1) ...` must
+    // still be harvested) and quoted text (a "//" inside a macro string
+    // must not eat the line).
+    while (i_ < s_.size() && s_[i_] != '\n') {
+      if (s_[i_] == '/' && peek(1) == '/') {
+        line_comment();
+        return;
+      }
+      if (s_[i_] == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (s_[i_] == '"' || s_[i_] == '\'') {
+        const char q = s_[i_++];
+        while (i_ < s_.size() && s_[i_] != q && s_[i_] != '\n') {
+          if (s_[i_] == '\\') ++i_;
+          if (i_ < s_.size()) ++i_;
+        }
+        if (i_ < s_.size() && s_[i_] == q) ++i_;
+        continue;
+      }
+      ++i_;
+    }
+  }
+
+  void identifier_or_literal_prefix() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && ident_char(s_[i_])) ++i_;
+    const std::string id = s_.substr(start, i_ - start);
+    const char next = i_ < s_.size() ? s_[i_] : '\0';
+    const bool is_str_prefix =
+        id == "u" || id == "u8" || id == "L" || id == "U";
+    const bool is_raw_prefix = id == "R" || id == "uR" || id == "u8R" ||
+                               id == "LR" || id == "UR";
+    if (next == '"' && is_raw_prefix) {
+      raw_string(line_at(start));
+      return;
+    }
+    if (next == '"' && is_str_prefix) {
+      string_literal();
+      return;
+    }
+    if (next == '\'' && is_str_prefix) {
+      char_literal();
+      return;
+    }
+    emit(Token::Kind::kIdent, id, line_at(start));
+  }
+
+  void number() {
+    const std::size_t start = i_;
+    ++i_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (ident_char(c) || c == '.' || c == '\'' ||
+          ((c == '+' || c == '-') &&
+           (s_[i_ - 1] == 'e' || s_[i_ - 1] == 'E' || s_[i_ - 1] == 'p' ||
+            s_[i_ - 1] == 'P'))) {
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    emit(Token::Kind::kNumber, s_.substr(start, i_ - start), line_at(start));
+  }
+
+  void string_literal() {
+    const int line = line_at(i_);
+    ++i_;  // opening quote
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') ++i_;
+      if (i_ < s_.size()) ++i_;
+    }
+    if (i_ < s_.size()) ++i_;  // closing quote
+    emit(Token::Kind::kString, {}, line);
+  }
+
+  void char_literal() {
+    const int line = line_at(i_);
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '\'') {
+      if (s_[i_] == '\\') ++i_;
+      if (i_ < s_.size()) ++i_;
+    }
+    if (i_ < s_.size()) ++i_;
+    emit(Token::Kind::kChar, {}, line);
+  }
+
+  // i_ points at the '"' after the raw-string prefix.  Everything up to
+  // the )delim" terminator — quotes, comment starters, banned identifiers —
+  // is literal content and becomes one empty kString token.
+  void raw_string(int line) {
+    std::size_t paren = s_.find('(', i_ + 1);
+    if (paren == std::string::npos) {
+      ++i_;
+      return;
+    }
+    std::string delim;
+    delim.reserve(paren - i_ + 1);
+    delim += ')';
+    delim.append(s_, i_ + 1, paren - i_ - 1);
+    delim += '"';
+    std::size_t end = s_.find(delim, paren + 1);
+    i_ = end == std::string::npos ? s_.size() : end + delim.size();
+    emit(Token::Kind::kString, {}, line);
+  }
+
+  void punct() {
+    const int line = line_at(i_);
+    if (i_ + 1 < s_.size()) {
+      const std::string two = s_.substr(i_, 2);
+      if (two == "::" || two == "->") {
+        emit(Token::Kind::kPunct, two, line);
+        i_ += 2;
+        return;
+      }
+    }
+    emit(Token::Kind::kPunct, std::string(1, s_[i_]), line);
+    ++i_;
+  }
+
+  LexedSource& out_;
+  std::string s_;           // spliced text
+  std::vector<int> lines_;  // physical line of each spliced character
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+LexedSource lex(std::string path, const std::string& text) {
+  LexedSource out;
+  out.path = std::move(path);
+  Scanner scanner(text, out);
+  scanner.run();
+  return out;
+}
+
+}  // namespace hpcvorx::lint

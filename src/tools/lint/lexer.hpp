@@ -1,0 +1,75 @@
+// vorx-lint lexing layer: one pass from raw source text to a token stream
+// with file:line provenance.
+//
+// The lexer owns every textual concern so the model and rule layers never
+// see raw characters:
+//   * comments are consumed (// with backslash-newline continuation,
+//     /* ... */ across lines) and their text is harvested for
+//     vorx-lint suppression directives;
+//   * string and character literals — including R"delim(...)delim" raw
+//     strings — become single kString/kChar tokens with empty text, so a
+//     banned identifier quoted in prose can never match a rule;
+//   * backslash-newline splices are resolved (phase-2 translation), so a
+//     spliced comment swallows its continuation lines like a compiler;
+//   * preprocessor directives are consumed whole: an #include becomes one
+//     kHeader token carrying the header path, every other directive
+//     (#define, #pragma, #if...) contributes no tokens at all, keeping
+//     macro bodies out of the statement/scope analysis;
+//   * line numbers count physical lines, surviving splices, block
+//     comments, and raw-string newlines.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hpcvorx::lint {
+
+struct Token {
+  enum class Kind {
+    kIdent,   // identifier or keyword
+    kNumber,  // numeric literal (digit separators and exponents folded in)
+    kPunct,   // one punctuator; "::" and "->" are single tokens
+    kString,  // string literal (raw or not); text is empty
+    kChar,    // character literal; text is empty
+    kHeader,  // #include header-name; text is the path, angled says <> vs ""
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+  bool angled = false;  // kHeader only
+};
+
+/// Suppression directives harvested from comments:
+///   // vorx-lint: allow(R1) <reason>         — this line and the next
+///   // vorx-lint-file: allow(R1,R3) <reason> — the whole file
+struct Suppressions {
+  std::set<std::string> file_rules;
+  // line -> rules allowed on that line (directives also cover line + 1).
+  std::map<int, std::set<std::string>> line_rules;
+
+  [[nodiscard]] bool allows(const std::string& rule, int line) const {
+    if (file_rules.count(rule)) return true;
+    for (int l : {line, line - 1}) {
+      auto it = line_rules.find(l);
+      if (it != line_rules.end() && it->second.count(rule)) return true;
+    }
+    return false;
+  }
+};
+
+/// One lexed translation unit.  `path` is the repo-relative path ("src/"
+/// prefix optional) used for diagnostics and layer assignment.
+struct LexedSource {
+  std::string path;
+  std::vector<Token> tokens;
+  Suppressions sup;
+};
+
+[[nodiscard]] LexedSource lex(std::string path, const std::string& text);
+
+[[nodiscard]] bool ident_start(char c);
+[[nodiscard]] bool ident_char(char c);
+
+}  // namespace hpcvorx::lint

@@ -1,915 +1,44 @@
 #include "tools/lint/linter.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstddef>
-#include <map>
-#include <set>
-#include <string>
 #include <utility>
-#include <vector>
+
+#include "tools/lint/lexer.hpp"
+#include "tools/lint/model.hpp"
 
 namespace hpcvorx::lint {
-namespace {
-
-// ---------------------------------------------------------------------------
-// Rule catalogue
-// ---------------------------------------------------------------------------
-
-const std::vector<RuleInfo> kRules = {
-    {"R1", "determinism",
-     "Simulated runs must be bit-identical across reruns and machines.  Any "
-     "wall-clock read, libc PRNG, std::random_device, or environment lookup "
-     "injects state the experiment configuration does not control.",
-     "Derive all randomness from sim::Rng seeded by the experiment config, "
-     "and all time from the simulator's virtual clock (sim::SimTime)."},
-    {"R2", "coroutine-safety",
-     "Every suspension must be owned by the simulator.  A coroutine with a "
-     "non-Task/Proc return type silently compiles to something never "
-     "scheduled; a capturing-lambda coroutine keeps references into a "
-     "closure frame that dies before the coroutine does (lifetime UB); a "
-     "discarded sim::Task never runs at all.",
-     "Return sim::Task<...> (awaited work) or sim::Proc (fire-and-forget "
-     "process); hoist lambda coroutines into named functions taking the "
-     "captured state as parameters; co_await every Task you create."},
-    {"R3", "no-real-concurrency",
-     "The simulator is single-threaded by design: determinism comes from a "
-     "totally ordered event queue.  OS threads, mutexes, or blocking sleeps "
-     "reintroduce scheduler nondeterminism and stall virtual time.",
-     "Model concurrency as coroutines; replace every blocking wait with "
-     "co_await delay(sim, d) or a sim synchronization primitive."},
-    {"R4", "layering",
-     "The include graph must respect sim < hw < vorx < {apps, tools} so the "
-     "Meglos-vs-VORX pairing stays swappable: sim knows nothing of hardware "
-     "models, hw nothing of the OS, vorx nothing of applications.",
-     "Move shared declarations down a layer, or invert the dependency with "
-     "a callback/interface owned by the lower layer."},
-    {"R5", "hot-path-allocation",
-     "Steady-state frame payloads in the hw/ and vorx/ layers must come "
-     "from hw::FramePool.  Every make_payload or make_shared<vector<byte>> "
-     "there mints a fresh control block plus byte buffer per frame — "
-     "exactly the per-event allocation traffic the pool exists to absorb "
-     "(tests, apps, and tools are exempt: they are not on the hot path).",
-     "Build payloads through the fabric's pool: frame_pool().buffer() + "
-     "frame_pool().make(std::move(bytes)), or frame_pool().make_copy(p, n)."},
-};
-
-// ---------------------------------------------------------------------------
-// Lexing: comment/string stripping, suppression harvesting, tokens
-// ---------------------------------------------------------------------------
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-struct Suppressions {
-  std::set<std::string> file_rules;
-  // line -> rules allowed on that line (directives also cover line + 1).
-  std::map<int, std::set<std::string>> line_rules;
-
-  bool allows(const std::string& rule, int line) const {
-    if (file_rules.count(rule)) return true;
-    for (int l : {line, line - 1}) {
-      auto it = line_rules.find(l);
-      if (it != line_rules.end() && it->second.count(rule)) return true;
-    }
-    return false;
-  }
-};
-
-// Parses "vorx-lint: allow(R1,R3) reason" directives out of one comment.
-void harvest_directives(const std::string& comment, int line, Suppressions& sup) {
-  for (std::size_t pos = 0; (pos = comment.find("vorx-lint", pos)) != std::string::npos;) {
-    std::size_t cursor = pos + 9;  // past "vorx-lint"
-    const bool whole_file = comment.compare(cursor, 5, "-file") == 0;
-    if (whole_file) cursor += 5;
-    pos = cursor;
-    while (cursor < comment.size() && (comment[cursor] == ':' || comment[cursor] == ' '))
-      ++cursor;
-    if (comment.compare(cursor, 6, "allow(") != 0) continue;
-    cursor += 6;
-    std::size_t close = comment.find(')', cursor);
-    if (close == std::string::npos) continue;
-    std::string list = comment.substr(cursor, close - cursor);
-    std::string id;
-    auto flush = [&] {
-      if (id.empty()) return;
-      if (whole_file)
-        sup.file_rules.insert(id);
-      else
-        sup.line_rules[line].insert(id);
-      id.clear();
-    };
-    for (char c : list) {
-      if (c == ',' || c == ' ')
-        flush();
-      else
-        id += c;
-    }
-    flush();
-    pos = close;
-  }
-}
-
-// Replaces comments with spaces (newlines kept so line numbers survive),
-// harvesting suppression directives from the comment text on the way out.
-std::string strip_comments(const std::string& text, Suppressions& sup) {
-  std::string out;
-  out.reserve(text.size());
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  while (i < n) {
-    char c = text[i];
-    if (c == '\n') {
-      out += '\n';
-      ++line;
-      ++i;
-    } else if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      std::size_t end = text.find('\n', i);
-      if (end == std::string::npos) end = n;
-      harvest_directives(text.substr(i, end - i), line, sup);
-      out.append(end - i, ' ');
-      i = end;
-    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      std::size_t end = text.find("*/", i + 2);
-      if (end == std::string::npos) end = n; else end += 2;
-      int comment_line = line;
-      std::string body = text.substr(i, end - i);
-      // A directive inside a block comment applies to the line it sits on.
-      std::size_t line_start = 0;
-      for (std::size_t k = 0; k <= body.size(); ++k) {
-        if (k == body.size() || body[k] == '\n') {
-          harvest_directives(body.substr(line_start, k - line_start),
-                             comment_line + static_cast<int>(
-                                 std::count(body.begin(), body.begin() + static_cast<long>(line_start), '\n')),
-                             sup);
-          line_start = k + 1;
-        }
-      }
-      for (char b : body) out += (b == '\n') ? '\n' : ' ';
-      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
-      i = end;
-    } else {
-      // Copy string/char literals verbatim here; they are blanked later so
-      // includes (which need their quoted path) can be read first.  A quote
-      // right after an identifier character is a digit separator (1'000),
-      // not a literal.
-      if (c == '"' || (c == '\'' && !(i > 0 && ident_char(text[i - 1])))) {
-        char quote = c;
-        out += c;
-        ++i;
-        while (i < n && text[i] != quote) {
-          if (text[i] == '\\' && i + 1 < n) {
-            out += text[i];
-            ++i;
-          }
-          if (i < n) {
-            out += (text[i] == '\n') ? '\n' : text[i];
-            if (text[i] == '\n') ++line;
-            ++i;
-          }
-        }
-        if (i < n) {
-          out += quote;
-          ++i;
-        }
-      } else {
-        out += c;
-        ++i;
-      }
-    }
-  }
-  return out;
-}
-
-// Replaces string and character literals with spaces.  Raw strings get the
-// same treatment up to their closing delimiter.
-std::string strip_literals(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  while (i < n) {
-    char c = text[i];
-    bool raw = c == 'R' && i + 1 < n && text[i + 1] == '"' &&
-               (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
-                           text[i - 1] != '_'));
-    if (raw) {
-      std::size_t paren = text.find('(', i + 2);
-      if (paren == std::string::npos) { out += c; ++i; continue; }
-      std::string delim = ")" + text.substr(i + 2, paren - i - 2) + "\"";
-      std::size_t end = text.find(delim, paren + 1);
-      end = (end == std::string::npos) ? n : end + delim.size();
-      for (std::size_t k = i; k < end; ++k) out += (text[k] == '\n') ? '\n' : ' ';
-      i = end;
-    } else if (c == '"' || (c == '\'' && !(i > 0 && ident_char(text[i - 1])))) {
-      char quote = c;
-      out += ' ';
-      ++i;
-      while (i < n && text[i] != quote) {
-        if (text[i] == '\\' && i + 1 < n) {
-          out += ' ';
-          ++i;
-        }
-        out += (text[i] == '\n') ? '\n' : ' ';
-        ++i;
-      }
-      if (i < n) { out += ' '; ++i; }
-    } else {
-      out += c;
-      ++i;
-    }
-  }
-  return out;
-}
-
-struct Token {
-  std::string text;
-  int line;
-};
-
-std::vector<Token> tokenize(const std::string& text) {
-  std::vector<Token> toks;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  while (i < n) {
-    char c = text[i];
-    if (c == '\n') { ++line; ++i; continue; }
-    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < n && ident_char(text[j])) ++j;
-      toks.push_back({text.substr(i, j - i), line});
-      i = j;
-    } else if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i + 1;
-      while (j < n && (ident_char(text[j]) || text[j] == '.' || text[j] == '\'' ||
-                       ((text[j] == '+' || text[j] == '-') && j > 0 &&
-                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
-                         text[j - 1] == 'p' || text[j - 1] == 'P'))))
-        ++j;
-      toks.push_back({text.substr(i, j - i), line});
-      i = j;
-    } else {
-      if (i + 1 < n) {
-        std::string two = text.substr(i, 2);
-        if (two == "::" || two == "->") {
-          toks.push_back({two, line});
-          i += 2;
-          continue;
-        }
-      }
-      toks.push_back({std::string(1, c), line});
-      ++i;
-    }
-  }
-  return toks;
-}
-
-// ---------------------------------------------------------------------------
-// R1 / R3: banned identifiers and banned headers
-// ---------------------------------------------------------------------------
-
-enum class Match {
-  kAnywhere,       // the identifier alone is enough
-  kCall,           // identifier followed by '(' and not a member access
-  kStdQualified,   // preceded by `std ::`
-  kGlobalQualified,// preceded by a global `::` (token before `::` not a name)
-  kPrefix,         // identifier starts with this text
-};
-
-struct BannedIdent {
-  const char* ident;
-  Match match;
-  const char* rule;
-  const char* hint;
-};
-
-const BannedIdent kBannedIdents[] = {
-    // R1: ambient nondeterminism.
-    {"system_clock", Match::kAnywhere, "R1", "use the simulator's virtual clock"},
-    {"steady_clock", Match::kAnywhere, "R1", "use the simulator's virtual clock"},
-    {"high_resolution_clock", Match::kAnywhere, "R1", "use the simulator's virtual clock"},
-    {"random_device", Match::kAnywhere, "R1", "seed sim::Rng from the experiment config"},
-    {"default_random_engine", Match::kAnywhere, "R1", "use sim::Rng (xoshiro256**)"},
-    {"gettimeofday", Match::kAnywhere, "R1", "use the simulator's virtual clock"},
-    {"clock_gettime", Match::kAnywhere, "R1", "use the simulator's virtual clock"},
-    {"localtime", Match::kAnywhere, "R1", "use the simulator's virtual clock"},
-    {"gmtime", Match::kAnywhere, "R1", "use the simulator's virtual clock"},
-    {"mktime", Match::kAnywhere, "R1", "use the simulator's virtual clock"},
-    {"getenv", Match::kAnywhere, "R1", "thread configuration through explicit parameters"},
-    {"secure_getenv", Match::kAnywhere, "R1", "thread configuration through explicit parameters"},
-    {"setenv", Match::kAnywhere, "R1", "thread configuration through explicit parameters"},
-    {"putenv", Match::kAnywhere, "R1", "thread configuration through explicit parameters"},
-    {"rand", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
-    {"srand", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
-    {"time", Match::kStdQualified, "R1", "use the simulator's virtual clock"},
-    {"time", Match::kGlobalQualified, "R1", "use the simulator's virtual clock"},
-    // R3: real threads / blocking waits.
-    {"this_thread", Match::kAnywhere, "R3", "co_await delay(sim, d) instead"},
-    {"jthread", Match::kAnywhere, "R3", "model the activity as a sim::Proc coroutine"},
-    {"sleep_for", Match::kAnywhere, "R3", "co_await delay(sim, d) instead"},
-    {"sleep_until", Match::kAnywhere, "R3", "co_await delay(sim, d) instead"},
-    {"usleep", Match::kAnywhere, "R3", "co_await delay(sim, usec(n)) instead"},
-    {"nanosleep", Match::kAnywhere, "R3", "co_await delay(sim, d) instead"},
-    {"condition_variable", Match::kAnywhere, "R3", "use a sim Event/Gate awaitable"},
-    {"condition_variable_any", Match::kAnywhere, "R3", "use a sim Event/Gate awaitable"},
-    {"sleep", Match::kGlobalQualified, "R3", "co_await delay(sim, sec(n)) instead"},
-    {"thread", Match::kStdQualified, "R3", "model the activity as a sim::Proc coroutine"},
-    {"mutex", Match::kStdQualified, "R3", "use the sim mutex (coroutine-aware)"},
-    {"recursive_mutex", Match::kStdQualified, "R3", "use the sim mutex (coroutine-aware)"},
-    {"timed_mutex", Match::kStdQualified, "R3", "use the sim mutex (coroutine-aware)"},
-    {"shared_mutex", Match::kStdQualified, "R3", "use the sim mutex (coroutine-aware)"},
-    {"lock_guard", Match::kStdQualified, "R3", "use the sim mutex (coroutine-aware)"},
-    {"unique_lock", Match::kStdQualified, "R3", "use the sim mutex (coroutine-aware)"},
-    {"scoped_lock", Match::kStdQualified, "R3", "use the sim mutex (coroutine-aware)"},
-    {"async", Match::kStdQualified, "R3", "spawn a sim::Proc and join via Promise"},
-    {"future", Match::kStdQualified, "R3", "use sim::Promise / sim::Task"},
-    {"shared_future", Match::kStdQualified, "R3", "use sim::Promise / sim::Task"},
-    {"promise", Match::kStdQualified, "R3", "use sim::Promise (promise.hpp)"},
-    {"counting_semaphore", Match::kStdQualified, "R3", "use a sim semaphore awaitable"},
-    {"binary_semaphore", Match::kStdQualified, "R3", "use a sim semaphore awaitable"},
-    {"latch", Match::kStdQualified, "R3", "use a sim Gate awaitable"},
-    {"barrier", Match::kStdQualified, "R3", "use a sim Gate awaitable"},
-    {"atomic", Match::kStdQualified, "R3", "single-threaded sim code needs no atomics"},
-    {"atomic_flag", Match::kStdQualified, "R3", "single-threaded sim code needs no atomics"},
-    {"pthread_", Match::kPrefix, "R3", "model the activity as a sim::Proc coroutine"},
-};
-
-struct BannedHeader {
-  const char* header;
-  const char* rule;
-  const char* hint;
-};
-
-const BannedHeader kBannedHeaders[] = {
-    {"chrono", "R1", "virtual time lives in sim/time.hpp"},
-    {"random", "R1", "deterministic randomness lives in sim/random.hpp"},
-    {"ctime", "R1", "virtual time lives in sim/time.hpp"},
-    {"time.h", "R1", "virtual time lives in sim/time.hpp"},
-    {"sys/time.h", "R1", "virtual time lives in sim/time.hpp"},
-    {"thread", "R3", "model concurrency as coroutines"},
-    {"mutex", "R3", "use sim synchronization primitives"},
-    {"shared_mutex", "R3", "use sim synchronization primitives"},
-    {"condition_variable", "R3", "use sim synchronization primitives"},
-    {"future", "R3", "use sim::Promise / sim::Task"},
-    {"semaphore", "R3", "use sim synchronization primitives"},
-    {"latch", "R3", "use sim synchronization primitives"},
-    {"barrier", "R3", "use sim synchronization primitives"},
-    {"stop_token", "R3", "model cancellation inside the simulation"},
-    {"atomic", "R3", "single-threaded sim code needs no atomics"},
-    {"pthread.h", "R3", "model concurrency as coroutines"},
-    {"unistd.h", "R3", "no blocking syscalls inside the simulation"},
-    {"sys/wait.h", "R3", "no OS processes inside the simulation"},
-};
-
-bool is_name_token(const Token& t) {
-  return !t.text.empty() && ident_start(t.text[0]);
-}
-
-// ---------------------------------------------------------------------------
-// Includes and layering (R4)
-// ---------------------------------------------------------------------------
-
-struct Include {
-  std::string path;
-  bool angled;
-  int line;
-};
-
-std::vector<Include> extract_includes(const std::string& comment_stripped) {
-  std::vector<Include> out;
-  int line = 0;
-  std::size_t pos = 0;
-  while (pos <= comment_stripped.size()) {
-    ++line;
-    std::size_t eol = comment_stripped.find('\n', pos);
-    if (eol == std::string::npos) eol = comment_stripped.size();
-    std::string l = comment_stripped.substr(pos, eol - pos);
-    std::size_t i = l.find_first_not_of(" \t");
-    if (i != std::string::npos && l[i] == '#') {
-      i = l.find_first_not_of(" \t", i + 1);
-      if (i != std::string::npos && l.compare(i, 7, "include") == 0) {
-        i = l.find_first_not_of(" \t", i + 7);
-        if (i != std::string::npos && (l[i] == '<' || l[i] == '"')) {
-          char close = l[i] == '<' ? '>' : '"';
-          std::size_t end = l.find(close, i + 1);
-          if (end != std::string::npos)
-            out.push_back({l.substr(i + 1, end - i - 1), l[i] == '<', line});
-        }
-      }
-    }
-    if (eol == comment_stripped.size()) break;
-    pos = eol + 1;
-  }
-  return out;
-}
-
-// Layer indices: sim=0 < hw=1 < vorx=2 < {apps, tools}=3.  Unknown: -1.
-int layer_of(const std::string& component) {
-  if (component == "sim") return 0;
-  if (component == "hw") return 1;
-  if (component == "vorx") return 2;
-  if (component == "apps" || component == "tools") return 3;
-  return -1;
-}
-
-// First path component after an optional "src/" prefix ("" if none).
-std::string top_component(const std::string& path) {
-  std::string p = path;
-  if (p.rfind("src/", 0) == 0) p = p.substr(4);
-  std::size_t slash = p.find('/');
-  return slash == std::string::npos ? std::string{} : p.substr(0, slash);
-}
-
-// ---------------------------------------------------------------------------
-// R2: coroutine scope analysis
-// ---------------------------------------------------------------------------
-
-struct Scope {
-  enum Kind { kTransparent, kType, kFunction, kLambda } kind = kTransparent;
-  int header_line = 0;
-  std::string name;                 // function name, for diagnostics
-  std::vector<std::string> ret;     // declared / trailing return type tokens
-  bool has_trailing_return = false; // lambdas only
-  bool capturing = false;           // lambdas only
-  bool reported = false;            // one diagnostic per scope
-  int saved_paren_depth = 0;
-};
-
-std::size_t match_backward(const std::vector<Token>& toks, std::size_t close,
-                           const char* open_text, const char* close_text) {
-  int depth = 0;
-  for (std::size_t j = close + 1; j-- > 0;) {
-    if (toks[j].text == close_text) ++depth;
-    else if (toks[j].text == open_text) {
-      if (--depth == 0) return j;
-    }
-  }
-  return close;  // unbalanced; caller treats as not-found
-}
-
-std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
-                          const char* open_text, const char* close_text) {
-  int depth = 0;
-  for (std::size_t j = open; j < toks.size(); ++j) {
-    if (toks[j].text == open_text) ++depth;
-    else if (toks[j].text == close_text) {
-      if (--depth == 0) return j;
-    }
-  }
-  return open;
-}
-
-bool contains_task_or_proc(const std::vector<std::string>& type_tokens) {
-  for (const auto& t : type_tokens)
-    if (t == "Task" || t == "Proc") return true;
-  return false;
-}
-
-const std::set<std::string> kControlKeywords = {
-    "if", "for", "while", "switch", "catch", "do", "else", "try", "return",
-    "co_return", "co_yield", "co_await", "new", "throw", "case", "default"};
-const std::set<std::string> kTypeKeywords = {"class", "struct", "union", "enum",
-                                             "namespace"};
-const std::set<std::string> kTrailerTokens = {
-    "const", "noexcept", "override", "final", "mutable", "constexpr", "try",
-    "->", "::", "<", ">", "&", "*", ",", "[", "]", "volatile", "&&"};
-
-// Classifies the tokens between the previous statement boundary and a `{`.
-Scope classify_segment(const std::vector<Token>& toks, std::size_t a, std::size_t b) {
-  Scope s;
-  if (a >= b) return s;
-  s.header_line = toks[b - 1].line;
-
-  // Lambda first — `return [xs](...) -> sim::Task<void> {` starts with a
-  // control keyword but the brace opens the lambda's body: find the last
-  // lambda-introducer whose parameter list/specifiers run to the end of
-  // the segment.
-  for (std::size_t i = b; i-- > a;) {
-    if (toks[i].text != "[") continue;
-    if (i > a && ((is_name_token(toks[i - 1]) &&
-                   !kControlKeywords.count(toks[i - 1].text)) ||
-                  toks[i - 1].text == ")" || toks[i - 1].text == "]"))
-      continue;  // subscript (but `return [` etc. introduce a lambda)
-    if (i + 1 < b && toks[i + 1].text == "[") continue;  // [[attribute]]
-    if (i > a && toks[i - 1].text == "[") continue;
-    std::size_t close = match_forward(toks, i, "[", "]");
-    if (close == i || close >= b) continue;
-    // After the capture list: optional (params), specifiers, -> type.
-    std::size_t j = close + 1;
-    if (j < b && toks[j].text == "(") j = match_forward(toks, j, "(", ")") + 1;
-    bool trailing = false;
-    std::vector<std::string> ret;
-    bool ok = true;
-    for (; j < b; ++j) {
-      if (toks[j].text == "->" && !trailing) { trailing = true; continue; }
-      if (trailing) ret.push_back(toks[j].text);
-      else if (!kTrailerTokens.count(toks[j].text) && !is_name_token(toks[j])) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-    s.kind = Scope::kLambda;
-    s.name = "<lambda>";
-    s.capturing = close > i + 1;
-    s.has_trailing_return = trailing;
-    s.ret = std::move(ret);
-    return s;
-  }
-
-  if (kControlKeywords.count(toks[a].text)) return s;
-
-  // Function: a top-level (...) with only trailers (or a trailing return
-  // type) between its ')' and the '{'.
-  std::size_t last_close = b;
-  int depth = 0;
-  for (std::size_t j = b; j-- > a;) {
-    if (toks[j].text == ")") {
-      if (depth == 0) { last_close = j; break; }
-      --depth;
-    } else if (toks[j].text == "(") {
-      ++depth;
-    }
-  }
-  if (last_close != b) {
-    bool trailers_only = true;
-    bool trailing = false;
-    std::vector<std::string> trailing_ret;
-    for (std::size_t j = last_close + 1; j < b; ++j) {
-      if (toks[j].text == "->" && !trailing) { trailing = true; continue; }
-      if (trailing) { trailing_ret.push_back(toks[j].text); continue; }
-      if (!kTrailerTokens.count(toks[j].text) && !is_name_token(toks[j])) {
-        trailers_only = false;
-        break;
-      }
-    }
-    if (trailers_only) {
-      // Find the first top-level '(' — the parameter list — and read the
-      // (possibly qualified) function name just before it.
-      std::size_t first_open = b;
-      depth = 0;
-      for (std::size_t j = a; j < b; ++j) {
-        if (toks[j].text == "(") { first_open = j; break; }
-        if (toks[j].text == "<") ++depth;
-        if (toks[j].text == ">") --depth;
-      }
-      if (first_open != b && first_open > a) {
-        // Walk back over one maximal qualified-id: name, optional '~', then
-        // `ident ::` pairs.  Alternation matters — in `sim::Proc K::f(` the
-        // id is `K::f`, and the adjacent identifiers `Proc K` mark where the
-        // return type ends.
-        std::size_t name_end = first_open;  // one past the name
-        std::size_t name_begin = name_end;
-        if (name_begin > a && is_name_token(toks[name_begin - 1])) --name_begin;
-        if (name_begin < name_end && name_begin > a && toks[name_begin - 1].text == "~")
-          --name_begin;
-        while (name_begin > a + 1 && toks[name_begin - 1].text == "::" &&
-               is_name_token(toks[name_begin - 2])) {
-          name_begin -= 2;
-        }
-        if (name_begin < name_end && name_begin > a && toks[name_begin - 1].text == "::")
-          --name_begin;
-        if (name_begin < name_end) {
-          s.kind = Scope::kFunction;
-          s.name = toks[name_end - 1].text;
-          if (trailing) {
-            s.ret = std::move(trailing_ret);
-          } else {
-            for (std::size_t j = a; j < name_begin; ++j) s.ret.push_back(toks[j].text);
-          }
-          return s;
-        }
-      }
-    }
-  }
-
-  for (std::size_t j = a; j < b; ++j) {
-    if (kTypeKeywords.count(toks[j].text)) {
-      s.kind = Scope::kType;
-      return s;
-    }
-  }
-  return s;  // plain block / initializer braces — transparent
-}
-
-std::string join(const std::vector<std::string>& v) {
-  std::string out;
-  for (const auto& t : v) {
-    if (!out.empty() && ident_start(t[0]) && ident_start(out.back())) out += ' ';
-    out += t;
-  }
-  return out;
-}
-
-}  // namespace
-
-const std::vector<RuleInfo>& rules() { return kRules; }
-
-const RuleInfo* find_rule(const std::string& id) {
-  for (const auto& r : kRules)
-    if (r.id == id) return &r;
-  return nullptr;
-}
 
 void Linter::add_source(std::string path, std::string text) {
-  sources_.push_back({std::move(path), std::move(text)});
+  lexed_.push_back(lex(std::move(path), text));
 }
 
 std::vector<Diagnostic> Linter::run() {
-  struct Prepared {
-    std::string path;
-    Suppressions sup;
-    std::vector<Include> includes;
-    std::vector<Token> toks;
-  };
-  std::vector<Prepared> prepared;
-  prepared.reserve(sources_.size());
+  Model model(lexed_);  // copy: run() stays callable more than once
+  std::vector<Diagnostic> all = run_rules(model);
 
-  // The discarded-Task audit is cross-file: signatures in headers, bare
-  // calls in .cpp files.  Collect every name declared as returning
-  // sim::Task<...>, and every name declared with some other return type —
-  // an overloaded/colliding name (Link::send returns void, Channel::send
-  // returns Task) is dropped from the audit rather than guessed at.
-  std::set<std::string> task_fns;
-  std::set<std::string> other_fns;
-  for (const auto& src : sources_) {
-    Prepared p;
-    p.path = src.path;
-    std::string no_comments = strip_comments(src.text, p.sup);
-    p.includes = extract_includes(no_comments);
-    p.toks = tokenize(strip_literals(no_comments));
-
-    const auto& t = p.toks;
-    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-      if (t[i].text == "Task" && t[i + 1].text == "<") {
-        std::size_t close = match_forward(t, i + 1, "<", ">");
-        if (close == i + 1) continue;
-        std::size_t j = close + 1;
-        while (j + 1 < t.size() && is_name_token(t[j]) && t[j + 1].text == "::") j += 2;
-        if (j + 1 < t.size() && is_name_token(t[j]) && t[j + 1].text == "(")
-          task_fns.insert(t[j].text);
-        continue;
-      }
-      // Declaration-shaped: a return-type token (identifier, `>`, `*`, `&`)
-      // directly before `name(` or `Qual::name(`.  Call sites are preceded
-      // by operators, `.`, `->`, or statement boundaries instead.
-      if (!is_name_token(t[i]) || t[i + 1].text != "(") continue;
-      std::size_t j = i;
-      while (j > 1 && t[j - 1].text == "::" && is_name_token(t[j - 2])) j -= 2;
-      if (j == 0) continue;
-      const std::string& before = t[j - 1].text;
-      static const std::set<std::string> kNotATypeEnd = {
-          "return", "co_return", "co_await", "co_yield", "new", "throw",
-          "else", "case", "operator", "goto", "sizeof", "if", "while",
-          "for", "switch", "do"};
-      if ((is_name_token(t[j - 1]) && !kNotATypeEnd.count(before)) ||
-          before == ">" || before == "*" || before == "&") {
-        bool has_task = false;
-        for (std::size_t k = j; k-- > 0;) {
-          const std::string& tk = t[k].text;
-          if (tk == ";" || tk == "{" || tk == "}" || tk == "(" || tk == "," ||
-              tk == "=")
-            break;
-          if (tk == "Task") { has_task = true; break; }
-        }
-        if (!has_task) other_fns.insert(t[i].text);
-      }
-    }
-    prepared.push_back(std::move(p));
-  }
-  for (const auto& name : other_fns) task_fns.erase(name);
-
+  // Suppression filtering: every rule pass emits unconditionally; the
+  // directives harvested by the lexer decide what survives.
   std::vector<Diagnostic> diags;
-  auto emit = [&](const Prepared& p, int line, const char* rule, const char* check,
-                  std::string message) {
-    if (p.sup.allows(rule, line)) return;
-    diags.push_back({p.path, line, rule, check, std::move(message)});
-  };
-
-  for (const auto& p : prepared) {
-    const auto& t = p.toks;
-
-    // --- R1 / R3: banned identifiers ------------------------------------
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (!is_name_token(t[i])) continue;
-      const std::string& id = t[i].text;
-      for (const auto& b : kBannedIdents) {
-        bool hit = false;
-        switch (b.match) {
-          case Match::kAnywhere:
-            hit = id == b.ident;
-            break;
-          case Match::kCall:
-            hit = id == b.ident && i + 1 < t.size() && t[i + 1].text == "(" &&
-                  (i == 0 || (t[i - 1].text != "." && t[i - 1].text != "->"));
-            break;
-          case Match::kStdQualified:
-            hit = id == b.ident && i >= 2 && t[i - 1].text == "::" &&
-                  t[i - 2].text == "std";
-            break;
-          case Match::kGlobalQualified:
-            hit = id == b.ident && i >= 1 && t[i - 1].text == "::" &&
-                  (i == 1 || !is_name_token(t[i - 2]));
-            break;
-          case Match::kPrefix:
-            hit = id.rfind(b.ident, 0) == 0;
-            break;
-        }
-        if (hit) {
-          std::string shown = b.match == Match::kStdQualified
-                                  ? "std::" + id
-                                  : (b.match == Match::kGlobalQualified ? "::" + id : id);
-          emit(p, t[i].line, b.rule, "banned-token",
-               "banned identifier '" + shown + "': " + b.hint);
-          break;
-        }
-      }
-    }
-
-    // --- R1 / R3: banned headers; R4: layering ---------------------------
-    const std::string file_comp = top_component(p.path);
-    const int file_layer = layer_of(file_comp);
-    for (const auto& inc : p.includes) {
-      if (inc.angled) {
-        for (const auto& b : kBannedHeaders) {
-          if (inc.path == b.header) {
-            emit(p, inc.line, b.rule, "banned-header",
-                 "banned header <" + inc.path + ">: " + b.hint);
-            break;
-          }
-        }
-        continue;
-      }
-      if (file_layer < 0) continue;
-      std::string inc_comp = top_component(inc.path);
-      if (inc_comp.empty()) continue;  // same-directory relative include
-      int inc_layer = layer_of(inc_comp);
-      if (inc_layer < 0) continue;
-      if (inc_layer > file_layer) {
-        emit(p, inc.line, "R4", "layer-inversion",
-             file_comp + "/ may not include " + inc_comp + "/ (layering: sim < hw < vorx < {apps, tools}): \"" +
-                 inc.path + "\"");
-      } else if (inc_layer == 3 && file_layer == 3 && inc_comp != file_comp) {
-        emit(p, inc.line, "R4", "peer-include",
-             file_comp + "/ and " + inc_comp +
-                 "/ are peer leaf layers and may not include each other: \"" + inc.path + "\"");
-      }
-    }
-
-    // --- R5: hot-path payload allocation (hw/ and vorx/ only) -----------
-    if (file_layer == 1 || file_layer == 2) {
-      for (std::size_t i = 0; i < t.size(); ++i) {
-        if (!is_name_token(t[i])) continue;
-        const std::string& id = t[i].text;
-        if (id == "make_payload" && i + 1 < t.size() &&
-            t[i + 1].text == "(") {
-          emit(p, t[i].line, "R5", "raw-payload-alloc",
-               "make_payload allocates a fresh control block + buffer per "
-               "frame; build steady-state payloads through hw::FramePool "
-               "(frame_pool().make / make_copy)");
-        } else if (id == "make_shared" && i + 1 < t.size() &&
-                   t[i + 1].text == "<") {
-          // Flag only the byte-vector payload spelling: scan the template
-          // argument list for both `vector` and `byte`.
-          bool saw_vector = false;
-          bool saw_byte = false;
-          int depth = 0;
-          for (std::size_t j = i + 1; j < t.size(); ++j) {
-            const std::string& tk = t[j].text;
-            if (tk == "<") {
-              ++depth;
-            } else if (tk == ">") {
-              if (--depth == 0) break;
-            } else if (tk == "vector") {
-              saw_vector = true;
-            } else if (tk == "byte") {
-              saw_byte = true;
-            } else if (tk == ";" || tk == "{" || tk == ")") {
-              break;  // comparison chain, not a template argument list
-            }
-          }
-          if (saw_vector && saw_byte) {
-            emit(p, t[i].line, "R5", "raw-payload-alloc",
-                 "make_shared<...vector<byte>...> is a raw payload "
-                 "allocation on the frame hot path; use "
-                 "hw::FramePool::make instead");
-          }
-        }
-      }
-    }
-
-    // --- R2: coroutine scope analysis ------------------------------------
-    std::vector<Scope> stack;
-    std::size_t seg_start = 0;
-    int paren_depth = 0;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      const std::string& tok = t[i].text;
-      if (tok == "(") {
-        ++paren_depth;
-      } else if (tok == ")") {
-        if (paren_depth > 0) --paren_depth;
-      } else if (tok == ";" && paren_depth == 0) {
-        seg_start = i + 1;
-      } else if (tok == "{") {
-        Scope s = classify_segment(t, seg_start, i);
-        s.saved_paren_depth = paren_depth;
-        stack.push_back(std::move(s));
-        seg_start = i + 1;
-        paren_depth = 0;
-      } else if (tok == "}") {
-        if (!stack.empty()) {
-          paren_depth = stack.back().saved_paren_depth;
-          stack.pop_back();
-        }
-        seg_start = i + 1;
-      } else if (tok == "co_await" || tok == "co_return" || tok == "co_yield") {
-        if (i > 0 && t[i - 1].text == "operator") continue;  // operator co_await
-        for (std::size_t d = stack.size(); d-- > 0;) {
-          Scope& s = stack[d];
-          if (s.kind == Scope::kTransparent) continue;
-          if (s.kind == Scope::kType) break;  // co_* outside a function body
-          if (s.reported) break;
-          if (s.kind == Scope::kLambda) {
-            if (s.capturing) {
-              s.reported = true;
-              emit(p, s.header_line, "R2", "lambda-capture",
-                   "capturing-lambda coroutine: the closure frame can die "
-                   "before the coroutine resumes (lifetime UB); hoist it into "
-                   "a named function taking the state as parameters");
-            } else if (!s.has_trailing_return || !contains_task_or_proc(s.ret)) {
-              s.reported = true;
-              emit(p, s.header_line, "R2", "coroutine-return-type",
-                   "lambda coroutine must declare a trailing return type of "
-                   "sim::Task<...> or sim::Proc");
-            }
-          } else if (!contains_task_or_proc(s.ret)) {
-            s.reported = true;
-            std::string ret = join(s.ret);
-            emit(p, s.header_line, "R2", "coroutine-return-type",
-                 "'" + s.name + "' contains " + tok + " but returns '" +
-                     (ret.empty() ? "<none>" : ret) +
-                     "'; coroutines must return sim::Task<...> or sim::Proc");
-          }
-          break;
-        }
-      }
-    }
-
-    // --- R2: discarded Task values ---------------------------------------
-    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-      if (!is_name_token(t[i]) || !task_fns.count(t[i].text)) continue;
-      if (t[i + 1].text != "(") continue;
-      std::size_t close = match_forward(t, i + 1, "(", ")");
-      if (close == i + 1 || close + 1 >= t.size()) continue;
-      if (t[close + 1].text != ";") continue;
-      // Walk the call chain backward; a statement boundary right before the
-      // chain means the Task is created and immediately destroyed, unrun.
-      std::size_t j = i;
-      bool discarded = false;
-      while (j > 0) {
-        const std::string& prev = t[j - 1].text;
-        if (prev == "." || prev == "->" || prev == "::") {
-          if (j < 2) break;
-          const std::string& before = t[j - 2].text;
-          if (before == ")") {
-            std::size_t open = match_backward(t, j - 2, "(", ")");
-            if (open == j - 2) break;
-            j = open;
-            if (j > 0 && is_name_token(t[j - 1])) --j;
-            continue;
-          }
-          if (is_name_token(t[j - 2])) {
-            j -= 2;
-            continue;
-          }
-          break;
-        }
-        if (prev == ";" || prev == "{" || prev == "}") discarded = true;
+  diags.reserve(all.size());
+  for (auto& d : all) {
+    const Suppressions* sup = nullptr;
+    for (const LexedSource& src : model.sources()) {
+      if (src.path == d.file) {
+        sup = &src.sup;
         break;
       }
-      if (j == 0) discarded = true;
-      if (discarded) {
-        emit(p, t[i].line, "R2", "discarded-task",
-             "result of Task-returning '" + t[i].text +
-                 "(...)' is discarded; an unawaited sim::Task never runs — "
-                 "co_await it (or bind it and await later)");
-      }
     }
+    if (sup && sup->allows(d.rule, d.line)) continue;
+    diags.push_back(std::move(d));
   }
 
-  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    if (a.rule != b.rule) return a.rule < b.rule;
-    return a.message < b.message;
-  });
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
   return diags;
 }
 

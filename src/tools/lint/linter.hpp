@@ -1,80 +1,69 @@
 // vorx-lint: project-specific static analysis for the HPC/VORX tree.
 //
 // The simulator's core guarantee is that every run is bit-identical and
-// deterministic (DESIGN.md).  The compiler cannot enforce that guarantee,
-// so this linter does, with four table-driven rule families applied by
-// token/line-level analysis (no libclang dependency):
+// deterministic (DESIGN.md), and the roadmap's sharded parallel engine adds
+// a second demand: no hidden process-wide state.  The compiler cannot
+// enforce either, so this linter does.  It is built in three layers
+// (DESIGN.md §11):
 //
-//   R1  determinism    — no wall-clock, rand()/srand(), std::random_device,
-//                        getenv, or other ambient-nondeterminism sources.
-//   R2  coroutines     — functions containing co_await/co_return must return
-//                        sim::Task<...> or sim::Proc; no capturing-lambda
-//                        coroutines (frame-lifetime UB); Task values must not
-//                        be discarded.
-//   R3  no concurrency — no std::thread/mutex/condition_variable, no
-//                        sleep/usleep: all waiting goes through
-//                        co_await delay(...).
-//   R4  layering       — the #include graph must respect
-//                        sim ⊂ hw ⊂ vorx ⊂ {apps, tools}, and apps/tools
-//                        must not include each other.
+//   lexer  (lexer.hpp)  — one pass from raw text to a token stream with
+//                         file:line provenance; comments, string/char and
+//                         raw-string literals, line splices, and
+//                         preprocessor directives are all resolved here.
+//   model  (model.hpp)  — cross-file facts: the resolved include graph,
+//                         layer assignment, the Task-returning-function
+//                         registry.
+//   rules  (rules.hpp)  — the R1..R8 rule families over tokens + model:
+//
+//   R1  determinism          — no wall-clock, rand()/srand(),
+//                              std::random_device, getenv, ...
+//   R2  coroutine-safety     — co_* only in Task/Proc functions; no
+//                              capturing-lambda coroutines; no discarded
+//                              Tasks.
+//   R3  no-real-concurrency  — no std::thread/mutex/condition_variable,
+//                              no blocking sleeps.
+//   R4  layering             — include graph respects
+//                              sim < hw < vorx < {apps, tools}; no peer
+//                              includes, no include cycles.
+//   R5  hot-path-allocation  — frame payloads in hw/vorx come from
+//                              hw::FramePool.
+//   R6  shared-mutable-state — no namespace-scope / static / thread_local
+//                              mutable variables in sim/hw/vorx.
+//   R7  ordering-hazards     — no pointer-keyed containers, no event/
+//                              counter emission from unordered iteration,
+//                              no addresses as values.
+//   R8  coroutine-lifetime   — no stored non-owning handles, no
+//                              by-reference lambdas escaping into
+//                              schedulers.
 //
 // Suppressions (a reason is expected after the directive):
 //   // vorx-lint: allow(R1) <reason>        — this line and the next line
 //   // vorx-lint-file: allow(R1,R3) <reason> — the whole file
-//
-// Comments and string/character literals are stripped before token rules
-// run, so prose mentioning rand() or std::thread never trips the linter.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "tools/lint/rules.hpp"
+
 namespace hpcvorx::lint {
 
-/// One finding.  `rule` is "R1".."R4"; `check` names the specific pattern
-/// that fired (e.g. "banned-token", "discarded-task") for machine filtering.
-struct Diagnostic {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string check;
-  std::string message;
-};
-
-/// Static description of a rule family, used by `vorx-lint --explain` and
-/// `--list-rules`.
-struct RuleInfo {
-  std::string id;
-  std::string title;
-  std::string rationale;
-  std::string fix;
-};
-
-/// The four rule families, in order.
-const std::vector<RuleInfo>& rules();
-
-/// Look up a rule family by id ("R1".."R4"); nullptr if unknown.
-const RuleInfo* find_rule(const std::string& id);
-
 /// Accumulates sources, then lints them all in one `run()`.  Cross-file
-/// analysis (the discarded-Task audit needs every Task-returning signature
-/// in the program) is why this is not a per-file free function.
+/// analysis (include cycles, the discarded-Task audit) is why this is not a
+/// per-file free function.
 class Linter {
  public:
   /// Add an in-memory source.  `path` is the repo-relative path ("src/"
   /// prefix optional) used for diagnostics and for layer assignment.
   void add_source(std::string path, std::string text);
 
-  /// Runs every rule over every added source.  Diagnostics are sorted by
-  /// (file, line, rule) so output is deterministic.
+  /// Runs every rule over every added source, drops findings covered by
+  /// suppression directives, and sorts by (file, line, rule, message) so
+  /// output is deterministic.
   std::vector<Diagnostic> run();
 
  private:
-  struct Source {
-    std::string path;
-    std::string text;
-  };
-  std::vector<Source> sources_;
+  std::vector<LexedSource> lexed_;
 };
 
 }  // namespace hpcvorx::lint

@@ -1,0 +1,153 @@
+#include "tools/lint/model.hpp"
+
+#include <map>
+#include <utility>
+
+namespace hpcvorx::lint {
+
+namespace {
+
+// Normalizes a path for include-graph matching: the project convention is
+// that quoted includes are repo-src-relative ("hw/link.hpp"), while source
+// paths may carry the "src/" prefix.
+std::string normalize(const std::string& path) {
+  return path.rfind("src/", 0) == 0 ? path.substr(4) : path;
+}
+
+}  // namespace
+
+Model::Model(std::vector<LexedSource> sources) : sources_(std::move(sources)) {
+  build_includes();
+  build_graph();
+  build_task_registry();
+}
+
+void Model::build_includes() {
+  includes_.resize(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    for (const Token& t : sources_[i].tokens) {
+      if (t.kind == Token::Kind::kHeader)
+        includes_[i].push_back({t.text, t.angled, t.line});
+    }
+  }
+}
+
+void Model::build_graph() {
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < sources_.size(); ++i)
+    index.emplace(normalize(sources_[i].path), i);
+  edges_.resize(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    for (const Include& inc : includes_[i]) {
+      if (inc.angled) continue;
+      auto it = index.find(normalize(inc.path));
+      if (it != index.end()) edges_[i].push_back(it->second);
+    }
+  }
+}
+
+bool Model::path_exists(std::size_t from, std::size_t to) const {
+  std::vector<bool> seen(sources_.size(), false);
+  std::vector<std::size_t> stack(edges_[from].begin(), edges_[from].end());
+  while (!stack.empty()) {
+    const std::size_t at = stack.back();
+    stack.pop_back();
+    if (at == to) return true;
+    if (seen[at]) continue;
+    seen[at] = true;
+    for (std::size_t next : edges_[at]) stack.push_back(next);
+  }
+  return false;
+}
+
+std::string Model::top_component(const std::string& path) {
+  const std::string p = normalize(path);
+  const std::size_t slash = p.find('/');
+  return slash == std::string::npos ? std::string{} : p.substr(0, slash);
+}
+
+int Model::layer_of(const std::string& component) {
+  if (component == "sim") return 0;
+  if (component == "hw") return 1;
+  if (component == "vorx") return 2;
+  if (component == "apps" || component == "tools") return 3;
+  return -1;
+}
+
+std::size_t Model::match_forward(const std::vector<Token>& toks,
+                                 std::size_t open, const char* open_text,
+                                 const char* close_text) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].text == open_text) ++depth;
+    else if (toks[j].text == close_text) {
+      if (--depth == 0) return j;
+    }
+  }
+  return open;
+}
+
+std::size_t Model::match_backward(const std::vector<Token>& toks,
+                                  std::size_t close, const char* open_text,
+                                  const char* close_text) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > 0;) {
+    if (toks[j].text == close_text) ++depth;
+    else if (toks[j].text == open_text) {
+      if (--depth == 0) return j;
+    }
+  }
+  return close;
+}
+
+// Collects every name declared as returning sim::Task<...> and every name
+// declared with some other return type; the latter knock the former out of
+// the audit (overload ambiguity).
+void Model::build_task_registry() {
+  std::set<std::string> other_fns;
+  for (const LexedSource& src : sources_) {
+    const auto& t = src.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].text == "Task" && t[i + 1].text == "<") {
+        std::size_t close = match_forward(t, i + 1, "<", ">");
+        if (close == i + 1) continue;
+        std::size_t j = close + 1;
+        while (j + 1 < t.size() && is_name(t[j]) && t[j + 1].text == "::")
+          j += 2;
+        if (j + 1 < t.size() && is_name(t[j]) && t[j + 1].text == "(")
+          task_fns_.insert(t[j].text);
+        continue;
+      }
+      // Declaration-shaped: a return-type token (identifier, `>`, `*`, `&`)
+      // directly before `name(` or `Qual::name(`.  Call sites are preceded
+      // by operators, `.`, `->`, or statement boundaries instead.
+      if (!is_name(t[i]) || t[i + 1].text != "(") continue;
+      std::size_t j = i;
+      while (j > 1 && t[j - 1].text == "::" && is_name(t[j - 2])) j -= 2;
+      if (j == 0) continue;
+      const std::string& before = t[j - 1].text;
+      static const std::set<std::string> kNotATypeEnd = {
+          "return", "co_return", "co_await", "co_yield", "new", "throw",
+          "else", "case", "operator", "goto", "sizeof", "if", "while",
+          "for", "switch", "do"};
+      if ((is_name(t[j - 1]) && !kNotATypeEnd.count(before)) ||
+          before == ">" || before == "*" || before == "&") {
+        bool has_task = false;
+        for (std::size_t k = j; k-- > 0;) {
+          const std::string& tk = t[k].text;
+          if (tk == ";" || tk == "{" || tk == "}" || tk == "(" || tk == "," ||
+              tk == "=")
+            break;
+          if (tk == "Task") {
+            has_task = true;
+            break;
+          }
+        }
+        if (!has_task) other_fns.insert(t[i].text);
+      }
+    }
+  }
+  for (const std::string& name : other_fns) task_fns_.erase(name);
+}
+
+}  // namespace hpcvorx::lint

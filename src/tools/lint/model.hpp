@@ -1,0 +1,89 @@
+// vorx-lint program model: everything the rules need that spans more than
+// one token or more than one file.
+//
+//   * the include graph — every #include of every source, with quoted
+//     includes resolved against the source set into real edges.  R4 walks
+//     the direct edges for layering and the transitive closure for cycle
+//     detection; future cross-file rules get the same graph for free;
+//   * layer assignment (sim < hw < vorx < {apps, tools}) from paths;
+//   * the cross-file Task-returning-function registry behind the
+//     discarded-Task audit: signatures live in headers, bare calls in .cpp
+//     files, and overloaded names (Link::send vs Channel::send) must be
+//     dropped from the audit rather than guessed at;
+//   * token-walk utilities (bracket matching) shared by the rule passes.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.hpp"
+
+namespace hpcvorx::lint {
+
+struct Include {
+  std::string path;
+  bool angled;
+  int line;
+};
+
+class Model {
+ public:
+  explicit Model(std::vector<LexedSource> sources);
+
+  [[nodiscard]] const std::vector<LexedSource>& sources() const {
+    return sources_;
+  }
+  [[nodiscard]] const std::vector<Include>& includes_of(std::size_t i) const {
+    return includes_[i];
+  }
+
+  /// Quoted-include edges of source i, as indices into sources() (only
+  /// includes that resolve to a file in the analyzed set appear).
+  [[nodiscard]] const std::vector<std::size_t>& edges_of(std::size_t i) const {
+    return edges_[i];
+  }
+  /// True if the include graph has a path from `from` to `to` (one or more
+  /// edges).  `path_exists(i, i)` asks whether i sits on an include cycle.
+  [[nodiscard]] bool path_exists(std::size_t from, std::size_t to) const;
+
+  // --- layering -----------------------------------------------------------
+  /// First path component after an optional "src/" prefix ("" if none).
+  [[nodiscard]] static std::string top_component(const std::string& path);
+  /// Layer indices: sim=0 < hw=1 < vorx=2 < {apps, tools}=3.  Unknown: -1.
+  [[nodiscard]] static int layer_of(const std::string& component);
+
+  // --- coroutine registry -------------------------------------------------
+  /// Name is declared somewhere as returning sim::Task<...> and nowhere
+  /// with a different return type.
+  [[nodiscard]] bool returns_task(const std::string& name) const {
+    return task_fns_.count(name) != 0;
+  }
+
+  // --- token utilities ----------------------------------------------------
+  [[nodiscard]] static bool is_name(const Token& t) {
+    return t.kind == Token::Kind::kIdent;
+  }
+  /// Index of the close bracket matching the open at `open` (forward) or
+  /// the open matching the close at `close` (backward).  Returns the input
+  /// index when unbalanced.
+  static std::size_t match_forward(const std::vector<Token>& toks,
+                                   std::size_t open, const char* open_text,
+                                   const char* close_text);
+  static std::size_t match_backward(const std::vector<Token>& toks,
+                                    std::size_t close, const char* open_text,
+                                    const char* close_text);
+
+ private:
+  void build_includes();
+  void build_graph();
+  void build_task_registry();
+
+  std::vector<LexedSource> sources_;
+  std::vector<std::vector<Include>> includes_;
+  std::vector<std::vector<std::size_t>> edges_;
+  std::set<std::string> task_fns_;
+};
+
+}  // namespace hpcvorx::lint

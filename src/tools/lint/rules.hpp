@@ -1,0 +1,42 @@
+// vorx-lint rule passes: R1–R8 evaluated over the lexed token streams and
+// the cross-file Model.  Rules only *find*; suppression filtering and
+// output ordering belong to the Linter driver (linter.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/model.hpp"
+
+namespace hpcvorx::lint {
+
+/// One finding.  `rule` is "R1".."R8"; `check` names the specific pattern
+/// that fired (e.g. "banned-token", "static-mutable") for machine filtering.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string check;
+  std::string message;
+};
+
+/// Static description of a rule family, used by `vorx-lint --explain` and
+/// `--list-rules`.
+struct RuleInfo {
+  std::string id;
+  std::string title;
+  std::string rationale;
+  std::string fix;
+};
+
+/// The rule families, in order.
+const std::vector<RuleInfo>& rules();
+
+/// Look up a rule family by id ("R1".."R8"); nullptr if unknown.
+const RuleInfo* find_rule(const std::string& id);
+
+/// Runs every rule over every source in the model.  Diagnostics come back
+/// unfiltered (suppressions are the caller's job) and unsorted.
+std::vector<Diagnostic> run_rules(const Model& model);
+
+}  // namespace hpcvorx::lint

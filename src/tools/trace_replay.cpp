@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
 #include "tools/oscilloscope.hpp"
 #include "tools/trace_export.hpp"
@@ -184,6 +186,49 @@ std::string TraceReplay::counter_summary() const {
     std::snprintf(line, sizeof line, "%-24s %-28s %8zu %14.3f %14.3f\n",
                   s.track.c_str(), s.counter.c_str(), s.samples, s.last,
                   s.max);
+    out += line;
+  }
+  return out;
+}
+
+std::string TraceReplay::counter_diff(const TraceReplay& a,
+                                      const TraceReplay& b,
+                                      const std::string& label_a,
+                                      const std::string& label_b) {
+  // Align by (track, counter); an ordered map keeps the merged rows sorted,
+  // so the diff is byte-stable no matter which trace supplied a series
+  // first.
+  std::map<std::pair<std::string, std::string>,
+           std::pair<const CounterSeries*, const CounterSeries*>>
+      rows;
+  for (const CounterSeries& s : a.counters_)
+    rows[{s.track, s.counter}].first = &s;
+  for (const CounterSeries& s : b.counters_)
+    rows[{s.track, s.counter}].second = &s;
+
+  char line[224];
+  std::snprintf(line, sizeof line, "%-24s %-28s %14s %14s  %14s %14s\n",
+                "track", "counter", (label_a + ":last").c_str(),
+                (label_a + ":max").c_str(), (label_b + ":last").c_str(),
+                (label_b + ":max").c_str());
+  std::string out = line;
+  for (const auto& [key, sides] : rows) {
+    const auto cell = [](const CounterSeries* s, double CounterSeries::*f) {
+      char buf[32];
+      if (s == nullptr) return std::string("             -");
+      std::snprintf(buf, sizeof buf, "%14.3f", s->*f);
+      return std::string(buf);
+    };
+    std::string marker;
+    if (sides.first == nullptr) marker = "  [" + label_b + " only]";
+    if (sides.second == nullptr) marker = "  [" + label_a + " only]";
+    std::snprintf(line, sizeof line, "%-24s %-28s %s %s  %s %s%s\n",
+                  key.first.c_str(), key.second.c_str(),
+                  cell(sides.first, &CounterSeries::last).c_str(),
+                  cell(sides.first, &CounterSeries::max).c_str(),
+                  cell(sides.second, &CounterSeries::last).c_str(),
+                  cell(sides.second, &CounterSeries::max).c_str(),
+                  marker.c_str());
     out += line;
   }
   return out;

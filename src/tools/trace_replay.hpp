@@ -64,6 +64,17 @@ class TraceReplay {
   /// One line per counter series: track, counter, sample count, last, max.
   [[nodiscard]] std::string counter_summary() const;
 
+  /// Side-by-side comparison of two replays' counter tracks, aligned by
+  /// (track, counter): one row per series present in either trace, with
+  /// `label_a`/`label_b` column pairs and a `-` cell where a series exists
+  /// on one side only (plus an `[<label> only]` marker).  This is how a
+  /// sw-multicast bench trace is compared against its hw-multicast twin
+  /// without rerunning either (`devtools_tour --replay-diff A B`).
+  [[nodiscard]] static std::string counter_diff(const TraceReplay& a,
+                                                const TraceReplay& b,
+                                                const std::string& label_a,
+                                                const std::string& label_b);
+
  private:
   bool ok_ = false;
   sim::SimTime counter_end_ = 0;  // latest "C" sample ts seen during parse

@@ -8,13 +8,6 @@
 
 namespace hpcvorx::vorx {
 
-namespace {
-std::uint64_t next_session() {
-  static std::uint64_t n = 1;
-  return n++;
-}
-}  // namespace
-
 LoaderService::LoaderService(Node& node) : node_(node) {
   node_.kernel().register_handler(
       msg::kLoadSegment, [this](hw::Frame f) { on_segment(std::move(f)); });
@@ -105,7 +98,8 @@ sim::Task<LaunchStats> launch_application(Subprocess& host_sp, System& sys,
                                           std::string app_name) {
   Node& host = host_sp.node();
   const CostModel& c = host.costs();
-  const std::uint64_t session = next_session();
+  const auto session =
+      static_cast<std::uint64_t>(host.simulator().allocate_id());
   constexpr std::uint32_t kChunk = 1024;
 
   LaunchStats st;

@@ -8,13 +8,6 @@ namespace hpcvorx::vorx {
 
 namespace {
 
-// Manager daemons get distinct CPU-owner identities so running one incurs
-// a real context switch, as the resource-manager process did on the host.
-std::int64_t next_manager_owner() {
-  static std::int64_t next = 1'000'000'000;
-  return ++next;
-}
-
 hw::Payload encode_name(hw::FramePool& pool, const std::string& name) {
   std::vector<std::byte> bytes = pool.buffer();
   bytes.resize(name.size());
@@ -43,7 +36,10 @@ OmService::OmService(Kernel& kernel, ChannelService& chans, Locator locate)
     : kernel_(kernel),
       chans_(chans),
       locate_(std::move(locate)),
-      mgr_owner_(next_manager_owner()) {
+      // Manager daemons get distinct CPU-owner identities so running one
+      // incurs a real context switch, as the resource-manager process did
+      // on the host.  Minted per-simulator (shard-ready, R6).
+      mgr_owner_(kernel.simulator().allocate_id()) {
   kernel_.register_handler(msg::kOmOpen,
                            [this](hw::Frame f) { on_request(std::move(f)); });
   kernel_.register_handler(msg::kOmRegisterServer,

@@ -9,13 +9,6 @@
 
 namespace hpcvorx::vorx {
 
-namespace {
-std::int64_t next_owner_id() {
-  static std::int64_t next = 0;
-  return ++next;
-}
-}  // namespace
-
 Subprocess::Subprocess(Process& proc, int index, int priority,
                        std::string name, sim::Duration switch_cost)
     : proc_(proc),
@@ -23,7 +16,9 @@ Subprocess::Subprocess(Process& proc, int index, int priority,
       priority_(priority),
       name_(std::move(name)),
       switch_cost_(switch_cost),
-      owner_id_(next_owner_id()) {}
+      // Owner ids are equality-compared only (context-switch detection);
+      // minting them per-simulator keeps shards independent (R6).
+      owner_id_(proc.node().simulator().allocate_id()) {}
 
 Node& Subprocess::node() { return proc_.node(); }
 

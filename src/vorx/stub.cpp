@@ -10,16 +10,6 @@ namespace hpcvorx::vorx {
 
 namespace {
 
-std::int64_t next_stub_owner() {
-  static std::int64_t next = 2'000'000'000;
-  return ++next;
-}
-
-std::uint64_t next_client_key() {
-  static std::uint64_t next = 1;
-  return next++;
-}
-
 // Syscall request header carried at the front of the frame payload.
 struct ReqHeader {
   std::uint32_t op;
@@ -54,7 +44,10 @@ std::string decode_body_string(const hw::Frame& f) {
 }  // namespace
 
 Stub::Stub(Node& host, std::uint64_t id, HostEnv& env)
-    : host_(host), id_(id), env_(env), owner_(next_stub_owner()) {
+    : host_(host), id_(id), env_(env),
+      // Stubs run with their own CPU-owner identity; ids come from the
+      // owning simulator so two shards never share a counter (R6).
+      owner_(host.simulator().allocate_id()) {
   host_.add_stub(this);
 }
 
@@ -155,7 +148,7 @@ sim::Proc Stub::serve() {
 SyscallClient::SyscallClient(Node& node, hw::StationId host,
                              std::uint64_t stub_id)
     : node_(node), host_(host), stub_id_(stub_id),
-      client_key_(next_client_key()) {
+      client_key_(static_cast<std::uint64_t>(node.simulator().allocate_id())) {
   node_.add_sys_client(client_key_, this);
 }
 

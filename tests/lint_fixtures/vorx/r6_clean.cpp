@@ -1,0 +1,23 @@
+// Clean twin of r6_shared_state.cpp: the same shapes with the shared state
+// made immutable or owned by an object a shard can instantiate privately.
+// Must produce zero diagnostics.
+#include <cstdint>
+#include <string>
+
+namespace hpcvorx::vorx {
+
+constexpr int kMaxFramesInFlight = 64;
+const std::string kDefaultName = "boot";
+
+// Per-owner id minting instead of a file-level static counter.
+class SessionSource {
+ public:
+  std::int64_t next() { return ++next_; }
+
+ private:
+  std::int64_t next_ = 0;
+};
+
+int square(int x) { return x * x; }
+
+}  // namespace hpcvorx::vorx

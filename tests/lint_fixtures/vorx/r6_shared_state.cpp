@@ -1,0 +1,22 @@
+// Seeded R6 violations: process-wide mutable state in a shard layer.
+// Exercised by lint_selftest (LintFixtures.R6FixtureViolates) and by the
+// WILL_FAIL ctest case that feeds this file to the vorx-lint binary.
+// The clean twin is r6_clean.cpp.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcvorx::vorx {
+
+int g_frames_in_flight = 0;                 // R6 global-mutable
+
+std::vector<std::string> g_recent_names{};  // R6 global-mutable (brace init)
+
+std::int64_t next_session_id() {
+  static std::int64_t next = 0;             // R6 static-mutable
+  return ++next;
+}
+
+thread_local int tls_depth = 0;             // R6 static-mutable (thread_local)
+
+}  // namespace hpcvorx::vorx

@@ -1,0 +1,36 @@
+// Clean twin of r7_ordering.cpp: stable integer keys, and a sorted snapshot
+// when an unordered container feeds an event sink.  Must produce zero
+// diagnostics.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hpcvorx::vorx {
+
+struct Event;
+Event make_tick(int id);
+
+struct Poster {
+  void post(Event e);
+};
+
+class McastBook {
+ public:
+  void flush(Poster& p) {
+    std::vector<std::pair<int, int>> rows(credits_.begin(), credits_.end());
+    std::sort(rows.begin(), rows.end());
+    for (auto& [id, credit] : rows) {
+      p.post(make_tick(id));
+      credit = 0;
+    }
+  }
+
+ private:
+  std::map<std::int64_t, int> owners_;
+  std::unordered_map<int, int> credits_;
+};
+
+}  // namespace hpcvorx::vorx

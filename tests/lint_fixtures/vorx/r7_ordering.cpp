@@ -1,0 +1,36 @@
+// Seeded R7 violations: container keys and iteration orders that depend on
+// allocation addresses, so replaying the same workload on another machine
+// (or shard layout) changes event order.  The clean twin is r7_clean.cpp.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace hpcvorx::vorx {
+
+struct Channel;
+struct Event;
+Event make_tick(int id);
+
+struct Poster {
+  void post(Event e);
+};
+
+class McastBook {
+ public:
+  void flush(Poster& p) {
+    for (auto& [id, credit] : credits_) {
+      p.post(make_tick(id));  // R7 unordered-iteration: bucket-order events
+      credit = 0;
+    }
+  }
+
+ private:
+  std::map<Channel*, int> owners_;  // R7 pointer-keyed-container
+  std::unordered_map<int, int> credits_;
+};
+
+std::uintptr_t channel_key(const Channel* c) {
+  return reinterpret_cast<std::uintptr_t>(c);  // R7 address-as-value
+}
+
+}  // namespace hpcvorx::vorx

@@ -1,4 +1,4 @@
-// Self-test for vorx-lint (src/tools/lint): each rule family R1–R4 is fed
+// Self-test for vorx-lint (src/tools/lint): each rule family R1–R8 is fed
 // known-bad snippets and must produce the expected diagnostic, known-good
 // snippets must stay silent, and the seeded fixture files under
 // tests/lint_fixtures/ must reproduce their violations.  The clean-corpus
@@ -292,6 +292,189 @@ TEST(LintR5, SuppressibleLikeEveryRule) {
 }
 
 // --------------------------------------------------------------------------
+// R6: shared mutable state (shard-readiness)
+// --------------------------------------------------------------------------
+
+TEST(LintR6, FlagsNamespaceScopeMutables) {
+  EXPECT_EQ(1, count_check(lint_one("int g_frames = 0;\n"), "R6",
+                           "global-mutable"));
+  // Brace initializers are definitions too.
+  EXPECT_EQ(1, count_check(lint_one("std::vector<int> g_cache{1, 2};\n"),
+                           "R6", "global-mutable"));
+  EXPECT_TRUE(lint_one("const int kMax = 4;\n").empty());
+  EXPECT_TRUE(lint_one("constexpr int kBits = 7;\n").empty());
+  // Function declarations and class members are not process-wide state.
+  EXPECT_TRUE(lint_one("int helper(int x);\n").empty());
+  EXPECT_TRUE(lint_one("struct S { int counter = 0; };\n").empty());
+}
+
+TEST(LintR6, FlagsStaticAndThreadLocal) {
+  EXPECT_EQ(1, count_check(lint_one("int f() { static int calls = 0; "
+                                    "return ++calls; }\n"),
+                           "R6", "static-mutable"));
+  EXPECT_EQ(1, count_check(lint_one("thread_local int tls_depth = 0;\n"),
+                           "R6", "static-mutable"));
+  EXPECT_TRUE(
+      lint_one("int f() { static const int k = 3; return k; }\n").empty());
+  EXPECT_TRUE(lint_one("static constexpr int kTable[] = {1, 2, 3};\n").empty());
+  // static member *functions* are not state.
+  EXPECT_TRUE(lint_one("struct S { static int size(); };\n").empty());
+}
+
+TEST(LintR6, OnlyShardLayersAreGated) {
+  // apps/tools/tests run one per process and may keep globals; sim/hw/vorx
+  // are the layers a sharded runtime will partition.
+  for (const char* path : {"apps/foo.cpp", "tools/foo.cpp", "scratch.cpp"}) {
+    EXPECT_TRUE(lint_one("int g_tuning = 1;\n", path).empty()) << path;
+  }
+  for (const char* path : {"sim/foo.cpp", "hw/foo.cpp", "vorx/foo.cpp"}) {
+    EXPECT_EQ(1, count_check(lint_one("int g_tuning = 1;\n", path), "R6",
+                             "global-mutable"))
+        << path;
+  }
+}
+
+// --------------------------------------------------------------------------
+// R7: ordering hazards
+// --------------------------------------------------------------------------
+
+TEST(LintR7, FlagsPointerKeyedContainers) {
+  EXPECT_EQ(1, count_check(lint_one("void f() { std::map<Node*, int> m; }\n"),
+                           "R7", "pointer-keyed-container"));
+  EXPECT_EQ(1, count_check(
+                   lint_one("struct T { std::unordered_set<Chan*> s_; };\n"),
+                   "R7", "pointer-keyed-container"));
+  // Pointer *values* and integer keys are fine.
+  EXPECT_TRUE(lint_one("void f() { std::map<int, Node*> m; }\n").empty());
+  // A comparison is not a template-argument list.
+  EXPECT_TRUE(lint_one("bool f(int map, int b) { return map < b; }\n").empty());
+}
+
+TEST(LintR7, FlagsUnorderedIterationFeedingSinks) {
+  const std::string decl =
+      "// vorx-lint: allow(R6) R7 test scaffolding\n"
+      "std::unordered_map<int, int> pending;\n";
+  EXPECT_EQ(1, count_check(lint_one(decl +
+                                    "void f(Q& q) { for (auto& [k, v] : "
+                                    "pending) { q.post(tick(k)); } }\n"),
+                           "R7", "unordered-iteration"));
+  // Pure accumulation over the same container stays silent: no event or
+  // counter leaves in bucket order.
+  EXPECT_EQ(0, count_check(lint_one(decl +
+                                    "int f() { int s = 0; for (auto& [k, v] "
+                                    ": pending) { s += v; } return s; }\n"),
+                           "R7", "unordered-iteration"));
+}
+
+TEST(LintR7, FlagsAddressAsValue) {
+  EXPECT_EQ(1, count_check(lint_one("void f(void* p) { auto k = "
+                                    "reinterpret_cast<std::uintptr_t>(p); }\n"),
+                           "R7", "address-as-value"));
+  EXPECT_TRUE(lint_one("void f() { std::int64_t id = 7; (void)id; }\n").empty());
+}
+
+// --------------------------------------------------------------------------
+// R8: coroutine lifetime
+// --------------------------------------------------------------------------
+
+TEST(LintR8, FlagsStoredHandlesAndTasks) {
+  EXPECT_EQ(1, count_check(
+                   lint_one("struct Reg { std::vector<std::coroutine_handle<>>"
+                            " pending_; };\n"),
+                   "R8", "stored-handle"));
+  EXPECT_EQ(1, count_check(
+                   lint_one("struct Q { std::deque<sim::Task<void>> "
+                            "backlog_; };\n"),
+                   "R8", "stored-handle"));
+  // A bare coroutine_handle member is a dangling view in waiting.
+  EXPECT_EQ(1,
+            count_check(lint_one("struct W { std::coroutine_handle<> h_; };\n"),
+                        "R8", "stored-handle"));
+  // A handle passed through a parameter list is not storage.
+  EXPECT_TRUE(
+      lint_one("void resume_later(std::coroutine_handle<> h);\n").empty());
+}
+
+TEST(LintR8, AwaiterMachineryIsExempt) {
+  EXPECT_TRUE(
+      lint_one("struct Gate {\n"
+               "  bool await_ready() const;\n"
+               "  void await_suspend(std::coroutine_handle<> h);\n"
+               "  void await_resume();\n"
+               "  std::vector<std::coroutine_handle<>> waiters;\n"
+               "};\n")
+          .empty());
+  // ...including awaiters nested inside a bigger type.
+  EXPECT_TRUE(
+      lint_one("struct Event {\n"
+               "  struct Awaiter {\n"
+               "    bool await_ready() const;\n"
+               "    void await_suspend(std::coroutine_handle<> h);\n"
+               "    void await_resume();\n"
+               "    std::deque<std::coroutine_handle<>> q;\n"
+               "  };\n"
+               "};\n")
+          .empty());
+}
+
+TEST(LintR8, FlagsRefCaptureIntoSchedulingSinks) {
+  EXPECT_EQ(1, count_check(lint_one("void f(S& s) { int n = 0; "
+                                    "s.post_after(5, [&n] { ++n; }); }\n"),
+                           "R8", "ref-capture-escape"));
+  EXPECT_EQ(1, count_check(lint_one("void f(K& k) { int n = 0; "
+                                    "k.register_handler([&] { use(n); }); }\n"),
+                           "R8", "ref-capture-escape"));
+  // Value captures and [this] self-registration are the safe idioms.
+  EXPECT_TRUE(lint_one("void f(S& s) { int n = 0; "
+                       "s.post_after(5, [n] { use(n); }); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_one("struct T { void go() { "
+                       "k_.register_handler([this] { tick(); }); } };\n")
+                  .empty());
+  // A by-ref lambda consumed locally never escapes.
+  EXPECT_TRUE(
+      lint_one("void f() { int n = 0; auto g = [&n] { ++n; }; g(); }\n")
+          .empty());
+}
+
+// --------------------------------------------------------------------------
+// Lexer edge cases: the token stream the rules see
+// --------------------------------------------------------------------------
+
+TEST(LintLexer, RawStringsAreOpaque) {
+  EXPECT_TRUE(
+      lint_one("const char* s = R\"(rand() std::thread srand)\";\n").empty());
+  // Custom delimiters, including an embedded `)\"` that must not close it.
+  EXPECT_TRUE(
+      lint_one("const char* s = R\"ev(std::mutex m; )\" )ev\";\n").empty());
+  // Lexing resumes correctly after the raw string ends.
+  EXPECT_EQ(1, count_check(lint_one("const char* s = R\"(rand)\";\n"
+                                    "int f() { return rand(); }\n"),
+                           "R1", "banned-token"));
+}
+
+TEST(LintLexer, LineSplicesJoinLogicalLines) {
+  // A line-spliced // comment swallows the next physical line...
+  EXPECT_TRUE(lint_one("// spliced comment \\\nint bad = rand();\n").empty());
+  // ...but only that one line.
+  EXPECT_EQ(1, count_check(lint_one("// spliced comment \\\nrand();\n"
+                                    "int f() { return rand(); }\n"),
+                           "R1", "banned-token"));
+  // A splice in the middle of an identifier joins it back together.
+  EXPECT_EQ(1, count_check(lint_one("int f() { return ra\\\nnd(); }\n"), "R1",
+                           "banned-token"));
+}
+
+TEST(LintLexer, StringsAndCommentsHideHeaders) {
+  EXPECT_TRUE(lint_one("const char* s = \"#include <thread>\";\n").empty());
+  EXPECT_TRUE(lint_one("// #include <thread>\n").empty());
+  // A real include after a commented-out one is still seen.
+  EXPECT_EQ(1, count_check(lint_one("// #include <thread>\n"
+                                    "#include <thread>\n"),
+                           "R3", "banned-header"));
+}
+
+// --------------------------------------------------------------------------
 // Suppressions
 // --------------------------------------------------------------------------
 
@@ -313,9 +496,21 @@ TEST(LintSuppress, LineDirectiveCoversItsLineAndTheNext) {
 }
 
 TEST(LintSuppress, FileDirectiveCoversWholeFile) {
-  EXPECT_TRUE(lint_one("// vorx-lint-file: allow(R1,R3) calibration shim\n"
+  // `std::mutex g_lock;` trips both R3 (banned token) and R6 (namespace-scope
+  // mutable), so the file directive has to name both.
+  EXPECT_TRUE(lint_one("// vorx-lint-file: allow(R1,R3,R6) calibration shim\n"
                        "int f() { return rand(); }\n"
                        "std::mutex g_lock;\n")
+                  .empty());
+}
+
+TEST(LintSuppress, NewRulesAreSuppressible) {
+  EXPECT_TRUE(lint_one("// vorx-lint: allow(R6) calibration knob\n"
+                       "int g_tuning = 1;\n")
+                  .empty());
+  EXPECT_TRUE(lint_one("// vorx-lint-file: allow(R7) replay shim\n"
+                       "std::uintptr_t f(void* p) { "
+                       "return reinterpret_cast<std::uintptr_t>(p); }\n")
                   .empty());
 }
 
@@ -353,6 +548,38 @@ TEST(LintFixtures, R5FixtureViolates) {
   // Two seeded call sites plus the fixture's own helper definition (both
   // its signature and its make_shared body line count).
   EXPECT_EQ(count_check(d, "R5", "raw-payload-alloc"), 4);
+}
+
+TEST(LintFixtures, R6FixtureViolates) {
+  auto d = lint({{"vorx/r6_shared_state.cpp",
+                  read_fixture("vorx/r6_shared_state.cpp")}});
+  EXPECT_EQ(count_check(d, "R6", "global-mutable"), 2);
+  EXPECT_EQ(count_check(d, "R6", "static-mutable"), 2);
+}
+
+TEST(LintFixtures, R7FixtureViolates) {
+  auto d =
+      lint({{"vorx/r7_ordering.cpp", read_fixture("vorx/r7_ordering.cpp")}});
+  EXPECT_EQ(count_check(d, "R7", "pointer-keyed-container"), 1);
+  EXPECT_EQ(count_check(d, "R7", "unordered-iteration"), 1);
+  EXPECT_EQ(count_check(d, "R7", "address-as-value"), 2);
+}
+
+TEST(LintFixtures, R8FixtureViolates) {
+  auto d =
+      lint({{"vorx/r8_lifetime.cpp", read_fixture("vorx/r8_lifetime.cpp")}});
+  EXPECT_EQ(count_check(d, "R8", "stored-handle"), 2);
+  EXPECT_EQ(count_check(d, "R8", "ref-capture-escape"), 1);
+}
+
+TEST(LintFixtures, CleanTwinsPass) {
+  for (const char* name :
+       {"vorx/r6_clean.cpp", "vorx/r7_clean.cpp", "vorx/r8_clean.cpp"}) {
+    auto d = lint({{name, read_fixture(name)}});
+    EXPECT_TRUE(d.empty()) << name << ": " << d.size()
+                           << " unexpected diagnostics, first: "
+                           << (d.empty() ? "" : d[0].message);
+  }
 }
 
 TEST(LintFixtures, CleanFixturePasses) {

@@ -140,6 +140,61 @@ TEST(TraceReplay, CounterOnlyTraceReportsEndTime) {
   EXPECT_EQ(rep.counters()[0].max, 7.0);
 }
 
+TEST(TraceReplay, CounterDiffAlignsSeriesAcrossTraces) {
+  // Two traces of "the same" workload: one series in both (with different
+  // values), one series on each side only.
+  const std::string a =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1048576,\"tid\":0,"
+      "\"args\":{\"name\":\"mcast.g7\"}},\n"
+      "{\"name\":\"delivery_us.m1\",\"ph\":\"C\",\"pid\":1048576,"
+      "\"ts\":2.000,\"args\":{\"delivery_us.m1\":40}},\n"
+      "{\"name\":\"sw_copies.m1\",\"ph\":\"C\",\"pid\":1048576,"
+      "\"ts\":1.000,\"args\":{\"sw_copies.m1\":11}}\n"
+      "]}";
+  const std::string b =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1048576,\"tid\":0,"
+      "\"args\":{\"name\":\"mcast.g7\"}},\n"
+      "{\"name\":\"delivery_us.m1\",\"ph\":\"C\",\"pid\":1048576,"
+      "\"ts\":2.000,\"args\":{\"delivery_us.m1\":9}},\n"
+      "{\"name\":\"mcast_copies.g7\",\"ph\":\"C\",\"pid\":1048576,"
+      "\"ts\":1.000,\"args\":{\"mcast_copies.g7\":3}}\n"
+      "]}";
+  const TraceReplay ra = TraceReplay::parse(a);
+  const TraceReplay rb = TraceReplay::parse(b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  const std::string diff = TraceReplay::counter_diff(ra, rb, "sw", "hw");
+  // Column headers carry the labels.
+  EXPECT_NE(diff.find("sw:last"), std::string::npos);
+  EXPECT_NE(diff.find("hw:max"), std::string::npos);
+  // The shared series shows both sides' values on one row.
+  const std::size_t shared = diff.find("delivery_us.m1");
+  ASSERT_NE(shared, std::string::npos);
+  const std::string shared_row =
+      diff.substr(shared, diff.find('\n', shared) - shared);
+  EXPECT_NE(shared_row.find("40.000"), std::string::npos);
+  EXPECT_NE(shared_row.find("9.000"), std::string::npos);
+  // One-sided series get a '-' cell and a side marker.
+  EXPECT_NE(diff.find("sw_copies.m1"), std::string::npos);
+  EXPECT_NE(diff.find("[sw only]"), std::string::npos);
+  EXPECT_NE(diff.find("mcast_copies.g7"), std::string::npos);
+  EXPECT_NE(diff.find("[hw only]"), std::string::npos);
+  EXPECT_NE(diff.find("             -"), std::string::npos);
+}
+
+TEST(TraceReplay, CounterDiffOfATraceWithItselfHasNoMarkers) {
+  const TraceReplay rep = TraceReplay::parse(shared_run().json);
+  ASSERT_TRUE(rep.ok());
+  const std::string diff = TraceReplay::counter_diff(rep, rep, "A", "B");
+  EXPECT_EQ(diff.find("only]"), std::string::npos);
+  // Every series appears exactly once: header + one row per series.
+  std::size_t lines = 0;
+  for (char c : diff) lines += (c == '\n') ? 1u : 0u;
+  EXPECT_EQ(lines, rep.counters().size() + 1);
+}
+
 TEST(TraceReplay, UnreadableInputIsNotOk) {
   EXPECT_FALSE(TraceReplay::load("/nonexistent/никогда.trace.json").ok());
   EXPECT_FALSE(TraceReplay::parse("").ok());
