@@ -1,0 +1,158 @@
+// Wall-clock scaling sweep of the sharded engine (sim/shard_runtime):
+// one fixed 32-station / 8-cluster machine and workload, executed at
+// --shards 1, 2, 4, and 8, reporting simulated events per wall-clock
+// second at each width plus the speedups over the 1-shard run.
+//
+// Like bench_engine_micro, this measures the reproduction's own engine —
+// not a paper number — so it reads a real clock (permitted outside src/).
+// The 1-shard row runs the same ShardRuntime entry point, which delegates
+// to the sequential engine, so the sweep's baseline IS the single-threaded
+// simulator.
+//
+// The workload is the shape sharding is built for (DESIGN.md §12): heavy
+// intra-cluster channel traffic (stays inside a shard) plus light
+// cross-cluster traffic over cube links whose latency is raised via
+// FabricParams::cluster_link — the wider lookahead window lets every
+// shard run thousands of events between barriers.  Speedup is bounded by
+// the host's core count: on a single-core runner the sweep degenerates to
+// measuring barrier overhead, which is itself worth tracking.
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/shard_runtime.hpp"
+#include "vorx/node.hpp"
+#include "vorx/system.hpp"
+
+using namespace hpcvorx;
+
+namespace {
+
+using vorx::Channel;
+using vorx::Subprocess;
+
+constexpr int kNodes = 32;          // 8 clusters of 4 -> up to 8 shards
+constexpr int kClusters = 8;
+
+// One intra-cluster ping-pong pair per two stations, plus one
+// cross-cluster pair per cluster (c -> c+1 ring).
+void spawn_workload(vorx::System& sys, int local_roundtrips,
+                    int cross_roundtrips) {
+  for (int p = 0; p < kNodes / 2; ++p) {
+    const int a = 2 * p, b = 2 * p + 1;  // same cluster by construction
+    const std::string name = "p" + std::to_string(p);
+    sys.node(a).spawn_process(
+        "ping" + std::to_string(p),
+        [name, local_roundtrips](Subprocess& sp) -> sim::Task<void> {
+          Channel* ch = co_await sp.open(name);
+          for (int i = 0; i < local_roundtrips; ++i) {
+            co_await sp.compute(sim::usec(2));
+            co_await sp.write(*ch, 256);
+            (void)co_await sp.read(*ch);
+          }
+        });
+    sys.node(b).spawn_process(
+        "pong" + std::to_string(p),
+        [name, local_roundtrips](Subprocess& sp) -> sim::Task<void> {
+          Channel* ch = co_await sp.open(name);
+          for (int i = 0; i < local_roundtrips; ++i) {
+            (void)co_await sp.read(*ch);
+            co_await sp.compute(sim::usec(1));
+            co_await sp.write(*ch, 256);
+          }
+        });
+  }
+  for (int c = 0; c < kClusters; ++c) {
+    const int a = 4 * c;                      // cluster c
+    const int b = 4 * ((c + 1) % kClusters);  // neighbouring cluster
+    const std::string name = "x" + std::to_string(c);
+    sys.node(a).spawn_process(
+        "xtx" + std::to_string(c),
+        [name, cross_roundtrips](Subprocess& sp) -> sim::Task<void> {
+          Channel* ch = co_await sp.open(name);
+          for (int i = 0; i < cross_roundtrips; ++i) {
+            co_await sp.compute(sim::usec(40));
+            co_await sp.write(*ch, 512);
+            (void)co_await sp.read(*ch);
+          }
+        });
+    sys.node(b).spawn_process(
+        "xrx" + std::to_string(c),
+        [name, cross_roundtrips](Subprocess& sp) -> sim::Task<void> {
+          Channel* ch = co_await sp.open(name);
+          for (int i = 0; i < cross_roundtrips; ++i) {
+            (void)co_await sp.read(*ch);
+            co_await sp.write(*ch, 512);
+          }
+        });
+  }
+}
+
+struct SweepPoint {
+  double events_per_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t rounds = 0;
+};
+
+SweepPoint run_at(int shards, int local_roundtrips, int cross_roundtrips) {
+  using clock = std::chrono::steady_clock;
+  vorx::SystemConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.hosts = 0;
+  cfg.stations_per_cluster = 4;
+  // Long cables between cabinets: the cube links' latency is the
+  // lookahead window, so raising it (cross-cluster traffic is latency
+  // tolerant here) buys thousands of intra-shard events per round.
+  cfg.fabric.cluster_link = cfg.fabric.link;
+  cfg.fabric.cluster_link->latency = sim::usec(50);
+
+  sim::ShardRuntime rt(shards);
+  vorx::System sys(rt, cfg);
+  spawn_workload(sys, local_roundtrips, cross_roundtrips);
+  const auto t0 = clock::now();
+  rt.run();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  SweepPoint pt;
+  pt.events = rt.total_events_executed();
+  pt.rounds = rt.rounds();
+  pt.events_per_s =
+      elapsed > 0 ? static_cast<double>(pt.events) / elapsed : 0.0;
+  return pt;
+}
+
+void run(bench::Reporter& r) {
+  bench::line("sharded-engine scaling sweep: 32 stations / 8 clusters,");
+  bench::line("identical workload at --shards 1/2/4/8 (higher is better).");
+  bench::line("speedup is bounded by the host's core count (%u here).",
+              std::thread::hardware_concurrency());
+
+  const int local = r.iters(2000, 100);
+  const int cross = r.iters(64, 8);
+
+  double base = 0;
+  for (const int shards : {1, 2, 4, 8}) {
+    const SweepPoint pt = run_at(shards, local, cross);
+    r.row("engine.shard_events_s_" + std::to_string(shards), "events/s",
+          pt.events_per_s);
+    if (shards == 1) {
+      base = pt.events_per_s;
+      bench::line("  (1-shard run: %llu events, no sync rounds)",
+                  static_cast<unsigned long long>(pt.events));
+    } else {
+      r.row("engine.shard_speedup_" + std::to_string(shards) + "x", "x",
+            base > 0 ? pt.events_per_s / base : 0.0);
+      bench::line("  (%d-shard run: %llu events over %llu sync rounds)",
+                  shards, static_cast<unsigned long long>(pt.events),
+                  static_cast<unsigned long long>(pt.rounds));
+    }
+  }
+}
+
+HPCVORX_BENCH("shard_scaling",
+              "Sharded-engine scaling sweep (--shards 1/2/4/8)",
+              "reproduction engine (no paper artifact)", run);
+
+}  // namespace

@@ -8,7 +8,12 @@
 // local-area multicomputer carries interactive traffic and batch work on
 // one interconnect.
 //
-//   ./build/examples/conference [seconds] [--trace DIR]
+//   ./build/examples/conference [seconds] [--shards N] [--trace DIR]
+//
+// --shards N runs the machine on the conservative-lookahead shard runtime
+// (DESIGN.md §12) with one worker thread per shard; the reported latencies
+// are identical at every N because sharding changes wall-clock execution,
+// never virtual time.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -107,18 +112,21 @@ sim::Task<void> conferee(Subprocess& sp, int me, int seconds,
 
 int main(int argc, char** argv) {
   int seconds = 2;
+  int shards = 0;  // 0 = the plain single-simulator engine
   std::string trace_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
     } else if (argv[i][0] != '-' && std::atoi(argv[i]) > 0) {
       seconds = std::atoi(argv[i]);
     } else {
-      std::fprintf(stderr, "usage: %s [seconds] [--trace DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [seconds] [--shards N] [--trace DIR]\n",
+                   argv[0]);
       return 2;
     }
   }
-  sim::Simulator sim;
   vorx::SystemConfig cfg;
   cfg.nodes = 8;
   cfg.hosts = 3;  // the conferees' workstations
@@ -127,11 +135,29 @@ int main(int argc, char** argv) {
   // the most interesting timeline the examples produce).
   cfg.record_intervals = !trace_dir.empty();
   cfg.record_counters = !trace_dir.empty();
-  vorx::System sys(sim, cfg);
+
+  // --shards N: run the machine on the conservative-lookahead shard
+  // runtime (DESIGN.md §12), one worker thread per shard.  The 11 stations
+  // span 3 clusters, so up to 3 shards; N=1 is the sequential engine byte
+  // for byte, and every N produces the same virtual-time results.
+  if (shards < 0 || shards > 3) {
+    std::fprintf(stderr, "conference: --shards must be 1..3 (3 clusters)\n");
+    return 2;
+  }
+  std::unique_ptr<sim::ShardRuntime> rt;
+  std::unique_ptr<sim::Simulator> seq_sim;
+  std::unique_ptr<vorx::System> sys;
+  if (shards > 0) {
+    rt = std::make_unique<sim::ShardRuntime>(shards);
+    sys = std::make_unique<vorx::System>(*rt, cfg);
+  } else {
+    seq_sim = std::make_unique<sim::Simulator>();
+    sys = std::make_unique<vorx::System>(*seq_sim, cfg);
+  }
 
   auto stats = std::make_shared<Stats>();
   for (int ws = 0; ws < 3; ++ws) {
-    sys.host(ws).spawn_process(
+    sys->host(ws).spawn_process(
         "conferee" + std::to_string(ws),
         [ws, seconds, stats](Subprocess& sp) -> sim::Task<void> {
           co_await conferee(sp, ws, seconds, stats);
@@ -139,7 +165,7 @@ int main(int argc, char** argv) {
   }
   // Background load: node pool runs a compute+exchange application.
   for (int n = 0; n < 8; ++n) {
-    sys.node(n).spawn_process(
+    sys->node(n).spawn_process(
         "batch" + std::to_string(n), [n, seconds](Subprocess& sp)
                                          -> sim::Task<void> {
           Channel* ch = co_await sp.open("batch" + std::to_string(n / 2));
@@ -154,7 +180,14 @@ int main(int argc, char** argv) {
         });
   }
 
-  sim.run();
+  if (rt) {
+    rt->run();
+    std::printf("ran on %d shards (%llu sync rounds, lookahead %s)\n",
+                shards, static_cast<unsigned long long>(rt->rounds()),
+                sim::format_duration(rt->lookahead()).c_str());
+  } else {
+    seq_sim->run();
+  }
 
   auto report = [](const char* what, std::vector<sim::Duration>& v) {
     if (v.empty()) {
@@ -175,7 +208,7 @@ int main(int argc, char** argv) {
 
   if (!trace_dir.empty()) {
     const std::string path = trace_dir + "/conference.trace.json";
-    if (!hpcvorx::tools::TraceExporter::from_system(sys).write_file(path)) {
+    if (!hpcvorx::tools::TraceExporter::from_system(*sys).write_file(path)) {
       std::fprintf(stderr, "conference: cannot write %s\n", path.c_str());
       return 1;
     }

@@ -40,6 +40,10 @@ DURATION_UNITS = {"ns", "us", "ms", "s", "sec", "seconds"}
 # Count rows whose direction the unit alone can't tell us, declared by
 # metric prefix: for all of these, a rise is the regression.
 LOWER_IS_BETTER_PREFIXES = ("engine.wheel_l1_", "frame_pool.occupancy_")
+# ...and the mirror image: dimensionless ratio rows where a rise is the
+# improvement.  The shard-scaling sweep's speedup rows (unit "x") are the
+# only members so far; its events/s rows are rate-inferred like any other.
+HIGHER_IS_BETTER_PREFIXES = ("engine.shard_speedup_",)
 DEFAULT_THRESHOLD = 10.0
 DEFAULT_PREFIXES = ["engine.", "frame_pool."]
 
@@ -68,6 +72,8 @@ def higher_is_better(key, unit):
         return False
     if key.startswith(LOWER_IS_BETTER_PREFIXES):
         return False
+    if key.startswith(HIGHER_IS_BETTER_PREFIXES):
+        return True
     return None
 
 
@@ -267,6 +273,37 @@ def self_test():
         "frame_pool.occupancy_max_free_after_policy",
     ]:
         fail(f"self-test: count-row regressions not caught: {regs}")
+
+    # Shard-speedup ratio rows (unit "x"): higher is better by name, so a
+    # drop beyond the threshold is the regression and a rise never is.
+    speedup_base = rows_of(
+        {
+            "engine.shard_speedup_4x": ("x", 2.0),
+            "engine.shard_events_s_4": ("events/s", 4_000_000.0),
+        }
+    )
+    speedup_bad = rows_of(
+        {
+            "engine.shard_speedup_4x": ("x", 1.5),  # -25%
+            "engine.shard_events_s_4": ("events/s", 4_000_000.0),
+        }
+    )
+    regs, compared, _ = compare(
+        speedup_base, speedup_bad, DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+    )
+    if [k for k, _ in regs] != ["engine.shard_speedup_4x"] or compared != 2:
+        fail(f"self-test: speedup drop not caught: {regs}, compared={compared}")
+    speedup_better = rows_of(
+        {
+            "engine.shard_speedup_4x": ("x", 3.0),
+            "engine.shard_events_s_4": ("events/s", 4_400_000.0),
+        }
+    )
+    regs, _, _ = compare(
+        speedup_base, speedup_better, DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+    )
+    if regs:
+        fail(f"self-test: speedup rise misread as regression: {regs}")
 
     print("compare_bench_json: self-test OK")
     return 0

@@ -3,7 +3,12 @@
 #include <cassert>
 #include <set>
 
+#include "hw/shard_link.hpp"
+#include "sim/shard_runtime.hpp"
+
 namespace hpcvorx::hw {
+
+Fabric::~Fabric() = default;
 
 void Endpoint::transmit(Frame f) {
   assert(tx_ready() && "Endpoint::transmit while not tx_ready");
@@ -16,34 +21,52 @@ void Endpoint::transmit(Frame f) {
   out_->send(std::move(f));
 }
 
-Link* Fabric::new_link(std::string name, int buffer_frames) {
-  Link::Params p = params_.link;
-  p.buffer_frames = buffer_frames;
-  links_.push_back(std::make_unique<Link>(sim_, std::move(name), p));
+Link* Fabric::new_link(sim::Simulator& sim, std::string name, Link::Params p) {
+  links_.push_back(std::make_unique<Link>(sim, std::move(name), p));
   return links_.back().get();
+}
+
+sim::Simulator& Fabric::cluster_sim(int c) {
+  return runtime_ == nullptr
+             ? sim_
+             : runtime_->shard(shard_of_cluster(c));
+}
+
+FramePool& Fabric::pool_for_shard(int shard) {
+  return shard == 0 ? pool_
+                    : *shard_pools_.at(static_cast<std::size_t>(shard) - 1);
 }
 
 void Fabric::add_station(int cluster_index, int local_port) {
   const StationId id = static_cast<StationId>(endpoints_.size());
+  // Everything a station touches — its links, its endpoint, its payload
+  // pool — lives on its cluster's shard simulator; station links are
+  // always intra-shard.
+  sim::Simulator& csim = cluster_sim(cluster_index);
   auto ep = std::make_unique<Endpoint>();
-  ep->sim_ = &sim_;
+  ep->sim_ = &csim;
   ep->id_ = id;
 
   Cluster& cl = *clusters_[cluster_index];
+  Link::Params up_p = params_.link;
   // Station -> cluster: the downstream buffer is the cluster's input fifo.
-  Link* up = new_link("s" + std::to_string(id) + ">c" +
+  Link* up = new_link(csim,
+                      "s" + std::to_string(id) + ">c" +
                           std::to_string(cluster_index),
-                      params_.link.buffer_frames);
+                      up_p);
   cl.attach_in(local_port, up);
   ep->out_ = up;
   // Cluster -> station: the downstream buffer is the endpoint's receive
   // section.
-  Link* down = new_link("c" + std::to_string(cluster_index) + ">s" +
+  Link::Params down_p = params_.link;
+  down_p.buffer_frames = params_.rx_buffer_frames;
+  Link* down = new_link(csim,
+                        "c" + std::to_string(cluster_index) + ">s" +
                             std::to_string(id),
-                        params_.rx_buffer_frames);
+                        down_p);
   cl.attach_out(local_port, down);
   ep->in_ = down;
-  ep->pool_ = &pool_;
+  ep->pool_ = &pool_for_shard(shard_of_cluster(cluster_index));
 
   endpoints_.push_back(std::move(ep));
   station_cluster_.push_back(cluster_index);
@@ -94,9 +117,11 @@ std::unique_ptr<Fabric> Fabric::single_cluster(sim::Simulator& sim,
   return f;
 }
 
-std::unique_ptr<Fabric> Fabric::hypercube(sim::Simulator& sim, int stations,
-                                          int stations_per_cluster,
-                                          Params params) {
+std::unique_ptr<Fabric> Fabric::hypercube_impl(sim::Simulator& sim0,
+                                               sim::ShardRuntime* rt,
+                                               int stations,
+                                               int stations_per_cluster,
+                                               Params params) {
   assert(stations >= 1 && stations_per_cluster >= 1);
   const int n_clusters =
       (stations + stations_per_cluster - 1) / stations_per_cluster;
@@ -104,26 +129,57 @@ std::unique_ptr<Fabric> Fabric::hypercube(sim::Simulator& sim, int stations,
   assert(dims + stations_per_cluster <= params.ports_per_cluster &&
          "cluster port budget exceeded: dims + stations/cluster > ports");
 
-  std::unique_ptr<Fabric> f(new Fabric(sim, params));
+  std::unique_ptr<Fabric> f(new Fabric(sim0, params));
   f->stations_per_cluster_ = stations_per_cluster;
+  if (rt != nullptr) {
+    const int n_shards = rt->num_shards();
+    assert(n_shards <= n_clusters &&
+           "more shards than clusters: nothing to partition");
+    f->runtime_ = rt;
+    // Partitioning rule (DESIGN.md §12): contiguous cluster blocks, one
+    // block per shard.  Purely positional, so the assignment depends only
+    // on the topology — never on run order.
+    f->cluster_shard_.reserve(static_cast<std::size_t>(n_clusters));
+    for (int c = 0; c < n_clusters; ++c) {
+      f->cluster_shard_.push_back(c * n_shards / n_clusters);
+    }
+    for (int i = 1; i < n_shards; ++i) {
+      f->shard_pools_.push_back(std::make_unique<FramePool>());
+    }
+  }
   for (int c = 0; c < n_clusters; ++c) {
     f->clusters_.push_back(std::make_unique<Cluster>(
-        sim, "c" + std::to_string(c), params.ports_per_cluster));
+        f->cluster_sim(c), "c" + std::to_string(c), params.ports_per_cluster));
   }
   // Inter-cluster links: port b of cluster c carries dimension b.  Each
-  // direction is an independent link (full-duplex port sections).
+  // direction is an independent link (full-duplex port sections).  A link
+  // between clusters on different shards is built as a TX/RX half pair
+  // bridged through the runtime (shard_link.hpp); same shard — including
+  // the whole unsharded fabric — gets the classic single link.
+  const Link::Params cube_p =
+      params.cluster_link ? *params.cluster_link : params.link;
+  auto cube_link = [&](int from, int to, int port) {
+    const std::string name =
+        "c" + std::to_string(from) + ">c" + std::to_string(to);
+    if (f->shard_of_cluster(from) == f->shard_of_cluster(to)) {
+      Link* l = f->new_link(f->cluster_sim(from), name, cube_p);
+      f->clusters_[from]->attach_out(port, l);
+      f->clusters_[to]->attach_in(port, l);
+      return;
+    }
+    Link* tx = f->new_link(f->cluster_sim(from), name + ".tx", cube_p);
+    Link* rx = f->new_link(f->cluster_sim(to), name + ".rx", cube_p);
+    f->clusters_[from]->attach_out(port, tx);
+    f->clusters_[to]->attach_in(port, rx);
+    f->bridges_.push_back(std::make_unique<ShardLinkBridge>(
+        *rt, f->shard_of_cluster(from), f->shard_of_cluster(to), *tx, *rx));
+  };
   for (int c = 0; c < n_clusters; ++c) {
     for (int b = 0; b < dims; ++b) {
       const int m = c ^ (1 << b);
       if (m >= n_clusters || m < c) continue;  // build each pair once
-      Link* cm = f->new_link("c" + std::to_string(c) + ">c" + std::to_string(m),
-                             params.link.buffer_frames);
-      f->clusters_[c]->attach_out(b, cm);
-      f->clusters_[m]->attach_in(b, cm);
-      Link* mc = f->new_link("c" + std::to_string(m) + ">c" + std::to_string(c),
-                             params.link.buffer_frames);
-      f->clusters_[m]->attach_out(b, mc);
-      f->clusters_[c]->attach_in(b, mc);
+      cube_link(c, m, b);
+      cube_link(m, c, b);
     }
   }
   for (int s = 0; s < stations; ++s) {
@@ -133,12 +189,30 @@ std::unique_ptr<Fabric> Fabric::hypercube(sim::Simulator& sim, int stations,
   return f;
 }
 
+std::unique_ptr<Fabric> Fabric::hypercube(sim::Simulator& sim, int stations,
+                                          int stations_per_cluster,
+                                          Params params) {
+  return hypercube_impl(sim, nullptr, stations, stations_per_cluster, params);
+}
+
 std::unique_ptr<Fabric> Fabric::make(sim::Simulator& sim, int stations,
                                      int stations_per_cluster, Params params) {
   if (stations <= params.ports_per_cluster) {
     return single_cluster(sim, stations, params);
   }
   return hypercube(sim, stations, stations_per_cluster, params);
+}
+
+std::unique_ptr<Fabric> Fabric::make_sharded(sim::ShardRuntime& rt,
+                                             int stations,
+                                             int stations_per_cluster,
+                                             Params params) {
+  if (rt.num_shards() == 1) {
+    // One shard is the single-threaded machine, construction order and all.
+    return make(rt.shard(0), stations, stations_per_cluster, params);
+  }
+  return hypercube_impl(rt.shard(0), &rt, stations, stations_per_cluster,
+                        params);
 }
 
 int Fabric::cluster_of(StationId s) const {

@@ -18,6 +18,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "hw/frame_pool.hpp"
 #include "hw/hypercube.hpp"
 #include "hw/link.hpp"
+#include "hw/shard_link.hpp"
+#include "sim/shard_runtime.hpp"
 
 namespace hpcvorx::hw {
 
@@ -81,6 +84,11 @@ struct FabricParams {
   Link::Params link;            // applies to every link in the fabric
   int ports_per_cluster = kClusterPorts;
   int rx_buffer_frames = 2;     // endpoint receive-section buffer
+  // Optional override for inter-cluster (cube) links only — longer cables
+  // between cabinets.  Sharded runs raise its latency to widen the
+  // lookahead window (DESIGN.md §12); unset means cube links use `link`,
+  // exactly as before.
+  std::optional<Link::Params> cluster_link;
 };
 
 class Fabric {
@@ -104,7 +112,32 @@ class Fabric {
                                       int stations_per_cluster = 4,
                                       Params params = Params());
 
+  /// Sharded hypercube: clusters are split into contiguous blocks, one
+  /// block per runtime shard, and every cube link whose endpoints land on
+  /// different shards is built as a TX/RX half pair bridged through the
+  /// runtime's exchanges (see shard_link.hpp).  With a 1-shard runtime
+  /// this is exactly make() — the same construction order, the same links,
+  /// byte-identical event sequences.
+  static std::unique_ptr<Fabric> make_sharded(sim::ShardRuntime& rt,
+                                              int stations,
+                                              int stations_per_cluster = 4,
+                                              Params params = Params());
+
+  ~Fabric();
+
   [[nodiscard]] Endpoint& endpoint(StationId s) { return *endpoints_.at(s); }
+
+  /// The simulator a station's cluster (and thus its node) lives on.
+  [[nodiscard]] sim::Simulator& station_sim(StationId s) {
+    return *endpoints_.at(static_cast<std::size_t>(s))->sim_;
+  }
+
+  /// Which runtime shard a cluster lives on (0 for unsharded fabrics).
+  [[nodiscard]] int shard_of_cluster(int c) const {
+    return cluster_shard_.empty()
+               ? 0
+               : cluster_shard_.at(static_cast<std::size_t>(c));
+  }
   [[nodiscard]] int num_stations() const {
     return static_cast<int>(endpoints_.size());
   }
@@ -144,12 +177,22 @@ class Fabric {
 
  private:
   Fabric(sim::Simulator& sim, Params params) : sim_(sim), params_(params) {}
-  Link* new_link(std::string name, int buffer_frames);
+  Link* new_link(sim::Simulator& sim, std::string name, Link::Params p);
   void add_station(int cluster_index, int local_port);
   /// Fills cluster_next_dim_, then the clusters' flat station->port maps.
   void program_routes();
+  /// Shared hypercube builder; rt == nullptr builds the classic
+  /// single-simulator cube (the historical hypercube() path).
+  static std::unique_ptr<Fabric> hypercube_impl(sim::Simulator& sim0,
+                                                sim::ShardRuntime* rt,
+                                                int stations,
+                                                int stations_per_cluster,
+                                                Params params);
+  [[nodiscard]] sim::Simulator& cluster_sim(int c);
+  [[nodiscard]] FramePool& pool_for_shard(int shard);
 
-  sim::Simulator& sim_;
+  sim::Simulator& sim_;  // shard 0 (the only simulator when unsharded)
+  sim::ShardRuntime* runtime_ = nullptr;
   Params params_;
   int stations_per_cluster_ = 0;  // 0 => single cluster
   std::vector<std::unique_ptr<Link>> links_;
@@ -157,12 +200,15 @@ class Fabric {
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<int> station_cluster_;     // station -> cluster index
   std::vector<int> station_local_port_;  // station -> port on its cluster
+  std::vector<int> cluster_shard_;       // cluster -> shard (empty => all 0)
+  std::vector<std::unique_ptr<ShardLinkBridge>> bridges_;
   // Next-hop cube dimension for every (from, to) cluster pair, computed
   // once by program_routes (-1 on the diagonal).  Unicast route
   // programming and multicast tree construction both walk this table
   // instead of re-deriving hops bit by bit.
   std::vector<std::int16_t> cluster_next_dim_;
-  FramePool pool_;
+  FramePool pool_;  // shard 0's payload pool
+  std::vector<std::unique_ptr<FramePool>> shard_pools_;  // shards 1..N-1
 };
 
 }  // namespace hpcvorx::hw

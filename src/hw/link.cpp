@@ -9,14 +9,46 @@ void Link::send(Frame f) {
   tx_busy_ = true;
   const sim::Duration ser =
       static_cast<sim::Duration>(f.wire_bytes()) * p_.ns_per_byte;
-  inflight_.push_back(std::move(f));
   // Transmitter frees after serialization; the frame lands one propagation
   // latency later.
   sim_.post_after(ser, [this] {
     tx_busy_ = false;
     notify_ready();
   });
+  if (remote_sink_) {
+    // Cross-shard TX half: reserve the peer-side buffer slot now (freed by
+    // remote_credit) and hand the frame over immediately — the sink must
+    // see it during the window that sent it, not one latency later, or the
+    // peer's barrier drain would find it a window too late.  Carried
+    // counters tick here; the RX half counts nothing, so a split link's
+    // totals match its intra-shard equivalent.
+    ++remote_unacked_;
+    ++frames_carried_;
+    bytes_carried_ += f.wire_bytes();
+    remote_sink_(sim_.now() + ser + p_.latency, std::move(f));
+    return;
+  }
+  inflight_.push_back(std::move(f));
   sim_.post_after(ser + p_.latency, [this] { deliver_head(); });
+}
+
+void Link::remote_credit() {
+  assert(remote_sink_ && "credit on a link that is not a cross-shard TX half");
+  assert(remote_unacked_ > 0);
+  --remote_unacked_;
+  notify_ready();
+}
+
+void Link::deliver_remote(Frame f) {
+  // Cross-shard RX half: serialization, propagation, and the carried
+  // counters all happened on the peer shard's TX half; the frame only
+  // lands in the downstream buffer here.  The credit protocol bounds
+  // outstanding frames to the buffer size, so this never overflows.
+  assert(buffer_.size() < static_cast<std::size_t>(p_.buffer_frames));
+  buffer_.push_back(std::move(f));
+  peak_buffered_ = std::max(peak_buffered_, buffer_.size());
+  sample_depth();
+  if (deliver_cb_) deliver_cb_();
 }
 
 void Link::deliver_head() {
@@ -35,7 +67,13 @@ std::optional<Frame> Link::take() {
   Frame f = std::move(buffer_.front());
   buffer_.pop_front();
   sample_depth();
-  notify_ready();
+  if (credit_cb_) {
+    // RX half: the freed slot is reported to the peer shard's TX half as a
+    // credit taking effect one link latency from now (the reverse wire).
+    credit_cb_(sim_.now());
+  } else {
+    notify_ready();
+  }
   return f;
 }
 

@@ -40,11 +40,13 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   /// True when a frame may be sent now: the transmitter is free and a
-  /// downstream buffer slot can be reserved.
+  /// downstream buffer slot can be reserved.  On a cross-shard TX half the
+  /// downstream buffer lives on the peer shard, so slot accounting runs on
+  /// credits: a slot is reserved at send and released by remote_credit().
   [[nodiscard]] bool ready() const {
-    return !tx_busy_ &&
-           inflight_.size() + buffer_.size() <
-               static_cast<std::size_t>(p_.buffer_frames);
+    const std::size_t occupied =
+        remote_sink_ ? remote_unacked_ : inflight_.size() + buffer_.size();
+    return !tx_busy_ && occupied < static_cast<std::size_t>(p_.buffer_frames);
   }
 
   /// Starts transmitting `f`.  Precondition: ready().
@@ -71,6 +73,36 @@ class Link {
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Params& params() const { return p_; }
+
+  // ---- cross-shard halves (see hw/shard_link.hpp, DESIGN.md §12) ----
+  //
+  // A link whose endpoints live on different shards is split into a TX
+  // half on the sending shard and an RX half on the receiving shard.  The
+  // TX half hands (arrival time, frame) to `sink` at send time instead of
+  // buffering locally; the RX half owns the downstream buffer and reports
+  // each freed slot back as a credit that takes effect one link latency
+  // later — the reverse-direction wire signal.  Both directions therefore
+  // keep every cross-shard effect at least one latency in the future,
+  // which is what the runtime's lookahead window relies on.
+
+  /// Makes this the TX half.  `sink` receives (arrival time, frame) for
+  /// every send; arrival = now + serialization + latency.
+  void set_remote_sink(std::function<void(sim::SimTime, Frame)> sink) {
+    remote_sink_ = std::move(sink);
+  }
+
+  /// A peer-shard buffer slot freed (credit signal arrived): TX half only.
+  void remote_credit();
+
+  /// A frame from the peer shard's TX half lands in the downstream buffer:
+  /// RX half only (scheduled at its precomputed arrival time).
+  void deliver_remote(Frame f);
+
+  /// Makes this the RX half: take() reports each freed slot through `cb`
+  /// (with the take timestamp) instead of notifying a local transmitter.
+  void set_credit_cb(std::function<void(sim::SimTime)> cb) {
+    credit_cb_ = std::move(cb);
+  }
 
   // ---- counters (diagnostics and the trace exporter) ----
 
@@ -102,6 +134,10 @@ class Link {
   std::deque<Frame> buffer_;
   std::function<void()> ready_cb_;
   std::function<void()> deliver_cb_;
+  // Cross-shard halves (both empty on an ordinary intra-shard link).
+  std::function<void(sim::SimTime, Frame)> remote_sink_;  // TX half
+  std::function<void(sim::SimTime)> credit_cb_;           // RX half
+  std::size_t remote_unacked_ = 0;  // TX half: sent, credit not yet back
   std::uint64_t frames_carried_ = 0;
   std::uint64_t bytes_carried_ = 0;
   std::size_t peak_buffered_ = 0;

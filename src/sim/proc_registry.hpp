@@ -4,12 +4,16 @@
 // process suspended forever (a deadlocked reader, a sender starved behind
 // backpressure when the run ends) is owned by nobody, and its frame would
 // leak at simulator teardown.  Every live Proc frame therefore registers
-// itself here, and ~Simulator() reclaims whatever is still suspended.
+// itself with a registry at creation, and the registry's owner reclaims
+// whatever is still suspended.
 //
-// The registry is process-wide because promise types cannot see which
-// Simulator drives them; the codebase runs one live Simulator at a time
-// (the deterministic single-event-queue design already implies this), so
-// teardown of "the" simulator may reclaim every outstanding frame.
+// Since the shard runtime landed there is one registry per Simulator (the
+// shard context): a frame registers with the simulator bound to the
+// creating thread — ShardRuntime binds each shard's simulator on its
+// worker thread, Node::spawn_process binds the node's simulator for
+// main-thread setup spawns — and ~Simulator() drains its own registry.
+// ProcRegistry::current() resolves that binding; frames created with no
+// live simulator at all fall back to a per-thread owner of last resort.
 //
 // Intrusive slot bookkeeping (the promise stores its index, the registry
 // stores a pointer back to that index) keeps add/remove O(1) without any
@@ -24,13 +28,19 @@ namespace hpcvorx::sim {
 
 class ProcRegistry {
  public:
-  static ProcRegistry& instance() {
-    // Deliberate process-wide registry: Proc frames have no other owner, and
-    // ~Simulator() drains entries by slot.  A sharded runtime will need a
-    // per-shard registry — tracked in ROADMAP.
-    static ProcRegistry r;  // vorx-lint: allow(R6) owner-of-last-resort registry, see above
-    return r;
-  }
+  ProcRegistry() = default;
+  ProcRegistry(const ProcRegistry&) = delete;
+  ProcRegistry& operator=(const ProcRegistry&) = delete;
+
+  /// The registry new Proc frames register with: the thread's bound
+  /// Simulator's registry (see Simulator::ScopedBind), or a per-thread
+  /// fallback when no simulator is live.  Defined in simulator.cpp.
+  static ProcRegistry& current();
+
+  /// The per-thread owner of last resort (also drained by every
+  /// ~Simulator on the thread, preserving the old global-registry
+  /// guarantee that simulator teardown leaks no parked frame).
+  static ProcRegistry& thread_fallback();
 
   /// Registers a live frame; writes its slot index through `slot_field`
   /// and keeps the pointer so later swaps can patch it.
@@ -59,7 +69,6 @@ class ProcRegistry {
   [[nodiscard]] std::size_t live() const { return handles_.size(); }
 
  private:
-  ProcRegistry() = default;
   // Owner of last resort: fire-and-forget Proc frames are destroyed exactly
   // once, here or on final_suspend (which unregisters).
   // vorx-lint: allow(R8) the registry exists to own what nothing else does

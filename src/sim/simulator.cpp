@@ -8,7 +8,54 @@
 
 namespace hpcvorx::sim {
 
-Simulator::~Simulator() { ProcRegistry::instance().destroy_all(); }
+namespace {
+// The thread's ambient simulator: the shard context that Proc-frame
+// registration (ProcRegistry::current) resolves against.  Per-thread by
+// construction — each shard worker binds its own simulator — so there is
+// no shared mutable state here, just thread-local context.
+// vorx-lint: allow(R6) per-thread current-simulator binding is the shard context itself (DESIGN.md §12)
+thread_local Simulator* tl_current_sim = nullptr;
+}  // namespace
+
+Simulator::Simulator() {
+  if (tl_current_sim == nullptr) {
+    tl_current_sim = this;
+    claimed_thread_slot_ = true;
+  }
+}
+
+Simulator::~Simulator() {
+  registry_.destroy_all();
+  // Owner of last resort: frames created on this thread with no bound
+  // simulator land in the per-thread fallback; drain it here so simulator
+  // teardown still reclaims every parked frame (the pre-shard guarantee).
+  ProcRegistry::thread_fallback().destroy_all();
+  if (claimed_thread_slot_ && tl_current_sim == this) {
+    tl_current_sim = nullptr;
+  }
+}
+
+Simulator* Simulator::current() { return tl_current_sim; }
+
+Simulator::ScopedBind::ScopedBind(Simulator& s) : prev_(tl_current_sim) {
+  tl_current_sim = &s;
+}
+
+Simulator::ScopedBind::~ScopedBind() { tl_current_sim = prev_; }
+
+ProcRegistry& ProcRegistry::current() {
+  if (Simulator* s = Simulator::current()) return s->proc_registry();
+  return thread_fallback();
+}
+
+ProcRegistry& ProcRegistry::thread_fallback() {
+  // Per-thread owner of last resort; reachable until thread exit, so
+  // LeakSanitizer sees parked frames as live even if no simulator drains
+  // them first.
+  // vorx-lint: allow(R6) per-thread fallback registry, drained by every ~Simulator on the thread
+  static thread_local ProcRegistry r;
+  return r;
+}
 
 EventHandle Simulator::schedule_at(SimTime at, InlineFn&& fn) {
   return queue_.push(std::max(at, now_), std::move(fn));
@@ -30,6 +77,7 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   auto [at, fn] = queue_.pop();
   now_ = at;
+  ++events_executed_;
   fn();
   if (counters_.enabled()) sample_queue_stats();
   return true;

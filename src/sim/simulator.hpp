@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.hpp"
+#include "sim/proc_registry.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -15,15 +16,40 @@ namespace hpcvorx::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// Claims the thread's ambient-simulator slot if it is free, so Proc
+  /// frames created on this thread register here (see proc_registry.hpp).
+  /// Single-simulator programs — every test and example before the shard
+  /// runtime — get the old process-wide-registry behavior for free.
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Reclaims every still-suspended sim::Proc frame (see proc_registry.hpp).
-  /// Processes parked forever — deadlocked readers, starved senders — have
-  /// no other owner, and their frames transitively own the Task frames and
-  /// captured state they are awaiting on.
+  /// Reclaims every still-suspended sim::Proc frame registered with this
+  /// simulator (see proc_registry.hpp).  Processes parked forever —
+  /// deadlocked readers, starved senders — have no other owner, and their
+  /// frames transitively own the Task frames and captured state they are
+  /// awaiting on.  Also drains the thread's fallback registry, preserving
+  /// the old global guarantee that teardown leaks nothing.
   ~Simulator();
+
+  /// The simulator bound to the calling thread (nullptr if none): the
+  /// shard context that ambient Proc creation resolves against.
+  [[nodiscard]] static Simulator* current();
+
+  /// Binds `s` as the calling thread's current simulator for the scope's
+  /// lifetime, restoring the previous binding on exit.  ShardRuntime binds
+  /// each shard on its worker thread; Node::spawn_process binds the node's
+  /// simulator around main-thread setup spawns.
+  class ScopedBind {
+   public:
+    explicit ScopedBind(Simulator& s);
+    ~ScopedBind();
+    ScopedBind(const ScopedBind&) = delete;
+    ScopedBind& operator=(const ScopedBind&) = delete;
+
+   private:
+    Simulator* prev_;
+  };
 
   /// Current virtual time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -55,8 +81,28 @@ class Simulator {
   /// Makes run()/run_until() return after the current event completes.
   void stop() { stopped_ = true; }
 
+  /// True if stop() was called during the last run()/run_until() (both
+  /// clear the flag on entry).  The shard runtime reads this after each
+  /// window to propagate an application stop across shards.
+  [[nodiscard]] bool stop_requested() const { return stopped_; }
+
   /// Number of pending events (upper bound, see EventQueue::size()).
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Timestamp of the earliest pending event, or `if_empty` when the queue
+  /// has drained.  The shard runtime's LBTS reduction reads this between
+  /// windows.
+  [[nodiscard]] SimTime next_event_time(SimTime if_empty) {
+    return queue_.empty() ? if_empty : queue_.next_time();
+  }
+
+  /// Cumulative events executed by step() (bench: events/s numerator).
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+  /// Registry of this simulator's still-suspended Proc frames.
+  [[nodiscard]] ProcRegistry& proc_registry() { return registry_; }
 
   /// Structure-traffic counters of the underlying event queue: which
   /// wheel level (or the heap spill) inserts landed in, and how many
@@ -84,10 +130,13 @@ class Simulator {
 
   SimTime now_ = 0;
   std::int64_t next_id_ = 0;
+  std::uint64_t events_executed_ = 0;
   bool stopped_ = false;
+  bool claimed_thread_slot_ = false;  // ctor claimed the ambient binding
   EventQueue queue_;
   CounterTimeline counters_;
   EventQueue::Stats sampled_stats_;  // last queue_stats() snapshot sampled
+  ProcRegistry registry_;
 };
 
 }  // namespace hpcvorx::sim

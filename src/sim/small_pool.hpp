@@ -10,11 +10,14 @@
 // link), so a warm steady state allocates nothing.  Oversized or
 // over-aligned requests fall through to ::operator new.
 //
-// The pool is a process-wide static, matching the simulator's
-// single-threaded execution model — nothing in src/ runs simulation code
-// off the main thread.  Under AddressSanitizer the pool is compiled out
-// entirely (every request hits ::operator new) so use-after-free detection
-// on coroutine frames keeps working in the sanitizer CI job.
+// The free lists are per-thread: each shard worker recycles through its
+// own lists, so the sharded runtime needs no locks here.  A block freed on
+// a different thread than it was allocated on (e.g. a setup-time frame
+// reclaimed by a shard) simply migrates to the freeing thread's list —
+// blocks are self-contained, so migration is safe, and the runtime's round
+// barriers order the reuse.  Under AddressSanitizer the pool is compiled
+// out entirely (every request hits ::operator new) so use-after-free
+// detection on coroutine frames keeps working in the sanitizer CI job.
 #pragma once
 
 #include <cstddef>
@@ -73,8 +76,8 @@ class SmallBlockPool {
 
   // Reachable from static storage, so LeakSanitizer sees retained blocks
   // as live; the OS reclaims them at process exit like any allocator pool.
-  // vorx-lint: allow(R6) process-wide free lists are this allocator's point; sharding will swap in per-shard pools (compiled out under ASan already)
-  inline static FreeNode* heads_[kBuckets] = {};
+  // vorx-lint: allow(R6) per-thread free lists are this allocator's point — each shard worker owns its own (compiled out under ASan already)
+  inline static thread_local FreeNode* heads_[kBuckets] = {};
 };
 
 /// Minimal std::allocator replacement routing through SmallBlockPool; lets

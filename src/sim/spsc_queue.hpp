@@ -1,0 +1,74 @@
+// A single-producer / single-consumer unbounded FIFO for the shard runtime.
+//
+// Cross-shard traffic (frontier frames, flow-control credits) moves between
+// exactly two threads: the producing shard pushes during its window, the
+// consuming shard drains at the next round barrier.  An unbounded linked
+// queue with one atomic per end is all that contract needs — ParallelAVL's
+// sharding experiments showed one coarse channel per shard pair beats any
+// fine-grained shared structure, and the round barrier already bounds the
+// queue depth to one window's worth of traffic.
+//
+// Memory ordering: push publishes the node with a release store to the tail
+// link; pop reads it with an acquire load, so the payload written before the
+// push is visible to the consumer.  The round barrier additionally orders
+// whole windows, so drains never race a producing window — the atomics here
+// only cover the (benign) case of a producer running ahead within a window.
+//
+// This header is part of the shard runtime's own concurrency surface — the
+// one place DESIGN.md §11/§12 allow real threads and atomics to appear.
+// vorx-lint-file: allow(R3) SPSC channel is shard-runtime machinery (DESIGN.md §12); everything else still schedules through a Simulator
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <utility>
+
+namespace hpcvorx::sim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Node), tail_(head_) {}
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Producer side only.
+  void push(T v) {
+    Node* n = new Node;
+    n->value = std::move(v);
+    // Publish: the consumer's acquire load of `next` sees `value`.
+    tail_->next.store(n, std::memory_order_release);
+    tail_ = n;
+  }
+
+  /// Consumer side only.  Returns false when the queue is empty.
+  bool pop(T& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    delete head_;
+    head_ = next;
+    return true;
+  }
+
+ private:
+  // The head node is a consumed sentinel: `head_->next` is the real front.
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  Node* head_;  // consumer-owned
+  Node* tail_;  // producer-owned
+};
+
+}  // namespace hpcvorx::sim

@@ -40,12 +40,15 @@ struct Proc {
       SmallBlockPool::deallocate(p, n);
     }
 
-    promise_type() {
-      ProcRegistry::instance().add(
-          std::coroutine_handle<promise_type>::from_promise(*this),
-          &registry_slot);
+    // The frame registers with the creating thread's shard context (the
+    // bound Simulator's registry) and remembers which registry that was:
+    // removal at destruction must target the same one, whichever thread or
+    // registry drain triggers it.
+    promise_type() : registry_(&ProcRegistry::current()) {
+      registry_->add(std::coroutine_handle<promise_type>::from_promise(*this),
+                     &registry_slot);
     }
-    ~promise_type() { ProcRegistry::instance().remove(registry_slot); }
+    ~promise_type() { registry_->remove(registry_slot); }
     promise_type(const promise_type&) = delete;
     promise_type& operator=(const promise_type&) = delete;
 
@@ -58,6 +61,7 @@ struct Proc {
       std::terminate();
     }
 
+    ProcRegistry* registry_;
     std::size_t registry_slot = 0;
   };
 };

@@ -31,11 +31,18 @@ const std::vector<RuleInfo> kRules = {
      "process); hoist lambda coroutines into named functions taking the "
      "captured state as parameters; co_await every Task you create."},
     {"R3", "no-real-concurrency",
-     "The simulator is single-threaded by design: determinism comes from a "
-     "totally ordered event queue.  OS threads, mutexes, or blocking sleeps "
-     "reintroduce scheduler nondeterminism and stall virtual time.",
+     "No concurrency except via the shard runtime: each shard's simulator "
+     "is single-threaded, and determinism comes from its totally ordered "
+     "event queue plus the runtime's fixed barrier-drain order.  OS "
+     "threads, mutexes, atomics, or blocking sleeps anywhere else "
+     "reintroduce scheduler nondeterminism and stall virtual time.  The "
+     "runtime's own translation units (sim/shard_runtime.*, "
+     "sim/spsc_queue.hpp) carry reasoned file-level allow(R3) directives "
+     "per the DESIGN.md §11/§12 contract.",
      "Model concurrency as coroutines; replace every blocking wait with "
-     "co_await delay(sim, d) or a sim synchronization primitive."},
+     "co_await delay(sim, d) or a sim synchronization primitive.  Need "
+     "wall-clock parallelism?  Partition work across sim::ShardRuntime "
+     "shards instead of spawning threads."},
     {"R4", "layering",
      "The include graph must respect sim < hw < vorx < {apps, tools} so the "
      "Meglos-vs-VORX pairing stays swappable: sim knows nothing of hardware "

@@ -48,6 +48,9 @@ void Node::add_sys_client(std::uint64_t key, SyscallClient* c) {
 
 Process& Node::spawn_process(std::string name, AppFn fn, int priority,
                              sim::Duration switch_cost) {
+  // Main-thread setup spawns must register their coroutine frames with
+  // this node's shard simulator, not whatever the thread last bound.
+  sim::Simulator::ScopedBind bind(sim_);
   processes_.push_back(
       std::make_unique<Process>(*this, next_pid_++, std::move(name)));
   Process* p = processes_.back().get();

@@ -162,6 +162,9 @@ Process::Process(Node& node, int pid, std::string name)
 
 Subprocess& Process::spawn(AppFn fn, int priority, std::string name,
                            sim::Duration switch_cost) {
+  // The subprocess frame belongs to this node's shard simulator; bind it
+  // so main-thread (pre-run) spawns register with the right registry.
+  sim::Simulator::ScopedBind bind(node_.simulator());
   if (switch_cost < 0) switch_cost = node_.costs().subprocess_switch;
   if (name.empty()) name = name_ + ".sp" + std::to_string(spawned_);
   subprocesses_.push_back(std::make_unique<Subprocess>(

@@ -21,8 +21,27 @@ System::System(sim::Simulator& sim, SystemConfig cfg)
     : sim_(sim), cfg_(cfg) {
   const int stations = cfg_.nodes + cfg_.hosts;
   if (cfg_.record_counters) sim_.counters().enable(true);
-  hw::FabricParams fp = cfg_.fabric;
-  fabric_ = hw::Fabric::make(sim, stations, cfg_.stations_per_cluster, fp);
+  fabric_ = hw::Fabric::make(sim, stations, cfg_.stations_per_cluster,
+                             cfg_.fabric);
+  build_stations();
+}
+
+System::System(sim::ShardRuntime& rt, SystemConfig cfg)
+    : sim_(rt.shard(0)), runtime_(&rt), cfg_(cfg) {
+  const int stations = cfg_.nodes + cfg_.hosts;
+  if (cfg_.record_counters) {
+    for (int i = 0; i < rt.num_shards(); ++i) {
+      rt.shard(i).counters().enable(true);
+    }
+  }
+  fabric_ =
+      hw::Fabric::make_sharded(rt, stations, cfg_.stations_per_cluster,
+                               cfg_.fabric);
+  build_stations();
+}
+
+void System::build_stations() {
+  const int stations = cfg_.nodes + cfg_.hosts;
   Node::Options opts;
   opts.side_buffers = cfg_.channel_side_buffers;
   opts.record_intervals = cfg_.record_intervals;
@@ -33,12 +52,29 @@ System::System(sim::Simulator& sim, SystemConfig cfg)
     const bool is_host = s >= cfg_.nodes;
     const std::string name =
         is_host ? "ws" + std::to_string(s - cfg_.nodes) : "n" + std::to_string(s);
+    // Each node lives on its cluster's shard simulator; bind it as the
+    // thread's shard context so any Proc frame created while the node
+    // wires itself up registers with the right registry.
+    sim::Simulator& ssim = fabric_->station_sim(s);
+    sim::Simulator::ScopedBind bind(ssim);
     stations_.push_back(std::make_unique<Node>(
-        sim, fabric_->endpoint(s), cfg_.costs, name, locator, opts));
+        ssim, fabric_->endpoint(s), cfg_.costs, name, locator, opts));
   }
 }
 
-System::~System() { sim::ProcRegistry::instance().destroy_all(); }
+System::~System() {
+  // Every station's processes registered with that station's simulator (or
+  // the thread fallback for frames created with nothing bound); drain each
+  // distinct registry while the nodes are still alive.
+  if (runtime_ != nullptr) {
+    for (int i = 0; i < runtime_->num_shards(); ++i) {
+      runtime_->shard(i).proc_registry().destroy_all();
+    }
+  } else {
+    sim_.proc_registry().destroy_all();
+  }
+  sim::ProcRegistry::thread_fallback().destroy_all();
+}
 
 hw::StationId System::manager_for(const std::string& name) const {
   if (cfg_.centralized_object_manager) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hw/fabric.hpp"
+#include "sim/shard_runtime.hpp"
 #include "vorx/cost_model.hpp"
 #include "vorx/multicast.hpp"
 #include "vorx/node.hpp"
@@ -37,6 +38,14 @@ struct SystemConfig {
 class System {
  public:
   explicit System(sim::Simulator& sim, SystemConfig cfg = SystemConfig());
+
+  /// Sharded machine: the fabric is partitioned by cluster across the
+  /// runtime's shards (hw::Fabric::make_sharded) and each station's node
+  /// lives on its cluster's shard simulator.  Drive it with
+  /// ShardRuntime::run()/run_until(); with a 1-shard runtime this is the
+  /// single-threaded engine, byte for byte.
+  System(sim::ShardRuntime& rt, SystemConfig cfg = SystemConfig());
+
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
@@ -64,7 +73,10 @@ class System {
   [[nodiscard]] hw::StationId node_station(int i) const { return i; }
   [[nodiscard]] hw::StationId host_station(int j) const { return cfg_.nodes + j; }
 
+  /// Shard-0 simulator (the only one for non-sharded systems).
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// The shard runtime, or nullptr when built over a single Simulator.
+  [[nodiscard]] sim::ShardRuntime* shard_runtime() { return runtime_; }
   [[nodiscard]] hw::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] const SystemConfig& config() const { return cfg_; }
 
@@ -83,7 +95,10 @@ class System {
   void finalize_accounting();
 
  private:
+  void build_stations();
+
   sim::Simulator& sim_;
+  sim::ShardRuntime* runtime_ = nullptr;
   SystemConfig cfg_;
   std::unique_ptr<hw::Fabric> fabric_;
   std::vector<std::unique_ptr<Node>> stations_;

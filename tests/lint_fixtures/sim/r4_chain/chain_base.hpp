@@ -1,0 +1,6 @@
+// Clean twin, base half: includes nothing, so no path leads back up to
+// chain_top.hpp and the include graph stays acyclic.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#pragma once
+
+inline constexpr int chain_base_tag = 2;

@@ -1,0 +1,9 @@
+// Clean twin of the sim/r4_cycle pair: the same two-header shape, but the
+// includes chain one way (top -> base) instead of closing a loop, so
+// vorx-lint must accept this directory.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#pragma once
+
+#include "sim/r4_chain/chain_base.hpp"
+
+inline int chain_top_value() { return chain_base_tag + 1; }

@@ -1,0 +1,10 @@
+// Seeded R4 include-cycle fixture, half A: includes ring_b.hpp, which
+// includes its way back here.  vorx-lint must exit non-zero when fed this
+// directory (both halves must be in the analyzed set — the cycle is an edge
+// property of the resolved include graph, not of either file alone).
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#pragma once
+
+#include "sim/r4_cycle/ring_b.hpp"
+
+inline int ring_a_value() { return ring_b_tag + 1; }

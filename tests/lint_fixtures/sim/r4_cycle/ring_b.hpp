@@ -1,0 +1,8 @@
+// Seeded R4 include-cycle fixture, half B: closes the cycle back to
+// ring_a.hpp.  See ring_a.hpp for the full story.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+#pragma once
+
+#include "sim/r4_cycle/ring_a.hpp"
+
+inline constexpr int ring_b_tag = 2;

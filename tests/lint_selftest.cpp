@@ -543,6 +543,25 @@ TEST(LintFixtures, R4FixtureViolates) {
   EXPECT_EQ(count_check(d, "R4", "layer-inversion"), 2);
 }
 
+TEST(LintFixtures, R4CyclePairViolates) {
+  // The cycle is an edge property of the resolved include graph: either
+  // half alone is silent, the pair flags both closing includes.
+  auto a = read_fixture("sim/r4_cycle/ring_a.hpp");
+  auto b = read_fixture("sim/r4_cycle/ring_b.hpp");
+  auto d = lint({{"sim/r4_cycle/ring_a.hpp", a}, {"sim/r4_cycle/ring_b.hpp", b}});
+  EXPECT_EQ(count_check(d, "R4", "include-cycle"), 2);
+  EXPECT_TRUE(lint({{"sim/r4_cycle/ring_a.hpp", a}}).empty());
+}
+
+TEST(LintFixtures, R4ChainCleanPairPasses) {
+  auto d = lint(
+      {{"sim/r4_chain/chain_top.hpp", read_fixture("sim/r4_chain/chain_top.hpp")},
+       {"sim/r4_chain/chain_base.hpp",
+        read_fixture("sim/r4_chain/chain_base.hpp")}});
+  EXPECT_TRUE(d.empty()) << d.size() << " unexpected diagnostics, first: "
+                         << (d.empty() ? "" : d[0].message);
+}
+
 TEST(LintFixtures, R5FixtureViolates) {
   auto d = lint({{"vorx/r5_hotpath.cpp", read_fixture("vorx/r5_hotpath.cpp")}});
   // Two seeded call sites plus the fixture's own helper definition (both
