@@ -10,9 +10,13 @@
 // delays, timeouts, and frame delivery) with no allocation beyond the
 // callable itself.
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <functional>
+#include <limits>
+#include <vector>
 
+#include "apps/fft.hpp"
 #include "bench_util.hpp"
 #include "hw/frame_pool.hpp"
 #include "hw/hypercube.hpp"
@@ -71,22 +75,60 @@ void run(bench::Reporter& r) {
           sink = sink + fired;
         }));
 
-  // Same shape as post_pop, but at CPU slice-end distances (100–300 µs —
-  // the Table 1/2 costs), interleaved with pops so the frontier advances
-  // and level-1 buckets promote.  Before the two-level wheel these events
-  // took the heap spill; now they are O(1) level-1 traffic.
+  // Slice-end traffic (100–300 µs — the Table 1/2 costs) through the full
+  // Simulator dispatch loop: 512 concurrent self-rescheduling chains, so
+  // the steady state holds ~10 pending events per level-1 bucket and the
+  // bucket-at-a-time drain (DESIGN.md §13) amortizes frontier bookkeeping
+  // across the whole bucket.  Before batching this row drove pop() once
+  // per event; the workload density is the same, the dispatch path is the
+  // one the simulator actually runs.
   r.row("engine.wheel_l1_post_pop_items_s", "items/s",
-        items_per_sec(r, 1000, [&sink] {
-          sim::EventQueue q;
+        items_per_sec(r, 512 * 8, [&sink] {
+          sim::Simulator sim;
           int fired = 0;
-          sim::SimTime now = 0;
-          for (int i = 0; i < 1000; ++i) {
-            const sim::SimTime cost = 100'000 + (i % 3) * 100'000;
-            q.post(now + cost, [&fired] { ++fired; });
-            if ((i & 1) != 0) {
-              auto [at, fn] = q.pop();
-              fn();
-              now = at;
+          struct Chain {
+            sim::Simulator* sim;
+            int remaining;
+            int* fired;
+            void operator()() {
+              ++*fired;
+              if (--remaining > 0) {
+                const sim::SimTime cost =
+                    100'000 + (remaining % 3) * 100'000;
+                sim->post_after(cost, Chain{*this});
+              }
+            }
+          };
+          for (int i = 0; i < 512; ++i) {
+            // Stagger the chain starts across one rescheduling period so
+            // the steady-state density appears from the first bucket.
+            const sim::SimTime start = 100'000 + (i % 401) * 499;
+            sim.post_at(start, Chain{&sim, 8, &fired});
+          }
+          sim.run();
+          sink = sink + fired;
+        }));
+
+  // The raw bucket-drain primitive: a dense backlog (4096 events 53 ns
+  // apart, ~77 per level-1 bucket) swept with drain_bucket() + the
+  // DrainBatch fire protocol — the ceiling the batched dispatch loop
+  // approaches when buckets are full.
+  r.row("engine.bucket_drain_items_s", "items/s",
+        items_per_sec(r, 4096, [&sink] {
+          sim::EventQueue q;
+          sim::EventQueue::DrainBatch batch;
+          int fired = 0;
+          for (int i = 0; i < 4096; ++i) {
+            q.post(static_cast<sim::SimTime>(i) * 53, [&fired] { ++fired; });
+          }
+          constexpr sim::SimTime kMax =
+              std::numeric_limits<sim::SimTime>::max();
+          while (q.drain_bucket(batch, kMax) != 0) {
+            while (!batch.exhausted()) {
+              batch.prefetch_next();
+              if (!batch.begin_fire()) continue;
+              q.advance_frontier(batch.head_time());
+              batch.fire_head();
             }
           }
           while (!q.empty()) q.pop().second();
@@ -174,19 +216,58 @@ void run(bench::Reporter& r) {
           static_cast<double>(pool.free_buffers()));
   }
 
+  // Coroutine resume throughput at simulation-realistic concurrency: 256
+  // processes ticking in lockstep, so every instant's resumes sit in one
+  // level-1 bucket and dispatch through a single drain (one ring-head
+  // comparison and one window update per bucket instead of per resume).
   r.row("engine.coroutine_resumes_s", "resumes/s",
-        items_per_sec(r, 1000, [&sink] {
+        items_per_sec(r, 256 * 16, [&sink] {
           sim::Simulator sim;
           int done = 0;
-          for (int p = 0; p < 10; ++p) {
+          for (int p = 0; p < 256; ++p) {
             [](sim::Simulator& s, int hops, int* out) -> sim::Proc {
               for (int i = 0; i < hops; ++i) co_await sim::delay(s, 1);
               ++*out;
-            }(sim, 100, &done);
+            }(sim, 16, &done);
           }
           sim.run();
           sink = sink + done;
         }));
+
+  // Same-tick delivery coalescing on the receive path: two sources burst
+  // 32 raw frames each into one kernel, so arrivals pile up behind the
+  // per-frame copy charge and the parked rx pump drains several per
+  // resume.  Deterministic (virtual-time counters only): the ratio of
+  // arrival interrupts absorbed without a pump resume — frames drained
+  // straight out of the staged receive ring by an already-awake rx_pump
+  // (DESIGN.md §13).  A channel write/read pair would serialize arrivals
+  // onto distinct instants and measure 0 by construction.
+  {
+    sim::Simulator sim;
+    vorx::SystemConfig cfg;
+    cfg.nodes = 3;
+    vorx::System sys(sim, cfg);
+    constexpr std::uint32_t kKind = 4242;  // disjoint from vorx::msg kinds
+    int delivered = 0;
+    sys.node(0).kernel().register_handler(
+        kKind, [&delivered](hw::Frame) { ++delivered; });
+    for (int i = 0; i < 32; ++i) {
+      for (const int src : {1, 2}) {
+        hw::Frame f;
+        f.kind = kKind;
+        f.dst = sys.node(0).station();
+        f.payload_bytes = 256;
+        sys.node(src).kernel().send(std::move(f));
+      }
+    }
+    sim.run();
+    const vorx::Kernel& k = sys.node(0).kernel();
+    const double irqs = static_cast<double>(k.rx_interrupts());
+    const double resumes = static_cast<double>(k.rx_resumes());
+    r.row("engine.coalesced_resumes_ratio", "ratio",
+          irqs > 0 ? 1.0 - resumes / irqs : 0.0);
+    sink = sink + delivered;
+  }
 
   r.row("engine.cpu_preemptive_jobs_s", "jobs/s",
         items_per_sec(r, 100, [&sink] {
@@ -225,6 +306,55 @@ void run(bench::Reporter& r) {
               });
           sim.run();
         }));
+
+  // Harness-side FFT kernel wall-clock: the split-radix cache-blocked
+  // kernel vs the textbook radix-2 ablation (--fft=naive).  Virtual-time
+  // results never depend on this — the modelled 68882 cost is a function
+  // of n only — but the harness executes the transform for real on every
+  // simulated node, so this is where the Ooura-style rewrite pays.
+  {
+    constexpr int kN = 4096;
+    std::vector<apps::Complex> sig(kN);
+    for (int i = 0; i < kN; ++i) {
+      sig[static_cast<std::size_t>(i)] =
+          apps::Complex(std::cos(0.37 * i), std::sin(0.11 * i));
+    }
+    std::vector<apps::Complex> work(kN);
+    r.row("apps.fft_blocked_1d_points_s", "points/s",
+          items_per_sec(r, kN, [&sig, &work, &sink] {
+            work = sig;
+            apps::fft(work, false, apps::FftKernel::kBlocked);
+            sink = sink + static_cast<int>(work[1].real() > 0);
+          }));
+    r.row("apps.fft_naive_1d_points_s", "points/s",
+          items_per_sec(r, kN, [&sig, &work, &sink] {
+            work = sig;
+            apps::fft(work, false, apps::FftKernel::kNaive);
+            sink = sink + static_cast<int>(work[1].real() > 0);
+          }));
+  }
+  {
+    constexpr int kDim = 256;
+    std::vector<apps::Complex> img(
+        static_cast<std::size_t>(kDim) * kDim);
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      img[i] = apps::Complex(std::cos(0.037 * static_cast<double>(i)),
+                             std::sin(0.011 * static_cast<double>(i)));
+    }
+    std::vector<apps::Complex> work;
+    r.row("apps.fft_blocked_2d_points_s", "points/s",
+          items_per_sec(r, kDim * kDim, [&img, &work, &sink] {
+            work = img;
+            apps::fft2d(work, kDim, apps::FftKernel::kBlocked);
+            sink = sink + static_cast<int>(work[1].real() > 0);
+          }));
+    r.row("apps.fft_naive_2d_points_s", "points/s",
+          items_per_sec(r, kDim * kDim, [&img, &work, &sink] {
+            work = img;
+            apps::fft2d(work, kDim, apps::FftKernel::kNaive);
+            sink = sink + static_cast<int>(work[1].real() > 0);
+          }));
+  }
 
   constexpr int kCube = 256;
   r.row("engine.hypercube_hops_s", "hops/s",

@@ -5,6 +5,7 @@
 //
 //   {"schema": "hpcvorx-bench-v1",
 //    "quick": false,
+//    "hardware_concurrency": 8,
 //    "rows": [{"bench": "table2_channels",
 //              "metric": "table2.latency_us.4B",
 //              "unit": "us", "measured": 301.02,
@@ -22,6 +23,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -66,8 +68,13 @@ bool write_json(const std::string& path,
                 const std::vector<hpcvorx::bench::Row>& rows, bool quick) {
   std::ofstream f(path, std::ios::binary);
   if (!f) return false;
+  // Machine shape alongside the numbers: rows whose value depends on how
+  // many cores ran them (engine.shard_speedup_*) are only comparable
+  // between files recorded on equally-wide machines, and the comparison
+  // tool uses this field to know when that holds.
   f << "{\"schema\":\"hpcvorx-bench-v1\",\"quick\":"
-    << (quick ? "true" : "false") << ",\"rows\":[";
+    << (quick ? "true" : "false") << ",\"hardware_concurrency\":"
+    << std::thread::hardware_concurrency() << ",\"rows\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const hpcvorx::bench::Row& r = rows[i];
     f << (i == 0 ? "" : ",") << "\n{\"bench\":\"" << r.bench

@@ -28,6 +28,12 @@ threshold absorbs normal jitter.  Every other metric in the file is
 virtual-time deterministic and is guarded separately by the determinism
 goldens, not by this script.
 
+Shard-scaling speedup rows (engine.shard_speedup_*) additionally depend
+on how many cores ran the bench: a 2-shard speedup measured on a 16-wide
+machine is not comparable to one measured on a 2-wide runner.  When both
+artifacts carry the hardware_concurrency field and the values differ,
+those rows are skipped (reported, never failed) instead of compared.
+
 --self-test exercises the comparator on synthetic documents, including a
 negative case verifying that an injected >threshold regression makes the
 script fail; CI runs it before trusting the real comparison.
@@ -41,9 +47,14 @@ DURATION_UNITS = {"ns", "us", "ms", "s", "sec", "seconds"}
 # metric prefix: for all of these, a rise is the regression.
 LOWER_IS_BETTER_PREFIXES = ("engine.wheel_l1_", "frame_pool.occupancy_")
 # ...and the mirror image: dimensionless ratio rows where a rise is the
-# improvement.  The shard-scaling sweep's speedup rows (unit "x") are the
-# only members so far; its events/s rows are rate-inferred like any other.
-HIGHER_IS_BETTER_PREFIXES = ("engine.shard_speedup_",)
+# improvement: the shard-scaling sweep's speedup rows (unit "x") and the
+# rx-coalescing ratio (arrival interrupts absorbed without a pump resume);
+# the events/s rows are rate-inferred like any other.
+HIGHER_IS_BETTER_PREFIXES = ("engine.shard_speedup_", "engine.coalesced_")
+# Rows whose value is a property of the machine's core count as much as of
+# the code: comparable only between artifacts recorded on equally-wide
+# machines (see hardware_concurrency in the envelope).
+CORE_SENSITIVE_PREFIXES = ("engine.shard_speedup_",)
 DEFAULT_THRESHOLD = 10.0
 DEFAULT_PREFIXES = ["engine.", "frame_pool."]
 
@@ -53,7 +64,8 @@ def fail(msg):
     sys.exit(1)
 
 
-def load_rows(path):
+def load_doc(path):
+    """Returns ({metric: row}, hardware_concurrency-or-None) from `path`."""
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     if doc.get("schema") != "hpcvorx-bench-v1":
@@ -61,7 +73,12 @@ def load_rows(path):
     rows = doc.get("rows")
     if not isinstance(rows, list):
         fail(f"{path}: 'rows' must be an array")
-    return {r["metric"]: r for r in rows}
+    # Absent in pre-field artifacts (and 0 means "unknown" per the C++
+    # std::thread contract): either way we don't know the machine width.
+    hw = doc.get("hardware_concurrency")
+    if not isinstance(hw, int) or hw <= 0:
+        hw = None
+    return {r["metric"]: r for r in rows}, hw
 
 
 def higher_is_better(key, unit):
@@ -77,11 +94,15 @@ def higher_is_better(key, unit):
     return None
 
 
-def compare(base_rows, cur_rows, threshold, prefixes):
+def compare(base_rows, cur_rows, threshold, prefixes,
+            base_hw=None, cur_hw=None):
     """Returns (regressions, compared, skipped) over the selected metrics."""
     regressions = []
     compared = 0
     skipped = []
+    hw_mismatch = (
+        base_hw is not None and cur_hw is not None and base_hw != cur_hw
+    )
     keys = sorted(
         k
         for k in set(base_rows) | set(cur_rows)
@@ -101,6 +122,12 @@ def compare(base_rows, cur_rows, threshold, prefixes):
             continue
         if key not in base_rows:
             skipped.append((key, "new in candidate"))
+            continue
+        if hw_mismatch and key.startswith(CORE_SENSITIVE_PREFIXES):
+            skipped.append(
+                (key, f"core-count mismatch ({base_hw} vs {cur_hw} "
+                      f"hardware threads)")
+            )
             continue
         base = base_rows[key]
         cur = cur_rows[key]
@@ -305,6 +332,54 @@ def self_test():
     if regs:
         fail(f"self-test: speedup rise misread as regression: {regs}")
 
+    # Core-count sensitivity: the same >threshold speedup drop is a
+    # regression on an equally-wide machine but must be skipped (reported,
+    # never failed) when the two artifacts disagree on core count; the
+    # rate row next to it is compared either way.  Unknown widths (either
+    # side missing the field) keep the old always-compare behaviour.
+    regs, compared, skipped = compare(
+        speedup_base, speedup_bad, DEFAULT_THRESHOLD, DEFAULT_PREFIXES,
+        base_hw=16, cur_hw=4,
+    )
+    if regs or compared != 1:
+        fail(
+            f"self-test: cross-width speedup not skipped: {regs}, "
+            f"compared={compared}"
+        )
+    if not any(k == "engine.shard_speedup_4x" and "core-count" in why
+               for k, why in skipped):
+        fail(f"self-test: core-count skip not reported: {skipped}")
+    regs, compared, _ = compare(
+        speedup_base, speedup_bad, DEFAULT_THRESHOLD, DEFAULT_PREFIXES,
+        base_hw=8, cur_hw=8,
+    )
+    if [k for k, _ in regs] != ["engine.shard_speedup_4x"] or compared != 2:
+        fail(f"self-test: same-width speedup drop not caught: {regs}")
+    regs, compared, _ = compare(
+        speedup_base, speedup_bad, DEFAULT_THRESHOLD, DEFAULT_PREFIXES,
+        base_hw=None, cur_hw=4,
+    )
+    if [k for k, _ in regs] != ["engine.shard_speedup_4x"] or compared != 2:
+        fail(f"self-test: unknown-width artifact skipped speedup row: {regs}")
+
+    # The rx-coalescing ratio: higher is better by name, so only a drop
+    # beyond the threshold regresses.
+    ratio_base = rows_of({"engine.coalesced_resumes_ratio": ("ratio", 0.8)})
+    regs, compared, _ = compare(
+        ratio_base,
+        rows_of({"engine.coalesced_resumes_ratio": ("ratio", 0.6)}),  # -25%
+        DEFAULT_THRESHOLD, DEFAULT_PREFIXES,
+    )
+    if [k for k, _ in regs] != ["engine.coalesced_resumes_ratio"]:
+        fail(f"self-test: coalescing-ratio drop not caught: {regs}")
+    regs, _, _ = compare(
+        ratio_base,
+        rows_of({"engine.coalesced_resumes_ratio": ("ratio", 0.95)}),
+        DEFAULT_THRESHOLD, DEFAULT_PREFIXES,
+    )
+    if regs:
+        fail(f"self-test: coalescing-ratio rise misread as regression: {regs}")
+
     print("compare_bench_json: self-test OK")
     return 0
 
@@ -334,10 +409,10 @@ def main(argv):
     if not prefixes:
         prefixes = DEFAULT_PREFIXES
 
-    base_rows = load_rows(paths[0])
-    cur_rows = load_rows(paths[1])
+    base_rows, base_hw = load_doc(paths[0])
+    cur_rows, cur_hw = load_doc(paths[1])
     regressions, compared, skipped = compare(
-        base_rows, cur_rows, threshold, prefixes
+        base_rows, cur_rows, threshold, prefixes, base_hw, cur_hw
     )
     for key, why in skipped:
         print(f"compare_bench_json: skipped {key}: {why}")

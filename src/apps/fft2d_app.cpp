@@ -51,7 +51,8 @@ sim::Task<std::vector<Complex>> phase1_rows(vorx::Subprocess& sp,
   for (int r = 0; r < rpn; ++r) {
     co_await sp.compute(fft_cost(n));
     fft(std::span<Complex>(rows.data() + static_cast<long>(r) * n,
-                           static_cast<std::size_t>(n)));
+                           static_cast<std::size_t>(n)),
+        false, st.cfg.kernel);
   }
   co_return rows;
 }
@@ -65,7 +66,8 @@ sim::Task<void> phase2_columns(vorx::Subprocess& sp, Shared& st, int me,
   for (int c = 0; c < rpn; ++c) {
     co_await sp.compute(fft_cost(n));
     fft(std::span<Complex>(cols.data() + static_cast<std::size_t>(c) * n,
-                           static_cast<std::size_t>(n)));
+                           static_cast<std::size_t>(n)),
+        false, st.cfg.kernel);
   }
   for (int c = 0; c < rpn; ++c) {
     for (int r = 0; r < n; ++r) {
@@ -313,7 +315,7 @@ Fft2dResult run_fft2d(sim::Simulator& sim, vorx::System& sys,
                      static_cast<std::uint64_t>(cfg.p - 1);
 
   std::vector<Complex> serial = st->input;
-  fft2d(serial, cfg.n);
+  fft2d(serial, cfg.n, cfg.kernel);
   res.matches_serial = serial == st->output;
   res.result_checksum = checksum(st->output);
   return res;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cstring>
+#include <limits>
 
 #include "sim/small_pool.hpp"
 
@@ -31,11 +32,6 @@
 // insert()).
 
 namespace hpcvorx::sim {
-
-struct EventHandle::State {
-  bool cancelled = false;
-  bool fired = false;
-};
 
 bool EventHandle::cancel() {
   if (!state_ || state_->cancelled || state_->fired) return false;
@@ -81,106 +77,8 @@ EventHandle EventQueue::push(SimTime at, InlineFn&& fn) {
   return EventHandle{std::move(state)};
 }
 
-void EventQueue::post(SimTime at, InlineFn&& fn) {
-  insert(at, next_seq_++, std::move(fn), nullptr);
-}
-
-std::uint32_t EventQueue::alloc_node(
-    SimTime at, std::uint64_t seq, InlineFn&& fn,
-    std::shared_ptr<EventHandle::State>&& state) const {
-  // Reserving the slab on first use sidesteps vector-doubling relocation
-  // of live entries through the warm-up of a fresh queue.
-  if (slab_.capacity() == 0) slab_.reserve(1024);
-  if (free_head_ != kNil) {
-    const std::uint32_t idx = free_head_;
-    Node& n = slab_[idx];
-    free_head_ = n.next;
-    n.e.at = at;
-    n.e.seq = seq;
-    n.e.fn = std::move(fn);
-    n.e.state = std::move(state);
-    n.next = kNil;
-    return idx;
-  }
-  const std::uint32_t idx = static_cast<std::uint32_t>(slab_.size());
-  slab_.push_back(
-      Node{Entry{at, seq, std::move(fn), std::move(state)}, kNil, kNil});
-  return idx;
-}
-
-void EventQueue::free_node(std::uint32_t idx) const {
-  Node& n = slab_[idx];
-  n.e.fn.reset();
-  n.e.state.reset();
-  n.next = free_head_;
-  free_head_ = idx;
-}
-
-void EventQueue::link_l0(std::uint32_t idx) const {
-  const SimTime at = slab_[idx].e.at;
-  const std::size_t b = bucket_index(at);
-  if (!bucket_occupied(b)) {
-    occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
-    buckets_[b] = idx;
-    slab_[idx].bucket_tail = idx;
-  } else {
-    Node& head_node = slab_[buckets_[b]];
-    slab_[head_node.bucket_tail].next = idx;
-    head_node.bucket_tail = idx;
-  }
-  if (wheel_count_ == 0 || at < wheel_min_) {
-    wheel_min_ = at;
-    wheel_head_ = idx;
-  }
-  ++wheel_count_;
-}
-
-void EventQueue::link_l1(std::uint32_t idx) const {
-  const SimTime at = slab_[idx].e.at;
-  const std::size_t b = l1_bucket_index(at);
-  if (!l1_bucket_occupied(b)) {
-    l1_occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
-    l1_buckets_[b] = idx;
-    slab_[idx].bucket_tail = idx;
-  } else {
-    Node& head_node = slab_[l1_buckets_[b]];
-    slab_[head_node.bucket_tail].next = idx;
-    head_node.bucket_tail = idx;
-  }
-  const SimTime start = l1_bucket_start(at);
-  if (l1_count_ == 0 || start < l1_min_start_) l1_min_start_ = start;
-  ++l1_count_;
-}
-
-void EventQueue::insert(SimTime at, std::uint64_t seq, InlineFn&& fn,
-                        std::shared_ptr<EventHandle::State>&& state) {
-  if (at >= base_) {
-    const std::uint64_t delta = static_cast<std::uint64_t>(at - base_);
-    if (delta < kL0Window) {
-      // Level-0 path: O(1) append to the exact-tick bucket's FIFO.
-      link_l0(alloc_node(at, seq, std::move(fn), std::move(state)));
-      ++stats_.l0_inserts;
-      return;
-    }
-    // Level-1 accept window, frontier-bucket-exclusive.  The circular
-    // mapping spans kL1Buckets buckets starting at the frontier's own
-    // bucket, so when base_ sits mid-bucket the last partial bucket of
-    // [base_, base_ + kL1Span) aliases the frontier's bucket index;
-    // time_of_l1_bucket() would report the aliased bucket's start as
-    // ~base_ (kL1Span too early), promote_due() would drain it at once,
-    // and link_l0() would see a time outside the ring window.  Events in
-    // that partial bucket spill to the heap instead.
-    if (delta < kL1Span - (static_cast<std::uint64_t>(base_) & (kL1Tick - 1))) {
-      // Level-1 path: O(1) append to the coarse bucket's FIFO; the
-      // bucket is redistributed into level 0 when the frontier nears it.
-      link_l1(alloc_node(at, seq, std::move(fn), std::move(state)));
-      ++stats_.l1_inserts;
-      return;
-    }
-  }
-  // True spill: far future (beyond the level-1 span) or behind the
-  // frontier.  The node stays in the slab; only its 4-byte handle sifts.
-  heap_.push_back(alloc_node(at, seq, std::move(fn), std::move(state)));
+void EventQueue::spill(std::uint32_t idx) {
+  heap_.push_back(idx);
   ++stats_.heap_inserts;
   const auto later = [this](std::uint32_t a, std::uint32_t b) {
     const Entry& ea = slab_[a].e;
@@ -385,6 +283,295 @@ std::pair<SimTime, InlineFn> EventQueue::pop() {
     base_ = std::max(base_, out.first);
     promote_due();
     return out;
+  }
+}
+
+std::size_t EventQueue::drain_bucket(DrainBatch& out, SimTime limit) {
+  assert(out.exhausted() && "refusing to drain over unfired batch entries");
+  out.reset_fill(this);
+  constexpr SimTime kMaxTime = std::numeric_limits<SimTime>::max();
+  // Promote before reading any head, exactly as next_head() does: a
+  // level-1 insert can land in an already-due bucket (promoted and
+  // re-occupied since the last frontier move) holding an event earlier
+  // than the current ring minimum.  One compare when nothing is due.
+  promote_due();
+  // Reap cancelled entries exactly as lazily as pop()'s head selection
+  // would: an entry is reaped only when it surfaces as the next head.  A
+  // cancelled heap front parked *behind* a live ring head stays resident
+  // — the sampled heap-size counter track pins this laziness, so an
+  // eager sweep here would shift trace goldens.
+  while (wheel_count_ > 0) {
+    const Entry& w = slab_[wheel_head_].e;
+    if (!heap_.empty()) {
+      const Entry& h = slab_[heap_.front()].e;
+      if (h.at < w.at || (h.at == w.at && h.seq < w.seq)) {
+        if (h.state != nullptr && h.state->cancelled) {
+          discard_heap_head();
+          continue;
+        }
+        return 0;  // live heap head: the pop() path serves it
+      }
+    }
+    if (w.state != nullptr && w.state->cancelled) {
+      discard_wheel_head();
+      continue;
+    }
+    break;  // live ring head wins the duel
+  }
+
+  if (wheel_count_ == 0 && l1_count_ > 0) {
+    // Level 0 is empty, so the head is the earliest level-1 bucket's
+    // minimum or the heap front.  Drain the level-1 bucket *directly*
+    // into the batch — the fused equivalent of next_head()'s
+    // fast-forward + promote_due() + a ring sweep, minus the per-event
+    // ring round-trip (link_l0, bucket-min bookkeeping, unlink).  Every
+    // exit below leaves the frontier, stats, and structures in exactly
+    // the state the promote-then-sweep path would have.
+    for (;;) {
+      const std::size_t b = l1_bucket_index(l1_min_start_);
+      assert(l1_bucket_occupied(b));
+      // Single peek+collect pass: the bucket's live (time, seq) minimum,
+      // with live sort keys and cancelled handles gathered as a side
+      // effect — nothing is unlinked until a branch below commits.
+      // Within one instant FIFO order is seq order, so the first entry
+      // seen at the minimum time carries the minimum seq.
+      out.keys_.clear();
+      out.cxl_.clear();
+      SimTime min_at = kMaxTime;
+      std::uint64_t min_seq = 0;
+      for (std::uint32_t idx = l1_buckets_[b]; idx != kNil;
+           idx = slab_[idx].next) {
+        const Entry& e = slab_[idx].e;
+        if (e.state != nullptr && e.state->cancelled) {
+          out.cxl_.push_back(idx);
+          continue;
+        }
+        if (out.keys_.empty() || e.at < min_at) {
+          min_at = e.at;
+          min_seq = e.seq;
+        }
+        out.keys_.push_back({e.at, e.seq, idx});
+      }
+      const std::size_t live = out.keys_.size();
+      if (live == 0) {
+        // Wholly-cancelled bucket.  Mirror next_head()'s fast-forward
+        // guard before reaping: a heap front *before* the bucket's start
+        // serves first and leaves the bucket resident (same laziness as
+        // the duel below — the reap-at-promotion counter track pins it).
+        if (!heap_.empty()) {
+          const Entry& h = slab_[heap_.front()].e;
+          if (h.at < l1_min_start_) {
+            if (h.state != nullptr && h.state->cancelled) {
+              discard_heap_head();
+              continue;
+            }
+            return 0;  // live heap head: the pop() path serves it
+          }
+        }
+        // Reap it and retry with the next bucket (the fast-forward would
+        // have promoted it into the empty ring and reaped it there —
+        // same frees, same counter).  The peek pass already gathered the
+        // whole chain into cxl_, so no second walk.
+        l1_occupancy_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+        for (const std::uint32_t i : out.cxl_) free_node(i);
+        l1_count_ -= out.cxl_.size();
+        stats_.l1_cancelled_reaped += out.cxl_.size();
+        if (l1_count_ == 0) break;  // heap (or nothing) owns the head
+        advance_l1_min(b);
+        continue;
+      }
+      if (!heap_.empty()) {
+        const Entry& h = slab_[heap_.front()].e;
+        if (h.at < min_at || (h.at == min_at && h.seq < min_seq)) {
+          if (h.state != nullptr && h.state->cancelled) {
+            // Cancelled front surfacing as the head: reap and re-duel,
+            // as pop()'s selection loop would.
+            discard_heap_head();
+            continue;
+          }
+          // The heap serves the next event via pop().  Mirror
+          // next_head(): its fast-forward promotes this bucket first iff
+          // the heap front is not strictly before the bucket's start.
+          if (h.at >= l1_min_start_) {
+            base_ = std::max(base_, l1_min_start_);
+            promote_due();
+          }
+          return 0;
+        }
+      }
+      if (min_at > limit) {
+        // Deadline before the head.  next_head() — reached through the
+        // caller's next_event_time() — would have fast-forwarded and
+        // promoted; match that end state, then report nothing to drain.
+        base_ = std::max(base_, l1_min_start_);
+        promote_due();
+        return 0;
+      }
+      const SimTime head_bucket_last =
+          l1_bucket_start(min_at) + static_cast<SimTime>(kL1Tick - 1);
+      if (head_bucket_last > limit) {
+        // Mid-bucket deadline (rare): promote and take the ring sweep
+        // below so the clipped tail stays ring-resident.
+        base_ = std::max(base_, l1_min_start_);
+        promote_due();
+        break;
+      }
+      // Direct drain: unlink the bucket and keep the live entries where
+      // they are — the batch borrows their slab nodes.  The peek pass
+      // already split the chain into keys_ (live) and cxl_ (cancelled).
+      l1_occupancy_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+      for (const std::uint32_t i : out.cxl_) free_node(i);
+      l1_count_ -= live + out.cxl_.size();
+      stats_.l1_cancelled_reaped += out.cxl_.size();
+      if (l1_count_ > 0) advance_l1_min(b);
+      // These events skip the ring but are promoted all the same — count
+      // them so the sampled counter tracks match the promote-then-sweep
+      // path at every post-fire sampling instant.
+      stats_.l1_promoted += live;
+      // A 4 µs bucket holds many instants: sort by (time, seq) for the
+      // exact pop() order.  The ring sweep gets this order for free from
+      // its per-instant buckets; here one sort of packed 24-byte keys —
+      // no slab chases from the comparator — is cheaper than bouncing
+      // every event through the ring.
+      std::sort(out.keys_.begin(), out.keys_.end(),
+                [](const DrainBatch::SortKey& x, const DrainBatch::SortKey& y) {
+                  if (x.at != y.at) return x.at < y.at;
+                  return x.seq < y.seq;
+                });
+      for (const DrainBatch::SortKey& k : out.keys_) out.idx_.push_back(k.idx);
+      base_ = std::max(base_, min_at);
+      promote_due();
+      assert(!out.exhausted());
+      ++stats_.bucket_drains;
+      stats_.drained_events += out.size();
+      return out.size();
+    }
+  }
+
+  if (wheel_count_ == 0) {
+    // Heap-only (or truly empty): reap cancelled fronts — they are the
+    // head now, so pop()'s selection loop would — then hand over.
+    while (!heap_.empty()) {
+      const Entry& h = slab_[heap_.front()].e;
+      if (h.state == nullptr || !h.state->cancelled) break;
+      discard_heap_head();
+    }
+    return 0;  // the pop() path serves the heap head
+  }
+  {
+    // Ring head duel against the heap front, as next_head() orders them.
+    const Entry& w = slab_[wheel_head_].e;
+    if (!heap_.empty()) {
+      const Entry& h = slab_[heap_.front()].e;
+      if (h.at < w.at || (h.at == w.at && h.seq < w.seq)) return 0;
+    }
+    if (w.at > limit) return 0;
+  }
+  const SimTime t0 = wheel_min_;
+  // Advance the frontier exactly as pop() would for the head event.  Due
+  // level-1 buckets promote now, so the whole span below is resident in
+  // the ring before collection starts — and by the promotion-order
+  // argument (DESIGN.md §9/§13), everything still in level 1 afterwards
+  // lies beyond base_ + kL0Window, past the end of this span.  (An
+  // already-due bucket can exist here — a level-1 insert may land in a
+  // bucket the frontier has reached; promoting before the sweep folds
+  // such events into the batch instead of stranding them.)
+  base_ = std::max(base_, t0);
+  promote_due();
+  // Inclusive end of the drain span: the remainder of the head's level-1
+  // bucket, clipped to `limit` so a run_until() deadline never overshoots
+  // mid-bucket.  Inclusive bounds sidestep int64 overflow at the far edge.
+  const SimTime bucket_start = l1_bucket_start(t0);
+  const SimTime bucket_last =
+      bucket_start > kMaxTime - static_cast<SimTime>(kL1Tick - 1)
+          ? kMaxTime
+          : bucket_start + static_cast<SimTime>(kL1Tick - 1);
+  const SimTime last = std::min(bucket_last, limit);
+  // Single-pass sweep, in time order, straight into the batch arrays.
+  // The occupancy bitmap is walked word-wise starting at the head's
+  // bucket: every ring resident lies in [t0, t0 + kWheelBuckets), so one
+  // circular lap visits each occupied bucket in time order.  Each 1 ns
+  // bucket holds one instant and its FIFO is insertion order, so the
+  // concatenation is exactly the (time, seq) order pop() would produce.
+  // Cancelled entries are reaped here instead of copied — the same lazy
+  // reap pop() does.
+  const std::size_t b0 = bucket_index(t0);
+  std::size_t word = b0 >> 6;
+  std::uint64_t bits = occupancy_[word] & (~std::uint64_t{0} << (b0 & 63));
+  while (wheel_count_ > 0) {
+    while (bits == 0) {
+      word = (word + 1) & (kWords - 1);
+      bits = occupancy_[word];
+    }
+    const std::size_t b =
+        (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    const SimTime bt = time_of_bucket(b);
+    if (bt > last) {
+      // First occupied bucket past the span: by the same time-order
+      // argument it holds the new ring minimum — no advance_wheel_min()
+      // rescan needed.
+      wheel_min_ = bt;
+      wheel_head_ = buckets_[b];
+      break;
+    }
+    bits &= bits - 1;
+    occupancy_[word] &= ~(std::uint64_t{1} << (b & 63));
+    std::uint32_t idx = buckets_[b];
+    while (idx != kNil) {
+      Node& n = slab_[idx];
+      const std::uint32_t next = n.next;
+      --wheel_count_;
+      if (n.e.state != nullptr && n.e.state->cancelled) {
+        free_node(idx);
+      } else {
+        // Borrow, don't move: the node stays slab-resident (unlinked from
+        // every bucket) until the batch cursor fires or discards it.
+        out.idx_.push_back(idx);
+      }
+      idx = next;
+    }
+  }
+  assert(!out.exhausted() && "live wheel head must land in the batch");
+  ++stats_.bucket_drains;
+  stats_.drained_events += out.size();
+  return out.size();
+}
+
+bool EventQueue::earlier_than_slow(SimTime at, std::uint64_t seq) const {
+  for (;;) {
+    // Re-screen on every iteration: the reap below can surface a new
+    // head that no longer orders earlier (the ordering rationale lives
+    // on the inline fast path in the header).
+    const bool wheel_cand = wheel_count_ > 0 && wheel_min_ < at;
+    const Entry* hh = heap_.empty() ? nullptr : &slab_[heap_.front()].e;
+    const bool heap_cand =
+        hh != nullptr &&
+        (hh->at < at || (hh->at == at && hh->seq < seq));
+    if (!wheel_cand && !heap_cand) return false;
+    // Settle on the earlier candidate, exactly as next_head() orders them
+    // — but without next_head() itself, whose level-1 fast-forward could
+    // move the frontier past unfired batch entries.
+    const Entry* cand;
+    bool cand_wheel;
+    if (wheel_cand && heap_cand) {
+      const Entry& w = slab_[wheel_head_].e;
+      cand_wheel = (w.at != hh->at) ? (w.at < hh->at) : (w.seq < hh->seq);
+      cand = cand_wheel ? &w : hh;
+    } else if (wheel_cand) {
+      cand = &slab_[wheel_head_].e;
+      cand_wheel = true;
+    } else {
+      cand = hh;
+      cand_wheel = false;
+    }
+    if (cand->state == nullptr || !cand->state->cancelled) return true;
+    // The candidate was cancelled: reap it (pop() would have) and
+    // re-decide against whatever surfaces next.
+    if (cand_wheel) {
+      discard_wheel_head();
+    } else {
+      discard_heap_head();
+    }
   }
 }
 

@@ -43,6 +43,8 @@
 // benchmarks build thousands of Simulators.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -69,7 +71,12 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State;
+  // Defined here (not in the .cpp) so the batched dispatcher's per-fire
+  // cancellation checks inline into the hot loop.
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
   explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
   std::shared_ptr<State> state_;
 };
@@ -116,6 +123,9 @@ class EventQueue {
     std::uint64_t l1_promoted = 0;   // events redistributed level 1 -> 0
     std::uint64_t l1_cancelled_reaped = 0;  // cancelled events freed at
                                             // promotion, never relinked
+    std::uint64_t bucket_drains = 0;   // drain_bucket() calls that filled a
+                                       // batch (feeds the amortization row)
+    std::uint64_t drained_events = 0;  // events handed out via drain_bucket
   };
 
   EventQueue();
@@ -132,8 +142,13 @@ class EventQueue {
   /// This is the hot path: most events (frame deliveries, coroutine
   /// wakeups) are never cancelled, and skipping the handle skips the
   /// shared-state allocation entirely — with InlineFn storage the whole
-  /// call is allocation-free once the queue's slabs are warm.
-  void post(SimTime at, InlineFn&& fn);
+  /// call is allocation-free once the queue's slabs are warm.  Inline —
+  /// together with the inline insert/link chain below, a call site that
+  /// builds its lambda in place compiles down to direct stores into the
+  /// slab node, with no indirect relocate.
+  void post(SimTime at, InlineFn&& fn) {
+    insert(at, next_seq_++, std::move(fn), nullptr);
+  }
 
   /// True if no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const;
@@ -152,22 +167,180 @@ class EventQueue {
   /// from the queue.  Precondition: !empty().
   std::pair<SimTime, InlineFn> pop();
 
+  /// Entry is an implementation detail, public only so the comparator in
+  /// event_queue.cpp — and DrainBatch's inline cursor accessors below —
+  /// can see it.  Entries live in the shared node slab for all three
+  /// structures; the heap sifts slab indices, never Entries.  Field order
+  /// is deliberate: at/seq/state lead so that — together with Node's
+  /// link words — every field a drain chain-walk reads sits in the node's
+  /// first cache line; the wide callable payload trails.
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::State> state;  // null for post()ed events
+    InlineFn fn;
+  };
+
+  /// One drained frontier-bucket span: a firing cursor over slab handles
+  /// in exact (time, seq) pop order.  The batch *borrows* the queue's slab
+  /// storage — drained entries stay in their slab nodes, unlinked from
+  /// every bucket structure, and are freed one by one as the cursor fires
+  /// past them.  Moving only 4-byte handles (instead of relocating each
+  /// ~112-byte entry into batch arrays and back through a fire cursor)
+  /// halves the per-event memory traffic of a drain.  Owned by the
+  /// dispatcher (sim::Simulator) and refilled by drain_bucket(); the
+  /// handle vector keeps its capacity across refills, so steady-state
+  /// batched dispatch allocates nothing (lint R5).  Entries keep their
+  /// cancellation state: a handle can cancel an event after it was drained
+  /// but before it fires, so — exactly like pop() — the cancelled check
+  /// happens at fire time, via begin_fire().
+  class DrainBatch {
+   public:
+    DrainBatch() = default;
+    DrainBatch(const DrainBatch&) = delete;
+    DrainBatch& operator=(const DrainBatch&) = delete;
+
+    [[nodiscard]] bool exhausted() const { return pos_ == idx_.size(); }
+    [[nodiscard]] std::size_t size() const { return idx_.size(); }
+    [[nodiscard]] std::size_t remaining() const { return idx_.size() - pos_; }
+    /// Time / insertion sequence of the entry under the cursor.
+    /// Precondition for these five: !exhausted().
+    [[nodiscard]] SimTime head_time() const { return head().at; }
+    [[nodiscard]] std::uint64_t head_seq() const { return head().seq; }
+    /// True when the head entry was cancelled after the drain.
+    [[nodiscard]] bool head_cancelled() const {
+      const EventHandle::State* s = head().state.get();
+      return s != nullptr && s->cancelled;
+    }
+    /// Prefetches the next entry's slab node so it is warm by the time the
+    /// current callback returns (a node spans two cache lines).
+    void prefetch_next() const {
+      if (pos_ + 1 < idx_.size()) {
+        const char* p =
+            reinterpret_cast<const char*>(&q_->slab_[idx_[pos_ + 1]]);
+        __builtin_prefetch(p);
+        __builtin_prefetch(p + 64);
+      }
+    }
+    /// Claims the head for firing.  Returns false — cursor advanced, entry
+    /// reaped — when it was cancelled after the drain; otherwise marks it
+    /// fired (so a late cancel() returns false, as with pop()).
+    [[nodiscard]] bool begin_fire() {
+      EventHandle::State* s = head().state.get();
+      if (s != nullptr) {
+        if (s->cancelled) {
+          discard_head();
+          return false;
+        }
+        s->fired = true;
+      }
+      return true;
+    }
+    /// Fires the claimed head and advances the cursor.  The node returns
+    /// to the free list *before* the call — callable still armed — and
+    /// InlineFn::consume_invoke moves the capture out of slab storage as
+    /// the first step of its one fused indirect call.  By the time user
+    /// code runs (and may grow the slab or reuse the node), the capture
+    /// lives in the op's own frame: no stack-relocate round trip per
+    /// event.  Precondition: begin_fire() returned true for this entry.
+    void fire_head() {
+      const std::uint32_t idx = idx_[pos_++];
+      Entry& e = q_->slab_[idx].e;
+      e.state.reset();
+      q_->free_node_armed(idx);
+      e.fn.consume_invoke();
+    }
+    /// Reaps a cancelled head without firing it (used when publishing the
+    /// next-event time to the shard runtime, so a cancelled batch head
+    /// never pins the LBTS on a phantom instant).
+    void discard_head() { q_->free_node(idx_[pos_++]); }
+
+   private:
+    friend class EventQueue;
+    [[nodiscard]] Entry& head() const { return q_->slab_[idx_[pos_]].e; }
+    void reset_fill(const EventQueue* q) {
+      q_ = q;
+      idx_.clear();
+      pos_ = 0;
+    }
+    const EventQueue* q_ = nullptr;  // rebound on every drain_bucket()
+    std::vector<std::uint32_t> idx_;  // slab handles, (time, seq) order
+    // Drain-time scratch for the direct level-1 path: (at, seq, idx)
+    // triples sorted contiguously instead of chasing slab nodes from the
+    // sort comparator.
+    struct SortKey {
+      SimTime at;
+      std::uint64_t seq;
+      std::uint32_t idx;
+    };
+    std::vector<SortKey> keys_;
+    std::vector<std::uint32_t> cxl_;  // drain-time scratch: cancelled nodes
+    std::size_t pos_ = 0;
+  };
+
+  /// Drains every ring event in the live head's level-1 bucket span —
+  /// clipped to `limit`, inclusive, so a run_until() deadline never
+  /// overshoots mid-bucket — into `out`, in exact (time, seq) pop order.
+  /// Returns the number of entries drained.  Returns 0 (and drains
+  /// nothing) when the queue is empty, the head is past `limit`, or the
+  /// head lives in the spill heap; the caller falls back to pop() for
+  /// those cases.  In-span spill-heap entries are never drained: the
+  /// dispatcher interleaves them through pop() via earlier_than(), which
+  /// keeps heap traffic — and the sampled heap-size counter track —
+  /// identical to event-at-a-time dispatch.  Precondition:
+  /// out.exhausted().
+  std::size_t drain_bucket(DrainBatch& out, SimTime limit);
+
+  /// True when a live queue-resident event orders strictly before
+  /// (at, seq).  Used by the batched dispatcher before firing each drained
+  /// entry: an event fired earlier in the bucket may have scheduled
+  /// something ahead of the rest of the batch (a 0-delay wakeup lands in
+  /// the current tick's ring bucket), or an in-span spill entry may hold a
+  /// smaller sequence number than a same-tick batch entry.  Cancelled
+  /// candidates are reaped here (the same lazy reap pop() would do), but
+  /// the frontier never moves — in particular next_head()'s level-1
+  /// fast-forward is never triggered, so insert routing during batch
+  /// firing matches the pop() path byte for byte.  The candidate test is
+  /// inline (it runs once per fired event and almost always rejects);
+  /// the candidate duel and cancelled-reap loop live out of line.
+  [[nodiscard]] bool earlier_than(SimTime at, std::uint64_t seq) const {
+    // The wheel check can be strict: a same-tick ring entry always
+    // carries a later sequence number than a drained batch entry (the
+    // batch took every in-span resident; later inserts get later seqs).
+    // Level 1 needs no check at all: after drain_bucket()'s
+    // promote_due(), every level-1 resident — and any later level-1
+    // insert — lies beyond base_ + kL0Window, past the whole drained
+    // span.  Only the spill heap can hold a same-tick, smaller-seq entry
+    // (one that was far when inserted), so its check compares sequences.
+    const bool wheel_cand = wheel_count_ > 0 && wheel_min_ < at;
+    if (wheel_cand) return earlier_than_slow(at, seq);
+    if (heap_.empty()) return false;
+    const Entry& h = slab_[heap_.front()].e;
+    if (h.at > at || (h.at == at && h.seq > seq)) return false;
+    return earlier_than_slow(at, seq);
+  }
+
+  /// Advances the pop frontier to `t` and promotes due level-1 buckets —
+  /// exactly what pop() does after handing out an event.  The batched
+  /// dispatcher calls this before firing each drained entry so insert
+  /// routing and promotion timing stay identical to event-at-a-time
+  /// dispatch (the frontier is what decides ring vs level-1 vs spill).
+  /// Inline: one max plus one promote-due compare in the common case.
+  void advance_frontier(SimTime t) {
+    base_ = std::max(base_, t);
+    if (l1_count_ > 0 &&
+        l1_min_start_ + static_cast<SimTime>(kL1Tick) <=
+            base_ + static_cast<SimTime>(kWheelBuckets)) {
+      promote_due();
+    }
+  }
+
   /// Structure-traffic counters; see Stats.
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// Current spill-heap occupancy (entries parked beyond the wheels'
   /// span; includes not-yet-reaped cancellations).
   [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
-
-  /// Entry is an implementation detail, public only so the comparator in
-  /// event_queue.cpp can see it.  Entries live in the shared node slab for
-  /// all three structures; the heap sifts slab indices, never Entries.
-  struct Entry {
-    SimTime at;
-    std::uint64_t seq;
-    InlineFn fn;
-    std::shared_ptr<EventHandle::State> state;  // null for post()ed events
-  };
 
  private:
   static constexpr std::uint64_t kMask = kWheelBuckets - 1;
@@ -176,33 +349,141 @@ class EventQueue {
   static constexpr std::uint64_t kL1Words = kL1Buckets / 64;
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
-  /// Slab node: entry + intrusive FIFO link (doubles as the free list's
-  /// link) + the bucket's tail index, maintained only on the node that is
-  /// currently a bucket head (either wheel level).  Keeping the tail here
-  /// instead of in the bucket arrays halves those arrays to 4 bytes/bucket
-  /// — the whole wheel block must stay under glibc's 128 KiB mmap
-  /// threshold or every fresh queue pays mmap/munmap plus page faults
-  /// (measured 2x on the post/pop microbench).  The field rides in Node's
-  /// padding for free.  Heap-resident nodes use neither link field.
+  /// Slab node: intrusive FIFO link (doubles as the free list's link) +
+  /// the bucket's tail index + the entry.  The tail index is maintained
+  /// only on the node that is currently a bucket head (either wheel
+  /// level); keeping it here instead of in the bucket arrays halves those
+  /// arrays to 4 bytes/bucket — the whole wheel block must stay under
+  /// glibc's 128 KiB mmap threshold or every fresh queue pays mmap/munmap
+  /// plus page faults (measured 2x on the post/pop microbench).  The
+  /// link words lead so they share the first cache line with Entry's
+  /// at/seq/state (see Entry).  Heap-resident nodes use neither link
+  /// field.
   struct Node {
-    Entry e;
     std::uint32_t next = kNil;
     std::uint32_t bucket_tail = kNil;
+    Entry e;  // link words first: a drain walk reads next/at/seq/state —
+              // all inside the node's first cache line (see Entry)
   };
 
+  // The insert chain (insert/alloc_node/link_l0/link_l1) is defined
+  // in-class: post() and the Simulator's scheduling wrappers inline
+  // through it, so a call site constructing its lambda in place never
+  // pays an opaque call — and the InlineFn relocate devirtualizes to a
+  // plain move of the capture bytes.  Only the true-spill heap push
+  // stays out of line (cold by design).
   void insert(SimTime at, std::uint64_t seq, InlineFn&& fn,
-              std::shared_ptr<EventHandle::State>&& state);
+              std::shared_ptr<EventHandle::State>&& state) {
+    if (at >= base_) {
+      const std::uint64_t delta = static_cast<std::uint64_t>(at - base_);
+      if (delta < kL0Window) {
+        // Level-0 path: O(1) append to the exact-tick bucket's FIFO.
+        link_l0(alloc_node(at, seq, std::move(fn), std::move(state)));
+        ++stats_.l0_inserts;
+        return;
+      }
+      // Level-1 accept window, frontier-bucket-exclusive.  The circular
+      // mapping spans kL1Buckets buckets starting at the frontier's own
+      // bucket, so when base_ sits mid-bucket the last partial bucket of
+      // [base_, base_ + kL1Span) aliases the frontier's bucket index;
+      // time_of_l1_bucket() would report the aliased bucket's start as
+      // ~base_ (kL1Span too early), promote_due() would drain it at once,
+      // and link_l0() would see a time outside the ring window.  Events in
+      // that partial bucket spill to the heap instead.
+      if (delta <
+          kL1Span - (static_cast<std::uint64_t>(base_) & (kL1Tick - 1))) {
+        // Level-1 path: O(1) append to the coarse bucket's FIFO; the
+        // bucket is redistributed into level 0 when the frontier nears it.
+        link_l1(alloc_node(at, seq, std::move(fn), std::move(state)));
+        ++stats_.l1_inserts;
+        return;
+      }
+    }
+    // True spill: far future (beyond the level-1 span) or behind the
+    // frontier.  The node stays in the slab; only its 4-byte handle sifts.
+    spill(alloc_node(at, seq, std::move(fn), std::move(state)));
+  }
   /// Takes a node from the free list (or grows the slab) and fills it.
   std::uint32_t alloc_node(SimTime at, std::uint64_t seq, InlineFn&& fn,
-                           std::shared_ptr<EventHandle::State>&& state) const;
+                           std::shared_ptr<EventHandle::State>&& state) const {
+    // Reserving the slab on first use sidesteps vector-doubling relocation
+    // of live entries through the warm-up of a fresh queue.
+    if (slab_.capacity() == 0) slab_.reserve(1024);
+    if (free_head_ != kNil) {
+      const std::uint32_t idx = free_head_;
+      Node& n = slab_[idx];
+      free_head_ = n.next;
+      n.e.at = at;
+      n.e.seq = seq;
+      n.e.state = std::move(state);
+      n.e.fn = std::move(fn);
+      n.next = kNil;
+      return idx;
+    }
+    const std::uint32_t idx = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(
+        Node{kNil, kNil, Entry{at, seq, std::move(state), std::move(fn)}});
+    return idx;
+  }
   /// Destroys the node's payload and returns it to the free list.
-  void free_node(std::uint32_t idx) const;
+  void free_node(std::uint32_t idx) const {
+    Node& n = slab_[idx];
+    n.e.fn.reset();
+    n.e.state.reset();
+    n.next = free_head_;
+    free_head_ = idx;
+  }
+  /// Free-list push that leaves the callable armed.  Only the batch fire
+  /// path uses this: it pushes the node first and lets consume_invoke
+  /// disarm and move the capture out before any user code could reuse
+  /// the node (alloc_node's move-assign onto a disarmed fn is a no-op
+  /// reset).  The caller must have cleared the node's state already.
+  void free_node_armed(std::uint32_t idx) const {
+    Node& n = slab_[idx];
+    n.next = free_head_;
+    free_head_ = idx;
+  }
   /// Appends an already-filled node to its level-0 exact-tick bucket and
   /// maintains wheel_min_/wheel_head_.  Precondition: the node's time is
   /// inside [base_, base_ + kWheelBuckets) and node.next == kNil.
-  void link_l0(std::uint32_t idx) const;
+  void link_l0(std::uint32_t idx) const {
+    const SimTime at = slab_[idx].e.at;
+    const std::size_t b = bucket_index(at);
+    if (!bucket_occupied(b)) {
+      occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
+      buckets_[b] = idx;
+      slab_[idx].bucket_tail = idx;
+    } else {
+      Node& head_node = slab_[buckets_[b]];
+      slab_[head_node.bucket_tail].next = idx;
+      head_node.bucket_tail = idx;
+    }
+    if (wheel_count_ == 0 || at < wheel_min_) {
+      wheel_min_ = at;
+      wheel_head_ = idx;
+    }
+    ++wheel_count_;
+  }
   /// Appends an already-filled node to its level-1 bucket.
-  void link_l1(std::uint32_t idx) const;
+  void link_l1(std::uint32_t idx) const {
+    const SimTime at = slab_[idx].e.at;
+    const std::size_t b = l1_bucket_index(at);
+    if (!l1_bucket_occupied(b)) {
+      l1_occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
+      l1_buckets_[b] = idx;
+      slab_[idx].bucket_tail = idx;
+    } else {
+      Node& head_node = slab_[l1_buckets_[b]];
+      slab_[head_node.bucket_tail].next = idx;
+      head_node.bucket_tail = idx;
+    }
+    const SimTime start = l1_bucket_start(at);
+    if (l1_count_ == 0 || start < l1_min_start_) l1_min_start_ = start;
+    ++l1_count_;
+  }
+  /// True-spill push: sifts the already-allocated node's handle into the
+  /// binary heap.  Out of line — this is the cold insert tail.
+  void spill(std::uint32_t idx);
   /// Promotes every level-1 bucket that fits entirely inside the level-0
   /// window (bucket_start + kL1Tick <= base_ + kWheelBuckets), earliest
   /// first.  Called after every frontier advance and before head reads.
@@ -226,6 +507,9 @@ class EventQueue {
   /// l1_count_ > 0.
   void advance_l1_min(std::size_t emptied_bucket) const;
   void drop_cancelled() const;
+  /// earlier_than()'s out-of-line tail: at least one candidate passed the
+  /// inline screen — run the candidate duel and the cancelled-reap loop.
+  [[nodiscard]] bool earlier_than_slow(SimTime at, std::uint64_t seq) const;
 
   [[nodiscard]] static std::size_t bucket_index(SimTime at) {
     return static_cast<std::size_t>(static_cast<std::uint64_t>(at) & kMask);

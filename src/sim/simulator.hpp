@@ -5,6 +5,7 @@
 // it; nothing uses wall-clock time, threads, or nondeterministic ordering.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "sim/event_queue.hpp"
@@ -57,25 +58,45 @@ class Simulator {
   /// Schedules `fn` to run at absolute virtual time `at` (clamped to now()).
   /// The callable binds by rvalue reference so it relocates exactly once,
   /// from the call site into queue storage (see EventQueue::push).
-  EventHandle schedule_at(SimTime at, InlineFn&& fn);
+  EventHandle schedule_at(SimTime at, InlineFn&& fn) {
+    return queue_.push(std::max(at, now_), std::move(fn));
+  }
 
   /// Schedules `fn` to run `d` after the current time (d clamped to >= 0).
-  EventHandle schedule_after(Duration d, InlineFn&& fn);
+  EventHandle schedule_after(Duration d, InlineFn&& fn) {
+    return schedule_at(now_ + std::max<Duration>(d, 0), std::move(fn));
+  }
 
   /// Handle-free variants for events that are never cancelled (the common
   /// case: frame deliveries, coroutine wakeups).  Skipping the handle skips
   /// the per-event cancellation-state allocation — see EventQueue::post.
-  void post_at(SimTime at, InlineFn&& fn);
-  void post_after(Duration d, InlineFn&& fn);
+  /// Inline so a posting call site compiles straight through
+  /// EventQueue::post's inline insert chain (no opaque boundary between
+  /// the lambda's construction and its landing in the slab).
+  void post_at(SimTime at, InlineFn&& fn) {
+    queue_.post(std::max(at, now_), std::move(fn));
+  }
+  void post_after(Duration d, InlineFn&& fn) {
+    post_at(now_ + std::max<Duration>(d, 0), std::move(fn));
+  }
 
   /// Runs one pending event.  Returns false if none remain.
   bool step();
 
-  /// Runs until the event queue drains or stop() is called.
+  /// Runs until the event queue drains or stop() is called.  Dispatch is
+  /// bucket-at-a-time: the queue hands over a whole level-1 frontier
+  /// bucket (EventQueue::drain_bucket) and the loop fires the batch
+  /// straight-line, paying the head comparison and window bookkeeping once
+  /// per bucket instead of once per event.  Firing order, insert routing,
+  /// and counter samples are byte-identical to event-at-a-time dispatch
+  /// (DESIGN.md §13).
   void run();
 
   /// Runs events with time <= `deadline`; afterwards now() == deadline
-  /// unless the queue drained earlier or stop() was called.
+  /// unless the queue drained earlier or stop() was called.  The batch
+  /// drain is clipped at `deadline`, so a bucket span straddling the
+  /// deadline never overshoots: events past it stay queued for the next
+  /// window (the shard runtime's LBTS contract).
   void run_until(SimTime deadline);
 
   /// Makes run()/run_until() return after the current event completes.
@@ -87,14 +108,19 @@ class Simulator {
   [[nodiscard]] bool stop_requested() const { return stopped_; }
 
   /// Number of pending events (upper bound, see EventQueue::size()).
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Includes drained-but-unfired batch entries: a run_until() deadline
+  /// can split a bucket, leaving the tail of the batch pending for the
+  /// next window.
+  [[nodiscard]] std::size_t pending_events() const {
+    return queue_.size() + batch_.remaining();
+  }
 
   /// Timestamp of the earliest pending event, or `if_empty` when the queue
   /// has drained.  The shard runtime's LBTS reduction reads this between
-  /// windows.
-  [[nodiscard]] SimTime next_event_time(SimTime if_empty) {
-    return queue_.empty() ? if_empty : queue_.next_time();
-  }
+  /// windows, so drained-but-unfired batch entries count (they are still
+  /// pending work); cancelled batch heads are reaped first so they never
+  /// pin the LBTS on a phantom instant.
+  [[nodiscard]] SimTime next_event_time(SimTime if_empty);
 
   /// Cumulative events executed by step() (bench: events/s numerator).
   [[nodiscard]] std::uint64_t events_executed() const {
@@ -127,6 +153,15 @@ class Simulator {
 
  private:
   void sample_queue_stats();
+  /// Fires the earliest pending event with time <= `limit`.  Returns false
+  /// when none qualifies.  The hot path walks the current DrainBatch;
+  /// refills via EventQueue::drain_bucket when the batch is exhausted, and
+  /// falls back to EventQueue::pop() for heap-resident heads and for
+  /// queue events that order before the batch head (see
+  /// EventQueue::earlier_than).
+  bool step_limit(SimTime limit);
+  /// The pop()-path half of step_limit, shared by the fallback cases.
+  void pop_and_fire();
 
   SimTime now_ = 0;
   std::int64_t next_id_ = 0;
@@ -134,6 +169,7 @@ class Simulator {
   bool stopped_ = false;
   bool claimed_thread_slot_ = false;  // ctor claimed the ambient binding
   EventQueue queue_;
+  EventQueue::DrainBatch batch_;  // live frontier bucket, firing cursor inside
   CounterTimeline counters_;
   EventQueue::Stats sampled_stats_;  // last queue_stats() snapshot sampled
   ProcRegistry registry_;

@@ -1,12 +1,49 @@
 #include "vorx/kernel.hpp"
 
+#include <utility>
+
 namespace hpcvorx::vorx {
+
+// Parks the receive pump until the next arrival interrupt.  Ready when a
+// frame is already staged (the pump's first activation finds the frame
+// that triggered it), so the pump never suspends with work pending.
+struct Kernel::RxPark {
+  Kernel& k;
+  [[nodiscard]] bool await_ready() const noexcept {
+    return k.ep_.rx_peek() != nullptr;
+  }
+  void await_suspend(std::coroutine_handle<> h) noexcept { k.rx_parked_ = h; }
+  void await_resume() const noexcept {}
+};
 
 Kernel::Kernel(sim::Simulator& sim, hw::Endpoint& ep, sim::Cpu& cpu,
                const CostModel& costs)
     : sim_(sim), ep_(ep), cpu_(cpu), costs_(costs), tx_ready_ev_(sim) {
+  // The arrival interrupt.  Order contract (DESIGN.md §13): the parked
+  // pump is resumed *inline* — within the delivering event, exactly where
+  // the old per-burst rx_service() spawn ran — so the CPU charge for the
+  // head frame is requested at the same virtual instant, in the same
+  // event-sequence position, as event-at-a-time delivery.  Arrivals while
+  // the pump is awake (mid-burst, awaiting a CPU charge) don't resume
+  // anything: the frame stays staged in the hardware receive ring, the
+  // per-(receiver,source) FIFO of which *is* the pinned delivery order,
+  // and the pump's drain loop reaches it in that order.
   ep_.set_rx_cb([this] {
-    if (!rx_active_) rx_service();
+    ++rx_irqs_;
+    if (!rx_started_) {
+      // Lazy first start, on the shard thread that delivers the first
+      // frame, so the pump's frame registers with that shard's registry.
+      rx_started_ = true;
+      ++rx_resumes_;
+      rx_pump();
+      return;
+    }
+    if (rx_parked_ != nullptr) {
+      const std::coroutine_handle<> h =
+          std::exchange(rx_parked_, std::coroutine_handle<>{});
+      ++rx_resumes_;
+      h.resume();
+    }
   });
   ep_.set_tx_ready_cb([this] { tx_ready_ev_.set(); });
 }
@@ -38,34 +75,35 @@ void Kernel::sample_txq() {
             sim::to_usec(tx_blocked_));
 }
 
-sim::Proc Kernel::rx_service() {
-  rx_active_ = true;
-  while (ep_.rx_peek() != nullptr) {
-    const hw::Frame* head = ep_.rx_peek();
-    sim::Duration cost;
-    sim::Category cat;
-    if (head->kind == msg::kUdco && objects_.count(head->obj) != 0) {
-      // User-supplied ISR reads the frame directly: user-level costs.
-      cost = costs_.udco_isr_fixed +
-             static_cast<sim::Duration>(head->payload_bytes) *
-                 costs_.udco_isr_per_byte;
-      cat = sim::Category::kUser;
-    } else {
-      cost = costs_.rx_interrupt +
-             static_cast<sim::Duration>(head->payload_bytes) *
-                 costs_.rx_copy_per_byte;
-      cat = sim::Category::kSystem;
+sim::Proc Kernel::rx_pump() {
+  for (;;) {
+    co_await RxPark{*this};
+    while (ep_.rx_peek() != nullptr) {
+      const hw::Frame* head = ep_.rx_peek();
+      sim::Duration cost;
+      sim::Category cat;
+      if (head->kind == msg::kUdco && objects_.count(head->obj) != 0) {
+        // User-supplied ISR reads the frame directly: user-level costs.
+        cost = costs_.udco_isr_fixed +
+               static_cast<sim::Duration>(head->payload_bytes) *
+                   costs_.udco_isr_per_byte;
+        cat = sim::Category::kUser;
+      } else {
+        cost = costs_.rx_interrupt +
+               static_cast<sim::Duration>(head->payload_bytes) *
+                   costs_.rx_copy_per_byte;
+        cat = sim::Category::kSystem;
+      }
+      co_await cpu_.run(sim::prio::kInterrupt, cost, cat,
+                        sim::kBorrowedContext, costs_.interrupt_dispatch);
+      // The frame leaves the hardware buffer only now that it has been
+      // copied, which is what lets the interconnect push the next one.
+      hw::Frame f = *ep_.rx_take();
+      ++rx_count_;
+      rx_bytes_ += f.payload_bytes;
+      dispatch(std::move(f));
     }
-    co_await cpu_.run(sim::prio::kInterrupt, cost, cat, sim::kBorrowedContext,
-                      costs_.interrupt_dispatch);
-    // The frame leaves the hardware buffer only now that it has been
-    // copied, which is what lets the interconnect push the next one.
-    hw::Frame f = *ep_.rx_take();
-    ++rx_count_;
-    rx_bytes_ += f.payload_bytes;
-    dispatch(std::move(f));
   }
-  rx_active_ = false;
 }
 
 void Kernel::dispatch(hw::Frame f) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace hpcvorx::vorx {
 
@@ -11,6 +12,19 @@ constexpr std::uint32_t kSnetData = 1;
 constexpr std::uint32_t kSnetRequest = 2;
 constexpr std::uint32_t kSnetGrant = 3;
 }  // namespace
+
+// Parks the drain pump until the next fifo arrival.  Ready when a fragment
+// is already staged, so the pump never suspends with work pending.
+struct SnetStation::DrainPark {
+  SnetStation& s;
+  [[nodiscard]] bool await_ready() const noexcept {
+    return s.bus_.fifo_peek(s.id_) != nullptr;
+  }
+  void await_suspend(std::coroutine_handle<> h) noexcept {
+    s.drain_parked_ = h;
+  }
+  void await_resume() const noexcept {}
+};
 
 SnetStation::SnetStation(sim::Simulator& sim, hw::SnetBus& bus, int id,
                          const CostModel& costs, std::uint64_t rng_seed)
@@ -23,44 +37,58 @@ SnetStation::SnetStation(sim::Simulator& sim, hw::SnetBus& bus, int id,
       inbox_(sim),
       bus_mutex_(sim, 1),
       grant_ev_(sim) {
+  // Same order contract as Kernel's rx interrupt: the parked pump is
+  // resumed inline, exactly where the old per-burst drain_service() spawn
+  // ran; mid-burst arrivals stay staged in the fifo and are drained in
+  // fifo order without another resume.
   bus_.set_rx_cb(id_, [this] {
-    if (!draining_) drain_service();
+    if (!drain_started_) {
+      drain_started_ = true;
+      drain_pump();
+      return;
+    }
+    if (drain_parked_ != nullptr) {
+      const std::coroutine_handle<> h =
+          std::exchange(drain_parked_, std::coroutine_handle<>{});
+      h.resume();
+    }
   });
 }
 
-sim::Proc SnetStation::drain_service() {
-  draining_ = true;
-  while (bus_.fifo_peek(id_) != nullptr) {
-    const std::uint32_t total = bus_.fifo_peek(id_)->bytes;
-    co_await cpu_.run(sim::prio::kInterrupt, costs_.rx_interrupt,
-                      sim::Category::kSystem, sim::kBorrowedContext,
-                      costs_.interrupt_dispatch);
-    // Reading words out of the fifo is software work, and the space frees
-    // *continuously* — which is what lets a concurrent (doomed) arrival
-    // consume it before a whole message's worth accumulates: the §2
-    // lockout mechanism.
-    std::uint32_t remaining = total;
-    while (remaining > 0) {
-      const std::uint32_t quantum = std::min<std::uint32_t>(64, remaining);
-      co_await cpu_.run(sim::prio::kInterrupt,
-                        static_cast<sim::Duration>(quantum) *
-                            costs_.snet_read_per_byte,
-                        sim::Category::kSystem, sim::kBorrowedContext, 0);
-      bus_.fifo_release(id_, quantum);
-      remaining -= quantum;
+sim::Proc SnetStation::drain_pump() {
+  for (;;) {
+    co_await DrainPark{*this};
+    while (bus_.fifo_peek(id_) != nullptr) {
+      const std::uint32_t total = bus_.fifo_peek(id_)->bytes;
+      co_await cpu_.run(sim::prio::kInterrupt, costs_.rx_interrupt,
+                        sim::Category::kSystem, sim::kBorrowedContext,
+                        costs_.interrupt_dispatch);
+      // Reading words out of the fifo is software work, and the space frees
+      // *continuously* — which is what lets a concurrent (doomed) arrival
+      // consume it before a whole message's worth accumulates: the §2
+      // lockout mechanism.
+      std::uint32_t remaining = total;
+      while (remaining > 0) {
+        const std::uint32_t quantum = std::min<std::uint32_t>(64, remaining);
+        co_await cpu_.run(sim::prio::kInterrupt,
+                          static_cast<sim::Duration>(quantum) *
+                              costs_.snet_read_per_byte,
+                          sim::Category::kSystem, sim::kBorrowedContext, 0);
+        bus_.fifo_release(id_, quantum);
+        remaining -= quantum;
+      }
+      auto frag = bus_.fifo_pop(id_);
+      assert(frag.has_value());
+      drained_ += total;
+      if (!frag->complete) {
+        // The §2 residue: read it, recognise the truncation, throw it away.
+        ++discarded_;
+        try_grant();  // draining may have made room for a granted message
+        continue;
+      }
+      dispatch(std::move(frag->frame));
     }
-    auto frag = bus_.fifo_pop(id_);
-    assert(frag.has_value());
-    drained_ += total;
-    if (!frag->complete) {
-      // The §2 residue: read it, recognise the truncation, throw it away.
-      ++discarded_;
-      try_grant();  // draining may have made room for a granted message
-      continue;
-    }
-    dispatch(std::move(frag->frame));
   }
-  draining_ = false;
 }
 
 void SnetStation::dispatch(hw::Frame f) {

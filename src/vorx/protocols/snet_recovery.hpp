@@ -22,6 +22,7 @@
 // hardware flow control that made the whole problem disappear.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -68,7 +69,12 @@ class SnetStation {
   [[nodiscard]] std::uint64_t bytes_drained() const { return drained_; }
 
  private:
-  sim::Proc drain_service();
+  /// The persistent fifo drain pump: one coroutine for the station's
+  /// lifetime, parked on DrainPark while the fifo is empty and resumed
+  /// inline by the arrival interrupt (same coalescing idiom as
+  /// Kernel::rx_pump — see kernel.cpp for the order contract).
+  sim::Proc drain_pump();
+  struct DrainPark;
   void dispatch(hw::Frame f);
   [[nodiscard]] sim::Task<bool> bus_send(hw::Frame f);
   void try_grant();
@@ -80,7 +86,11 @@ class SnetStation {
   sim::Cpu cpu_;
   sim::Rng rng_;
 
-  bool draining_ = false;
+  // Parking spot for the station-lifetime drain_pump() Proc; same
+  // contract as Kernel::rx_parked_ (nulled before every resume).
+  // vorx-lint: allow(R8) parking spot for the station-lifetime drain pump
+  std::coroutine_handle<> drain_parked_;  // null while the pump is awake
+  bool drain_started_ = false;
   sim::Mailbox<hw::Frame> inbox_;
   sim::Semaphore bus_mutex_;  // one outstanding bus request per processor
   std::uint64_t received_ = 0;

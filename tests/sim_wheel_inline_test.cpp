@@ -92,6 +92,52 @@ TEST(InlineFn, ResetDestroysCapture) {
   EXPECT_EQ(destroyed, 1);
 }
 
+TEST(InlineFn, ConsumeInvokeCallsOnceAndDestroysOnce) {
+  int destroyed = 0;
+  int calls = 0;
+  InlineFn f([d = DtorCounter(&destroyed), &calls] { ++calls; });
+  f.consume_invoke();
+  EXPECT_FALSE(f);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFn, ConsumeInvokeHeapCapture) {
+  int destroyed = 0;
+  int calls = 0;
+  char pad[100] = {};
+  InlineFn f([d = DtorCounter(&destroyed), pad, &calls] {
+    (void)pad;
+    ++calls;
+  });
+  ASSERT_TRUE(f.heap_allocated());
+  f.consume_invoke();
+  EXPECT_FALSE(f);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(destroyed, 1);
+}
+
+// The property the batched fire path relies on: by the time the callable
+// runs, its storage is dead — the call may overwrite the very InlineFn it
+// was invoked from (the event queue returns a slab node to the free list
+// before firing it, so a callback that schedules can land a new event in
+// the same slot) and the capture stays readable.
+TEST(InlineFn, ConsumeInvokeSurvivesStorageReuseDuringCall) {
+  InlineFn f;
+  int observed = 0;
+  int replacement_calls = 0;
+  const int magic = 12345;
+  f = [&f, &observed, &replacement_calls, magic] {
+    f = [&replacement_calls] { ++replacement_calls; };  // clobber own slot
+    observed = magic;  // capture must still be readable after the clobber
+  };
+  f.consume_invoke();
+  EXPECT_EQ(observed, magic);
+  EXPECT_TRUE(f);  // holds the replacement, not empty
+  f();
+  EXPECT_EQ(replacement_calls, 1);
+}
+
 // ---- wheel/heap boundary ----
 
 TEST(EventQueueWheel, WindowBoundaryPreservesTimeOrder) {
