@@ -96,7 +96,8 @@ struct SweepPoint {
   std::uint64_t rounds = 0;
 };
 
-SweepPoint run_at(int shards, int local_roundtrips, int cross_roundtrips) {
+SweepPoint run_at(int shards, int local_roundtrips, int cross_roundtrips,
+                  sim::Duration window = sim::usec(50)) {
   using clock = std::chrono::steady_clock;
   vorx::SystemConfig cfg;
   cfg.nodes = kNodes;
@@ -106,7 +107,7 @@ SweepPoint run_at(int shards, int local_roundtrips, int cross_roundtrips) {
   // lookahead window, so raising it (cross-cluster traffic is latency
   // tolerant here) buys thousands of intra-shard events per round.
   cfg.fabric.cluster_link = cfg.fabric.link;
-  cfg.fabric.cluster_link->latency = sim::usec(50);
+  cfg.fabric.cluster_link->latency = window;
 
   sim::ShardRuntime rt(shards);
   vorx::System sys(rt, cfg);
@@ -148,6 +149,23 @@ void run(bench::Reporter& r) {
                   shards, static_cast<unsigned long long>(pt.events),
                   static_cast<unsigned long long>(pt.rounds));
     }
+  }
+
+  // Lookahead-window width sweep: the conservative window IS the
+  // inter-cluster cable latency, so this is the tuning knob for how many
+  // events a shard runs between barriers.  4 shards, same workload, cable
+  // latency from 10 us to 200 us.  The per-SHA CI rows of this sweep are
+  // what chose the 50 us default used by storm and the workload SLO bench
+  // (EXPERIMENTS.md records the decision).
+  bench::line("lookahead-window sweep at 4 shards (cable latency = window):");
+  for (const int window_us : {10, 25, 50, 100, 200}) {
+    const SweepPoint pt = run_at(4, local, cross, sim::usec(window_us));
+    r.row("engine.shard_window_us_" + std::to_string(window_us) +
+              "_events_s",
+          "events/s", pt.events_per_s);
+    bench::line("  (window %3d us: %llu events over %llu sync rounds)",
+                window_us, static_cast<unsigned long long>(pt.events),
+                static_cast<unsigned long long>(pt.rounds));
   }
 }
 

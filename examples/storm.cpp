@@ -1,0 +1,148 @@
+// Production-traffic storm: the Rapport-shaped open-loop workload at
+// machine scale, with fault injection.
+//
+//   ./build/examples/storm --users 100000 --shards 4
+//       --faults link_flap --seed 7
+//
+// Drives vorx::WorkloadGen over a 256-node / 4-host machine (configurable
+// with --nodes/--hosts): Poisson session arrivals on a diurnal curve,
+// member churn, heavy-tailed talk spurts — while a sim::FaultPlan takes
+// cables, switches, and host workstations down mid-run.  The printed
+// summary is pure virtual time, so two runs with the same arguments are
+// byte-identical, at any --shards value (the CI fault-matrix job diffs
+// exactly this output; see DESIGN.md §14).
+//
+// Exits non-zero if any session is lost-but-unreported (the accounting
+// invariant completed + failed == total must hold with lost == 0).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "sim/fault_plan.hpp"
+#include "sim/shard_runtime.hpp"
+#include "vorx/system.hpp"
+#include "vorx/workload.hpp"
+
+using namespace hpcvorx;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--users N] [--shards N] [--faults PLAN]\n"
+               "          [--seed S] [--nodes N] [--hosts N] "
+               "[--horizon-ms M]\n"
+               "  --shards 0 (default) runs the sequential engine; N >= 1\n"
+               "  runs the conservative-lookahead shard runtime.\n"
+               "  PLAN: none | link_flap | cluster_restart | stub_crash\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int users = 10'000;
+  int shards = 0;
+  int nodes = 256;
+  int hosts = 4;
+  long horizon_ms = 500;
+  std::uint64_t seed = 1;
+  std::string plan_name = "none";
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--users") == 0) {
+      users = std::atoi(next("--users"));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = std::atoi(next("--shards"));
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      plan_name = next("--faults");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      nodes = std::atoi(next("--nodes"));
+    } else if (std::strcmp(argv[i], "--hosts") == 0) {
+      hosts = std::atoi(next("--hosts"));
+    } else if (std::strcmp(argv[i], "--horizon-ms") == 0) {
+      horizon_ms = std::atol(next("--horizon-ms"));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (users <= 0 || nodes < 1 || hosts < 1 || horizon_ms <= 0 ||
+      shards < 0 || !sim::FaultPlan::known(plan_name)) {
+    return usage(argv[0]);
+  }
+
+  vorx::SystemConfig scfg;
+  scfg.nodes = nodes;
+  scfg.hosts = hosts;
+  // 4 stations per cluster keeps the cube dims within the 12-port budget
+  // at the 256-1024-station scale this driver targets.
+  scfg.stations_per_cluster = 4;
+  // Lookahead window = inter-cluster cable latency.  50 us is the tuned
+  // default from the bench_shard_scaling window sweep (EXPERIMENTS.md).
+  // Long cables need buffers sized to the bandwidth-delay product: at
+  // 50 us and ~0.8 us per header frame the window is ~64 frames — with
+  // the default 2 slots every cube cable degenerates to stop-and-wait
+  // (~20k frames/s) and the host-cluster convergecast collapses.
+  scfg.fabric.cluster_link = scfg.fabric.link;
+  scfg.fabric.cluster_link->latency = sim::usec(50);
+  scfg.fabric.cluster_link->buffer_frames = 64;
+
+  vorx::WorkloadConfig wcfg;
+  wcfg.users = users;
+  wcfg.horizon = sim::msec(horizon_ms);
+
+  // Machines are built the same way on either engine; only the driver
+  // differs.  --shards 1 is byte-identical to the sequential run (R6).
+  std::unique_ptr<sim::Simulator> seq_sim;
+  std::unique_ptr<sim::ShardRuntime> rt;
+  std::unique_ptr<vorx::System> sys;
+  if (shards == 0) {
+    seq_sim = std::make_unique<sim::Simulator>();
+    sys = std::make_unique<vorx::System>(*seq_sim, scfg);
+  } else {
+    rt = std::make_unique<sim::ShardRuntime>(shards);
+    sys = std::make_unique<vorx::System>(*rt, scfg);
+  }
+
+  vorx::WorkloadGen gen(*sys, wcfg, seed);
+  vorx::FaultInjector inj(*sys, &gen);
+  const sim::FaultPlan plan = sim::FaultPlan::named(
+      plan_name, gen.machine_shape(), seed, wcfg.horizon);
+  inj.install(plan);
+
+  std::printf("storm: users=%d nodes=%d hosts=%d horizon_ms=%ld seed=%llu\n",
+              users, nodes, hosts, horizon_ms,
+              static_cast<unsigned long long>(seed));
+  std::printf("faults: plan=%s events=%zu link=%llu cluster=%llu host=%llu\n",
+              plan_name.c_str(), plan.events().size(),
+              static_cast<unsigned long long>(inj.link_faults()),
+              static_cast<unsigned long long>(inj.cluster_restarts()),
+              static_cast<unsigned long long>(inj.host_faults()));
+
+  gen.run();
+  const vorx::WorkloadReport r = gen.report();
+  std::fputs(r.to_text().c_str(), stdout);
+
+  if (!r.all_accounted()) {
+    std::printf("workload: FAILED (lost=%llu, completed+failed=%llu of "
+                "%llu)\n",
+                static_cast<unsigned long long>(r.lost),
+                static_cast<unsigned long long>(r.completed + r.failed_joins),
+                static_cast<unsigned long long>(r.sessions_total));
+    return 1;
+  }
+  std::printf("workload: OK\n");
+  return 0;
+}

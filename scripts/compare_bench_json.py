@@ -21,6 +21,15 @@ behaviour change for the worse.  Metrics present in only one file are
 reported but are not failures — new rows appear and old ones retire as
 benches evolve.
 
+The slo.* rows (bench_workload_slo: service-level metrics under the
+production-traffic workload) override unit inference entirely: they are
+lower-is-better across the board — join/delivery latency percentiles, and
+especially slo.failed_joins_per_s, whose "/s" unit would otherwise read as
+a throughput where a rise is good.  The one exception is
+slo.sessions_active_peak (concurrency the machine sustained), which is
+higher-is-better.  The override runs BEFORE unit inference so the
+rate-suffix heuristic can never flip a failure rate into a throughput.
+
 The engine.* rows are wall-clock rates of the simulation substrate itself
 (the one bench allowed to read a real clock), so they are noisy across
 machines; CI compares artifacts produced on the same runner class and the
@@ -55,8 +64,13 @@ HIGHER_IS_BETTER_PREFIXES = ("engine.shard_speedup_", "engine.coalesced_")
 # the code: comparable only between artifacts recorded on equally-wide
 # machines (see hardware_concurrency in the envelope).
 CORE_SENSITIVE_PREFIXES = ("engine.shard_speedup_",)
+# slo.* service-level rows are lower-is-better by definition (latency
+# percentiles, failure rates) EXCEPT the sustained-concurrency peak.  This
+# must be consulted before unit inference: slo.failed_joins_per_s ends in
+# "/s" and would otherwise be read as a throughput.
+SLO_HIGHER_IS_BETTER_PREFIXES = ("slo.sessions_active_peak",)
 DEFAULT_THRESHOLD = 10.0
-DEFAULT_PREFIXES = ["engine.", "frame_pool."]
+DEFAULT_PREFIXES = ["engine.", "frame_pool.", "slo."]
 
 
 def fail(msg):
@@ -83,6 +97,11 @@ def load_doc(path):
 
 def higher_is_better(key, unit):
     """True for rate-like units, False for duration-like, None if unknown."""
+    # Service-level rows first — their direction is semantic, not
+    # unit-derived (a failed-joins rate in "/s" must not read as
+    # throughput).
+    if key.startswith("slo."):
+        return key.startswith(SLO_HIGHER_IS_BETTER_PREFIXES)
     if unit.endswith(RATE_SUFFIX):
         return True
     if unit in DURATION_UNITS:
@@ -361,6 +380,56 @@ def self_test():
     )
     if [k for k, _ in regs] != ["engine.shard_speedup_4x"] or compared != 2:
         fail(f"self-test: unknown-width artifact skipped speedup row: {regs}")
+
+    # slo.* service-level rows: lower-is-better overrides unit inference —
+    # in particular the failed-joins rate ends in "/s" and must still
+    # regress on a RISE, and the latency percentiles regress on a rise like
+    # any duration.  sessions_active_peak is the higher-is-better exception.
+    slo_base = rows_of(
+        {
+            "slo.join_p99_us": ("us", 2_000.0),
+            "slo.failed_joins_per_s": ("/s", 10.0),
+            "slo.sessions_active_peak": ("sessions", 5_000.0),
+        }
+    )
+    slo_bad = rows_of(
+        {
+            "slo.join_p99_us": ("us", 2_600.0),  # +30%: regression
+            "slo.failed_joins_per_s": ("/s", 14.0),  # +40% failures: regression
+            "slo.sessions_active_peak": ("sessions", 4_000.0),  # -20%: regression
+        }
+    )
+    regs, compared, _ = compare(
+        slo_base, slo_bad, DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+    )
+    if sorted(k for k, _ in regs) != [
+        "slo.failed_joins_per_s",
+        "slo.join_p99_us",
+        "slo.sessions_active_peak",
+    ] or compared != 3:
+        fail(f"self-test: slo regressions not caught: {regs}, "
+             f"compared={compared}")
+    slo_good = rows_of(
+        {
+            "slo.join_p99_us": ("us", 1_500.0),  # faster joins
+            "slo.failed_joins_per_s": ("/s", 2.0),  # fewer failures
+            "slo.sessions_active_peak": ("sessions", 6_000.0),  # more load held
+        }
+    )
+    regs, _, _ = compare(
+        slo_base, slo_good, DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+    )
+    if regs:
+        fail(f"self-test: slo improvement misread as regression: {regs}")
+    # A zero-failure baseline is a pin: any failed join at all regresses it
+    # (same rule as the wheel spill row).
+    regs, _, _ = compare(
+        rows_of({"slo.failed_joins_per_s": ("/s", 0.0)}),
+        rows_of({"slo.failed_joins_per_s": ("/s", 0.5)}),
+        DEFAULT_THRESHOLD, DEFAULT_PREFIXES,
+    )
+    if [k for k, _ in regs] != ["slo.failed_joins_per_s"]:
+        fail(f"self-test: rise off zero-failure baseline not caught: {regs}")
 
     # The rx-coalescing ratio: higher is better by name, so only a drop
     # beyond the threshold regresses.

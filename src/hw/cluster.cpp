@@ -77,9 +77,43 @@ const std::vector<int>* Cluster::mcast_route_for(const Frame& f) const {
 
 int Cluster::route_for(const Frame& f) const {
   assert(f.dst >= 0 && static_cast<std::size_t>(f.dst) < route_.size() &&
-         route_[static_cast<std::size_t>(f.dst)] >= 0 &&
-         "frame addressed to a station this cluster has no route for");
+         "frame addressed to a station this cluster never had a route for");
   return route_[static_cast<std::size_t>(f.dst)];
+}
+
+// Consumes the head of `in_port` as a routing-fault loss: unreachable
+// destination after rerouting, or a restart() wiping the fifo.
+void Cluster::drop_head(int in_port) {
+  (void)take_input(in_port);
+  ++frames_dropped_;
+}
+
+void Cluster::drop_unroutable(int in_port) {
+  while (const Frame* head = ins_[in_port]->peek()) {
+    if (head->group != 0 || route_for(*head) >= 0) return;
+    drop_head(in_port);
+  }
+}
+
+void Cluster::restart() {
+  for (int p = 0; p < num_ports(); ++p) {
+    if (ins_[static_cast<std::size_t>(p)] == nullptr) continue;
+    // Draining through take() (not take_input) keeps the upstream
+    // flow-control exact — freed slots notify the sender / credit the peer
+    // shard — while the head-of-line clocks simply reset.
+    while (ins_[static_cast<std::size_t>(p)]->take()) ++frames_dropped_;
+    hol_since_[static_cast<std::size_t>(p)] = -1;
+  }
+  std::fill(rr_next_.begin(), rr_next_.end(), 0);
+}
+
+void Cluster::on_routes_changed() {
+  for (int p = 0; p < num_ports(); ++p) {
+    if (ins_[static_cast<std::size_t>(p)] != nullptr) drop_unroutable(p);
+  }
+  for (int p = 0; p < num_ports(); ++p) {
+    if (outs_[static_cast<std::size_t>(p)] != nullptr) try_output(p);
+  }
 }
 
 void Cluster::on_input(int in_port) {
@@ -94,7 +128,12 @@ void Cluster::on_input(int in_port) {
     forward_head(in_port);
     return;
   }
-  try_output(route_for(*head));
+  const int r = route_for(*head);
+  if (r < 0) {
+    drop_unroutable(in_port);
+    return;
+  }
+  try_output(r);
 }
 
 // Attempts to forward the head frame of `in_port`; handles both unicast
@@ -103,7 +142,12 @@ bool Cluster::forward_head(int in_port) {
   const Frame* head = ins_[in_port]->peek();
   if (head == nullptr) return false;
   if (head->group == 0) {
-    try_output(route_for(*head));
+    const int r = route_for(*head);
+    if (r < 0) {
+      drop_unroutable(in_port);
+      return true;
+    }
+    try_output(r);
     return ins_[in_port]->peek() != head;
   }
   // Hardware multicast: the frame is replicated to every port in the
@@ -135,7 +179,12 @@ bool Cluster::forward_head(int in_port) {
     if (next->group != 0) {
       forward_head(in_port);
     } else {
-      try_output(route_for(*next));
+      const int r = route_for(*next);
+      if (r < 0) {
+        drop_unroutable(in_port);
+      } else {
+        try_output(r);
+      }
     }
   }
   return true;
@@ -164,7 +213,15 @@ void Cluster::try_output(int out_port) {
         }
         continue;
       }
-      if (route_for(*head) == out_port) {
+      const int r = route_for(*head);
+      if (r < 0) {
+        // Destination became unreachable while the frame queued: drop it
+        // and re-examine this input's new head on the next scan step.
+        drop_unroutable(p);
+        --i;
+        continue;
+      }
+      if (r == out_port) {
         chosen = p;
         break;
       }
@@ -185,7 +242,11 @@ void Cluster::try_output(int out_port) {
         forward_head(chosen);
       } else {
         const int other = route_for(*next_head);
-        if (other != out_port) try_output(other);
+        if (other < 0) {
+          drop_unroutable(chosen);
+        } else if (other != out_port) {
+          try_output(other);
+        }
       }
     }
   }

@@ -40,7 +40,9 @@ class Cluster {
   /// subscribes to its ready callback.
   void attach_out(int port, Link* out);
 
-  /// Programs the route for frames addressed to `dst`.
+  /// Programs the route for frames addressed to `dst`.  `out_port` may be
+  /// -1 ("unreachable", see route drops below) when fault-time rerouting
+  /// finds no surviving path.
   void set_route(StationId dst, int out_port);
 
   /// Programs the replication set for hardware-multicast group `gid`: the
@@ -50,6 +52,23 @@ class Cluster {
 
   [[nodiscard]] int num_ports() const { return static_cast<int>(outs_.size()); }
   [[nodiscard]] const std::string& name() const { return name_; }
+
+  // ---- fault injection (DESIGN.md §14) ----
+
+  /// Power-cycles the switch: every frame parked in an input fifo is lost
+  /// (counted in frames_dropped) and the arbiter state resets.  Routing
+  /// tables survive — they are fabric-programmed configuration, not
+  /// volatile switch state.
+  void restart();
+
+  /// Routes changed under live traffic (fault-time rerouting): drops input
+  /// heads that became unroutable and kicks every output arbiter so heads
+  /// that now route to a previously-idle port start moving.
+  void on_routes_changed();
+
+  /// Frames lost to restart() or to an unreachable destination (a -1
+  /// route).  Dropped frames are never counted as forwarded.
+  [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
 
   // ---- counters (diagnostics and the trace exporter) ----
   //
@@ -84,12 +103,17 @@ class Cluster {
   }
 
  private:
+  /// Output port for `f`, or -1 when this cluster has no surviving route
+  /// to f.dst (possible only after fault-time rerouting; the caller drops).
   [[nodiscard]] int route_for(const Frame& f) const;
   [[nodiscard]] const std::vector<int>* mcast_route_for(const Frame& f) const;
   bool forward_head(int in_port);  // returns whether the head was consumed
   void on_input(int in_port);
   void try_output(int out_port);
   Frame take_input(int in_port);   // take + head-of-line accounting
+  void drop_head(int in_port);     // take + count as dropped
+  /// Drops consecutive unroutable unicast heads of `in_port`.
+  void drop_unroutable(int in_port);
   void sample_forwarded();
   void sample_mcast_copies(std::uint64_t gid);
 
@@ -105,6 +129,7 @@ class Cluster {
   std::uint64_t mcast_copies_total_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t bytes_fwd_ = 0;
+  std::uint64_t frames_dropped_ = 0;
   sim::Duration hol_blocked_ = 0;
 };
 

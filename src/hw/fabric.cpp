@@ -1,5 +1,6 @@
 #include "hw/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <set>
 
@@ -104,6 +105,146 @@ void Fabric::program_routes() {
       }
     }
   }
+  // Fault-time state: every shard starts with every cable up.  A no-fault
+  // run never reads or writes these again.
+  shard_edge_up_.assign(static_cast<std::size_t>(num_fault_domains()),
+                        std::vector<char>(cube_pairs_.size(), 1));
+}
+
+std::vector<std::pair<int, int>> Fabric::cube_edge_pairs() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(cube_pairs_.size());
+  for (const CubePair& e : cube_pairs_) out.emplace_back(e.a, e.b);
+  return out;
+}
+
+int Fabric::cube_pair_index(int a, int b) const {
+  const int lo = std::min(a, b);
+  const int hi = std::max(a, b);
+  for (std::size_t i = 0; i < cube_pairs_.size(); ++i) {
+    if (cube_pairs_[i].a == lo && cube_pairs_[i].b == hi) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool Fabric::cube_edge_up(int shard, int a, int b) const {
+  const int idx = cube_pair_index(a, b);
+  assert(idx >= 0);
+  return shard_edge_up_.at(static_cast<std::size_t>(shard))
+             [static_cast<std::size_t>(idx)] != 0;
+}
+
+void Fabric::apply_cube_fault(int shard, int a, int b, bool up) {
+  const int idx = cube_pair_index(a, b);
+  assert(idx >= 0 && "no cube cable between these clusters");
+  std::vector<char>& mirror =
+      shard_edge_up_.at(static_cast<std::size_t>(shard));
+  if ((mirror[static_cast<std::size_t>(idx)] != 0) == up) return;
+  mirror[static_cast<std::size_t>(idx)] = up ? 1 : 0;
+  const CubePair& e = cube_pairs_[static_cast<std::size_t>(idx)];
+  const int sa = shard_of_cluster(e.a);
+  const int sb = shard_of_cluster(e.b);
+  const auto apply = [&](Link* l, int owner) {
+    if (l == nullptr || owner != shard) return;
+    if (up) {
+      l->set_up();
+    } else {
+      l->set_down();
+    }
+  };
+  apply(e.ab, sa);     // a -> b: TX half (or whole link) lives with a
+  apply(e.ab_rx, sb);  //         RX half with b
+  apply(e.ba, sb);
+  apply(e.ba_rx, sa);
+  recompute_shard_routes(shard);
+}
+
+void Fabric::apply_cluster_restart(int shard, int c) {
+  if (shard_of_cluster(c) != shard) return;
+  clusters_.at(static_cast<std::size_t>(c))->restart();
+}
+
+void Fabric::recompute_shard_routes(int shard) {
+  const int n = num_clusters();
+  const std::vector<char>& up =
+      shard_edge_up_.at(static_cast<std::size_t>(shard));
+  // Adjacency over surviving cables: (neighbour, egress dim) per cluster.
+  std::vector<std::vector<std::pair<int, int>>> adj(
+      static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < cube_pairs_.size(); ++i) {
+    if (up[i] == 0) continue;
+    const CubePair& e = cube_pairs_[i];
+    adj[static_cast<std::size_t>(e.a)].emplace_back(e.b, e.dim);
+    adj[static_cast<std::size_t>(e.b)].emplace_back(e.a, e.dim);
+  }
+  // next_port[c * n + dc]: the egress dim from cluster c towards cluster
+  // dc over surviving cables (-1 unreachable), for the shard's clusters.
+  std::vector<std::int16_t> next_port(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+      std::int16_t{-1});
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  std::vector<int> bfs;
+  bfs.reserve(static_cast<std::size_t>(n));
+  for (int dc = 0; dc < n; ++dc) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[static_cast<std::size_t>(dc)] = 0;
+    bfs.clear();
+    bfs.push_back(dc);
+    for (std::size_t h = 0; h < bfs.size(); ++h) {
+      const int c = bfs[h];
+      for (const auto& [nb, dim] : adj[static_cast<std::size_t>(c)]) {
+        if (dist[static_cast<std::size_t>(nb)] >= 0) continue;
+        dist[static_cast<std::size_t>(nb)] =
+            dist[static_cast<std::size_t>(c)] + 1;
+        bfs.push_back(nb);
+      }
+    }
+    for (int c = 0; c < n; ++c) {
+      if (c == dc || shard_of_cluster(c) != shard) continue;
+      if (dist[static_cast<std::size_t>(c)] < 0) continue;  // unreachable
+      // Prefer the build-time e-cube hop when it still lies on a shortest
+      // surviving path — a fully-recovered topology converges back to the
+      // exact original tables.  Otherwise the lowest surviving dim on a
+      // shortest path (deterministic tie-break).
+      const int want = dist[static_cast<std::size_t>(c)] - 1;
+      const int edim = cluster_next_dim_[static_cast<std::size_t>(c) *
+                                             static_cast<std::size_t>(n) +
+                                         static_cast<std::size_t>(dc)];
+      int best = -1;
+      for (const auto& [nb, dim] : adj[static_cast<std::size_t>(c)]) {
+        if (dist[static_cast<std::size_t>(nb)] != want) continue;
+        if (dim == edim) {
+          best = dim;
+          break;
+        }
+        if (best < 0 || dim < best) best = dim;
+      }
+      next_port[static_cast<std::size_t>(c) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(dc)] =
+          static_cast<std::int16_t>(best);
+    }
+  }
+  for (int c = 0; c < n; ++c) {
+    if (shard_of_cluster(c) != shard) continue;
+    for (StationId d = 0; d < num_stations(); ++d) {
+      const int dc = station_cluster_[static_cast<std::size_t>(d)];
+      if (dc == c) continue;  // local delivery port never changes
+      clusters_[static_cast<std::size_t>(c)]->set_route(
+          d, next_port[static_cast<std::size_t>(c) *
+                           static_cast<std::size_t>(n) +
+                       static_cast<std::size_t>(dc)]);
+    }
+    clusters_[static_cast<std::size_t>(c)]->on_routes_changed();
+  }
+}
+
+std::uint64_t Fabric::frames_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& l : links_) total += l->frames_dropped();
+  for (const auto& c : clusters_) total += c->frames_dropped();
+  return total;
 }
 
 std::unique_ptr<Fabric> Fabric::single_cluster(sim::Simulator& sim,
@@ -158,19 +299,40 @@ std::unique_ptr<Fabric> Fabric::hypercube_impl(sim::Simulator& sim0,
   // the whole unsharded fabric — gets the classic single link.
   const Link::Params cube_p =
       params.cluster_link ? *params.cluster_link : params.link;
+  // Each direction is registered with the cable's fault-registry entry so
+  // link faults can address "the cable between a and b" later.
+  auto pair_entry = [&](int from, int to, int port) -> CubePair& {
+    const int a = std::min(from, to);
+    const int b = std::max(from, to);
+    for (CubePair& e : f->cube_pairs_) {
+      if (e.a == a && e.b == b) return e;
+    }
+    f->cube_pairs_.push_back(CubePair{a, b, port, nullptr, nullptr, nullptr,
+                                      nullptr});
+    return f->cube_pairs_.back();
+  };
   auto cube_link = [&](int from, int to, int port) {
     const std::string name =
         "c" + std::to_string(from) + ">c" + std::to_string(to);
+    CubePair& entry = pair_entry(from, to, port);
     if (f->shard_of_cluster(from) == f->shard_of_cluster(to)) {
       Link* l = f->new_link(f->cluster_sim(from), name, cube_p);
       f->clusters_[from]->attach_out(port, l);
       f->clusters_[to]->attach_in(port, l);
+      (from < to ? entry.ab : entry.ba) = l;
       return;
     }
     Link* tx = f->new_link(f->cluster_sim(from), name + ".tx", cube_p);
     Link* rx = f->new_link(f->cluster_sim(to), name + ".rx", cube_p);
     f->clusters_[from]->attach_out(port, tx);
     f->clusters_[to]->attach_in(port, rx);
+    if (from < to) {
+      entry.ab = tx;
+      entry.ab_rx = rx;
+    } else {
+      entry.ba = tx;
+      entry.ba_rx = rx;
+    }
     f->bridges_.push_back(std::make_unique<ShardLinkBridge>(
         *rt, f->shard_of_cluster(from), f->shard_of_cluster(to), *tx, *rx));
   };

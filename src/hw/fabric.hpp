@@ -166,6 +166,41 @@ class Fabric {
   /// per station via Endpoint::frame_pool()).
   [[nodiscard]] FramePool& frame_pool() { return pool_; }
 
+  // ---- fault injection (DESIGN.md §14) ----
+  //
+  // Faults mutate only per-shard state: each shard keeps its own mirror of
+  // the cube-link up/down set and its own clusters' route tables, so the
+  // injector pre-schedules the same fault on every shard's simulator at
+  // the same virtual time and no shard ever writes another shard's state.
+  // No-fault runs never call these, leaving the build-time e-cube routes
+  // (and every determinism golden) untouched.
+
+  /// Every inter-cluster cable as an unordered (lo, hi) cluster pair, in
+  /// topology-construction order (feeds sim::MachineShape::cube_edges).
+  [[nodiscard]] std::vector<std::pair<int, int>> cube_edge_pairs() const;
+
+  /// Applies a cable fault between clusters `a` and `b` as seen by `shard`:
+  /// updates the shard's link-state mirror, downs/ups the direction links
+  /// (or cross-shard halves) the shard owns, and recomputes the shard's
+  /// clusters' routes around the failure (BFS over surviving cables,
+  /// preferring the build-time e-cube hop when it still lies on a shortest
+  /// path).  Must run on the shard's simulator at the fault's virtual
+  /// time; the injector schedules it on every shard.  Idempotent.
+  void apply_cube_fault(int shard, int a, int b, bool up);
+
+  /// Power-cycles cluster `c` (input fifos dropped, arbiters reset) if the
+  /// shard owns it; a no-op on every other shard.
+  void apply_cluster_restart(int shard, int c);
+
+  /// This shard's view of the cable between `a` and `b` (diagnostics).
+  [[nodiscard]] bool cube_edge_up(int shard, int a, int b) const;
+
+  /// Frames lost inside the interconnect (downed links + restarted and
+  /// unroutable-at cluster drops), summed fabric-wide.  Virtual-time
+  /// deterministic; read after run() — while shards are running the
+  /// per-shard components may not be read across threads.
+  [[nodiscard]] std::uint64_t frames_dropped() const;
+
   /// Programs hardware multicast group `gid`: a frame injected by `root`
   /// with Frame::group == gid is replicated inside the clusters along the
   /// union of root->member routes and delivered to every member except the
@@ -190,6 +225,12 @@ class Fabric {
                                                 Params params);
   [[nodiscard]] sim::Simulator& cluster_sim(int c);
   [[nodiscard]] FramePool& pool_for_shard(int shard);
+  [[nodiscard]] int cube_pair_index(int a, int b) const;  // -1: no cable
+  /// Rebuilds `shard`'s clusters' route tables from its link-state mirror.
+  void recompute_shard_routes(int shard);
+  [[nodiscard]] int num_fault_domains() const {
+    return runtime_ == nullptr ? 1 : runtime_->num_shards();
+  }
 
   sim::Simulator& sim_;  // shard 0 (the only simulator when unsharded)
   sim::ShardRuntime* runtime_ = nullptr;
@@ -202,6 +243,21 @@ class Fabric {
   std::vector<int> station_local_port_;  // station -> port on its cluster
   std::vector<int> cluster_shard_;       // cluster -> shard (empty => all 0)
   std::vector<std::unique_ptr<ShardLinkBridge>> bridges_;
+  // One entry per inter-cluster cable (unordered pair, a < b), registered
+  // in topology-construction order.  `ab`/`ba` are the direction links
+  // (the TX half when the cable crosses shards, with the RX half beside
+  // it); faults address cables through this registry.
+  struct CubePair {
+    int a = 0, b = 0, dim = 0;
+    Link* ab = nullptr;     // a -> b (whole link, or cross-shard TX half)
+    Link* ab_rx = nullptr;  // a -> b RX half (cross-shard only)
+    Link* ba = nullptr;
+    Link* ba_rx = nullptr;
+  };
+  std::vector<CubePair> cube_pairs_;
+  // Per-shard cable-state mirrors: shard_edge_up_[shard][pair] — each
+  // shard's thread reads and writes only its own row at fault time.
+  std::vector<std::vector<char>> shard_edge_up_;
   // Next-hop cube dimension for every (from, to) cluster pair, computed
   // once by program_routes (-1 on the diagonal).  Unicast route
   // programming and multicast tree construction both walk this table

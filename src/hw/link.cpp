@@ -10,8 +10,11 @@ void Link::send(Frame f) {
   const sim::Duration ser =
       static_cast<sim::Duration>(f.wire_bytes()) * p_.ns_per_byte;
   // Transmitter frees after serialization; the frame lands one propagation
-  // latency later.
-  sim_.post_after(ser, [this] {
+  // latency later.  Both completion events carry the fault epoch: a
+  // set_down() between send and completion bumps it and the stale event
+  // no-ops (the fault path already reset tx_busy_ / dropped the frame).
+  sim_.post_after(ser, [this, e = fault_epoch_] {
+    if (e != fault_epoch_) return;
     tx_busy_ = false;
     notify_ready();
   });
@@ -29,13 +32,45 @@ void Link::send(Frame f) {
     return;
   }
   inflight_.push_back(std::move(f));
-  sim_.post_after(ser + p_.latency, [this] { deliver_head(); });
+  sim_.post_after(ser + p_.latency, [this, e = fault_epoch_] {
+    if (e != fault_epoch_) return;
+    deliver_head();
+  });
+}
+
+void Link::set_down() {
+  if (down_) return;
+  down_ = true;
+  ++fault_epoch_;
+  tx_busy_ = false;
+  frames_dropped_ += inflight_.size() + buffer_.size();
+  // RX half: every cleared buffer slot is reported back as a credit, or
+  // the peer TX half's slot accounting would leak the lost frames' slots.
+  if (credit_cb_) {
+    for (std::size_t i = 0; i < buffer_.size(); ++i) credit_cb_(sim_.now());
+  }
+  inflight_.clear();
+  buffer_.clear();
+  // TX half: the peer RX clears its buffer (and drops late arrivals) at
+  // the same virtual time, so every reserved slot is gone; the credits it
+  // emits for them are absorbed by the post-fault guard in remote_credit.
+  remote_unacked_ = 0;
+}
+
+void Link::set_up() {
+  if (!down_) return;
+  down_ = false;
+  ++fault_epoch_;
+  tx_busy_ = false;
+  notify_ready();
 }
 
 void Link::remote_credit() {
   assert(remote_sink_ && "credit on a link that is not a cross-shard TX half");
-  assert(remote_unacked_ > 0);
-  --remote_unacked_;
+  assert(remote_unacked_ > 0 || fault_epoch_ > 0);
+  // A set_down() zeroed the count while this credit was in flight; the
+  // slot it frees was already reclaimed, so the credit is stale.
+  if (remote_unacked_ > 0) --remote_unacked_;
   notify_ready();
 }
 
@@ -43,8 +78,15 @@ void Link::deliver_remote(Frame f) {
   // Cross-shard RX half: serialization, propagation, and the carried
   // counters all happened on the peer shard's TX half; the frame only
   // lands in the downstream buffer here.  The credit protocol bounds
-  // outstanding frames to the buffer size, so this never overflows.
-  assert(buffer_.size() < static_cast<std::size_t>(p_.buffer_frames));
+  // outstanding frames to the buffer size, so this never overflows —
+  // except around a fault, where a pre-outage frame can arrive after slot
+  // accounting was reset; such arrivals are dropped and credited back.
+  if (down_ || buffer_.size() >= static_cast<std::size_t>(p_.buffer_frames)) {
+    assert((down_ || fault_epoch_ > 0) && "RX overflow on a never-faulted link");
+    ++frames_dropped_;
+    if (credit_cb_) credit_cb_(sim_.now());
+    return;
+  }
   buffer_.push_back(std::move(f));
   peak_buffered_ = std::max(peak_buffered_, buffer_.size());
   sample_depth();

@@ -39,14 +39,16 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  /// True when a frame may be sent now: the transmitter is free and a
-  /// downstream buffer slot can be reserved.  On a cross-shard TX half the
-  /// downstream buffer lives on the peer shard, so slot accounting runs on
-  /// credits: a slot is reserved at send and released by remote_credit().
+  /// True when a frame may be sent now: the link is up, the transmitter is
+  /// free and a downstream buffer slot can be reserved.  On a cross-shard
+  /// TX half the downstream buffer lives on the peer shard, so slot
+  /// accounting runs on credits: a slot is reserved at send and released by
+  /// remote_credit().
   [[nodiscard]] bool ready() const {
     const std::size_t occupied =
         remote_sink_ ? remote_unacked_ : inflight_.size() + buffer_.size();
-    return !tx_busy_ && occupied < static_cast<std::size_t>(p_.buffer_frames);
+    return !down_ && !tx_busy_ &&
+           occupied < static_cast<std::size_t>(p_.buffer_frames);
   }
 
   /// Starts transmitting `f`.  Precondition: ready().
@@ -104,6 +106,27 @@ class Link {
     credit_cb_ = std::move(cb);
   }
 
+  // ---- fault injection (DESIGN.md §14) ----
+  //
+  // A downed link models a failed cable: frames being serialized, frames
+  // propagating, and frames parked in the downstream buffer are all lost
+  // (counted in frames_dropped), and ready() stays false until set_up().
+  // Loss is implemented with an epoch guard: every in-flight completion
+  // event captured the epoch at send time and no-ops when a fault bumped
+  // it, so a fault never leaves a dangling event poking freed state.  On a
+  // cross-shard pair the injector calls set_down()/set_up() on BOTH halves
+  // at the same virtual time, each on its own shard; cleared RX slots are
+  // credited back so the TX half's slot accounting stays exact.
+
+  /// Cable fails.  Idempotent; safe at any point of a transfer.
+  void set_down();
+  /// Cable replaced: transmitter idle, buffer empty, consumers notified.
+  void set_up();
+  [[nodiscard]] bool is_down() const { return down_; }
+  /// Frames lost to set_down()/arrival-while-down (never counted as
+  /// carried).
+  [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
+
   // ---- counters (diagnostics and the trace exporter) ----
 
   /// Cumulative frames delivered downstream.
@@ -124,6 +147,10 @@ class Link {
   std::string name_;
   Params p_;
   bool tx_busy_ = false;
+  bool down_ = false;
+  // Bumped by every set_down()/set_up(); in-flight serialization and
+  // delivery events captured the epoch at send time and no-op on mismatch.
+  std::uint32_t fault_epoch_ = 0;
   // Frames serialized but still propagating, in arrival order.  Arrival
   // order equals send order: the transmitter serializes sends, so a later
   // frame's arrival (start + ser_a + ser_b + latency) is strictly after an
@@ -138,6 +165,7 @@ class Link {
   std::function<void(sim::SimTime, Frame)> remote_sink_;  // TX half
   std::function<void(sim::SimTime)> credit_cb_;           // RX half
   std::size_t remote_unacked_ = 0;  // TX half: sent, credit not yet back
+  std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_carried_ = 0;
   std::uint64_t bytes_carried_ = 0;
   std::size_t peak_buffered_ = 0;

@@ -126,6 +126,37 @@ const BannedIdent kBannedIdents[] = {
     {"putenv", Match::kAnywhere, "R1", "thread configuration through explicit parameters"},
     {"rand", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
     {"srand", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    // The wider libc/POSIX PRNG family.  All are kCall (these names are
+    // plausible locals/members elsewhere); `random` itself is only banned
+    // when globally qualified — `Circuit::random(...)`-style factories are
+    // legitimate and common.
+    {"rand_r", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"random", Match::kGlobalQualified, "R1", "use sim::Rng seeded from the experiment config"},
+    {"srandom", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"drand48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"erand48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"lrand48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"nrand48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"mrand48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"jrand48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"srand48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"seed48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    {"lcong48", Match::kCall, "R1", "use sim::Rng seeded from the experiment config"},
+    // Kernel entropy and the BSD arc4random family (prefix covers
+    // arc4random_uniform / arc4random_buf).
+    {"getrandom", Match::kCall, "R1", "seed sim::Rng from the experiment config"},
+    {"getentropy", Match::kCall, "R1", "seed sim::Rng from the experiment config"},
+    {"arc4random", Match::kPrefix, "R1", "seed sim::Rng from the experiment config"},
+    // <random> engines beyond default_random_engine: the concrete standard
+    // engines (prefix covers mt19937_64, minstd_rand0, the ranlux sizes)
+    // and the raw engine templates they alias.
+    {"mt19937", Match::kPrefix, "R1", "use sim::Rng (xoshiro256**)"},
+    {"minstd_rand", Match::kPrefix, "R1", "use sim::Rng (xoshiro256**)"},
+    {"ranlux", Match::kPrefix, "R1", "use sim::Rng (xoshiro256**)"},
+    {"knuth_b", Match::kAnywhere, "R1", "use sim::Rng (xoshiro256**)"},
+    {"mersenne_twister_engine", Match::kAnywhere, "R1", "use sim::Rng (xoshiro256**)"},
+    {"linear_congruential_engine", Match::kAnywhere, "R1", "use sim::Rng (xoshiro256**)"},
+    {"subtract_with_carry_engine", Match::kAnywhere, "R1", "use sim::Rng (xoshiro256**)"},
     {"time", Match::kStdQualified, "R1", "use the simulator's virtual clock"},
     {"time", Match::kGlobalQualified, "R1", "use the simulator's virtual clock"},
     // R3: real threads / blocking waits.

@@ -32,9 +32,21 @@ inline constexpr std::uint32_t kLoadDone = 33;
 inline constexpr std::uint32_t kMcastData = 40;
 inline constexpr std::uint32_t kMcastAck = 41;
 
-// Processor allocation (§3.1).
+// Processor allocation (§3.1).  The workload generator's session-slot
+// admission runs over these: req/reply against a host's slot table, plus
+// the explicit free VORX requires ("not available to anyone else until
+// explicitly freed").
 inline constexpr std::uint32_t kAllocReq = 50;
 inline constexpr std::uint32_t kAllocReply = 51;
+inline constexpr std::uint32_t kAllocFree = 52;
+
+// Conferencing workload sessions (vorx::WorkloadGen, DESIGN.md §14).
+// Frame::obj carries the session id end to end.
+inline constexpr std::uint32_t kSessInvite = 60;  // root -> member node
+inline constexpr std::uint32_t kSessAccept = 61;  // member -> root
+inline constexpr std::uint32_t kSessData = 62;    // talk-spurt media frame
+inline constexpr std::uint32_t kSessLeave = 63;   // member churn notice
+inline constexpr std::uint32_t kSessBye = 64;     // root tears session down
 
 // Raw frames for tests and ad-hoc experiments.
 inline constexpr std::uint32_t kRaw = 99;

@@ -64,6 +64,26 @@ void Mcast::sample_fanout_depth() {
             static_cast<double>(fanout_depth()));
 }
 
+void Mcast::remove_member(hw::StationId dead) {
+  assert(dead != order_[0] && "the root cannot be removed from its group");
+  const auto it = std::find(order_.begin(), order_.end(), dead);
+  if (it == order_.end()) return;  // already repaired
+  order_.erase(it);
+  const hw::StationId self = svc_.kernel().station();
+  const auto me = std::find(order_.begin(), order_.end(), self);
+  assert(me != order_.end() && "remove_member called on the dead member");
+  my_pos_ = static_cast<int>(me - order_.begin());
+  // Ack recount: a write blocked solely on the dead member's ack must
+  // complete now that the expected-ack set shrank.  maybe_ack_up reads the
+  // need from the repaired tree, so re-evaluating every pending sequence
+  // (in seq order — deterministic) releases exactly the satisfied ones.
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(pending_.size());
+  for (const auto& [seq, st] : pending_) seqs.push_back(seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (std::uint64_t seq : seqs) svc_.maybe_ack_up(this, seq);
+}
+
 std::vector<hw::StationId> Mcast::children() const {
   std::vector<hw::StationId> out;
   for (int c : {2 * my_pos_ + 1, 2 * my_pos_ + 2}) {

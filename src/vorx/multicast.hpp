@@ -54,8 +54,19 @@ class Mcast {
   /// Blocking read of the next multicast message.
   [[nodiscard]] sim::Task<ChannelMsg> read(Subprocess& sp);
 
+  /// Group repair after member loss (§3.1's recovery story, DESIGN.md
+  /// §14): drops `dead` from the tree order and re-evaluates every pending
+  /// write against the shrunken ack set — a root blocked solely on the
+  /// dead member's ack completes.  Every surviving member must apply the
+  /// same removal (same contract as create_group), at a point where the
+  /// dead member's subtree holds no undelivered data (it is a leaf, or its
+  /// descendants already received the in-flight message).  Idempotent;
+  /// removing the root is not supported.
+  void remove_member(hw::StationId dead);
+
   [[nodiscard]] std::uint64_t gid() const { return gid_; }
   [[nodiscard]] bool is_root() const { return my_pos_ == 0; }
+  [[nodiscard]] std::size_t member_count() const { return order_.size(); }
   [[nodiscard]] std::uint64_t messages_written() const { return writes_; }
   [[nodiscard]] std::uint64_t messages_read() const { return reads_; }
 

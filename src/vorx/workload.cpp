@@ -1,0 +1,897 @@
+#include "vorx/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "vorx/node.hpp"
+#include "vorx/stub.hpp"
+
+namespace hpcvorx::vorx {
+
+namespace {
+
+// ---- deterministic transcendentals ---------------------------------------
+//
+// The samplers below need ln and exp.  libm's versions are not specified
+// bit-for-bit across platforms, and <cmath> is off-limits in src/ anyway
+// (vorx-lint R1's spirit: no environment-dependent numerics in the
+// deterministic core).  These use only +,-,*,/ — exactly rounded under
+// IEEE 754 — so the same inputs give the same doubles everywhere.
+
+// Natural log of u in (0, 1]: range-reduce to m in [1,2) by halving the
+// exponent, then the atanh series ln(m) = 2*(z + z^3/3 + ...) with
+// z = (m-1)/(m+1), |z| < 1/3 (15 terms are plenty for these samplers).
+double det_ln(double u) {
+  assert(u > 0.0 && u <= 1.0);
+  int e = 0;
+  while (u < 1.0) {
+    u *= 2.0;
+    --e;
+  }
+  if (u >= 2.0) {  // u == 1.0 before scaling
+    u *= 0.5;
+    ++e;
+  }
+  const double z = (u - 1.0) / (u + 1.0);
+  const double z2 = z * z;
+  double term = z;
+  double sum = 0.0;
+  for (int k = 1; k <= 29; k += 2) {
+    sum += term / k;
+    term *= z2;
+  }
+  constexpr double kLn2 = 0.6931471805599453;
+  return 2.0 * sum + static_cast<double>(e) * kLn2;
+}
+
+// e^x for x >= 0 (bounded ~60 here): integer part by repeated
+// multiplication, fractional part by the Taylor series.
+double det_exp(double x) {
+  assert(x >= 0.0);
+  int n = static_cast<int>(x);
+  const double f = x - static_cast<double>(n);
+  double num = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k <= 17; ++k) {
+    num = num * f / static_cast<double>(k);
+    sum += num;
+  }
+  constexpr double kE = 2.718281828459045;
+  double en = 1.0;
+  for (; n > 0; --n) en *= kE;
+  return en * sum;
+}
+
+// Uniform (0, 1]: never returns 0, so ln is always defined.
+double unit_open(sim::Rng& rng) {
+  const double u = rng.uniform();
+  return u > 0.0 ? u : 0x1.0p-53;
+}
+
+// Exponential with the given mean, in integer ns, clamped to [1, cap].
+sim::Duration sample_exp(sim::Rng& rng, sim::Duration mean,
+                         sim::Duration cap) {
+  const double v = -det_ln(unit_open(rng)) * static_cast<double>(mean);
+  auto d = static_cast<sim::Duration>(v + 0.5);
+  if (d < 1) d = 1;
+  if (d > cap) d = cap;
+  return d;
+}
+
+// Pareto(xm, alpha) in integer ns, truncated at cap: xm * U^(-1/alpha)
+// computed as xm * exp(-ln(U)/alpha).
+sim::Duration sample_pareto(sim::Rng& rng, sim::Duration xm, double alpha,
+                            sim::Duration cap) {
+  const double e = -det_ln(unit_open(rng)) / alpha;
+  const double v = static_cast<double>(xm) * det_exp(e);
+  if (v >= static_cast<double>(cap)) return cap;
+  auto d = static_cast<sim::Duration>(v + 0.5);
+  if (d < xm) d = xm;
+  return d;
+}
+
+// Nearest-rank percentile (pct in [0,100]) of a sorted vector, in integer
+// microseconds; -1 when empty.
+std::int64_t percentile_us(const std::vector<sim::Duration>& sorted,
+                           int pct) {
+  if (sorted.empty()) return -1;
+  const std::size_t n = sorted.size();
+  std::size_t rank = (n * static_cast<std::size_t>(pct) + 99) / 100;
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1] / 1000;
+}
+
+}  // namespace
+
+// ---- pre-generated session descriptors -----------------------------------
+
+namespace {
+
+struct SpurtDesc {
+  sim::Duration gap = 0;  // silence before the spurt
+  int frames = 1;         // media frames in the spurt
+};
+
+struct SessionDesc {
+  std::uint64_t id = 0;
+  sim::SimTime start = 0;
+  int root = 0;                   // root node index
+  std::vector<int> members;       // other member node indices (unique)
+  std::vector<SpurtDesc> spurts;
+  // Churn: (member node index, leave offset from session activation).
+  std::vector<std::pair<int, sim::Duration>> leaves;
+};
+
+// Root-side session phases.  kDone/kFailed/kLost are terminal; the entry
+// is erased once counted, so the watchdog treats "entry still present" as
+// not-yet-resolved.
+enum Phase : int { kAllocating = 0, kInviting = 1, kActive = 2 };
+
+struct RootSession {
+  const SessionDesc* desc = nullptr;
+  int phase = kAllocating;
+  std::uint32_t epoch = 0;  // invalidates outstanding control timers
+  int attempt = 0;          // allocation attempts made
+  hw::StationId host = -1;  // granted host station (-1 = none)
+  int round = 0;            // invite rounds completed
+  std::vector<char> accepted;     // parallel to desc->members
+  std::vector<int> live;          // members still in the conference
+  std::size_t spurt = 0;
+  int frames_left = 0;
+};
+
+struct MemberSession {
+  hw::StationId root = -1;
+};
+
+}  // namespace
+
+// ---- agents ---------------------------------------------------------------
+
+struct WorkloadGen::Impl {
+  struct NodeAgent {
+    Node* node = nullptr;
+    int index = 0;
+    std::unordered_map<std::uint64_t, RootSession> roots;
+    std::unordered_map<std::uint64_t, MemberSession> members;
+    std::vector<sim::Duration> join_lat;
+    std::vector<sim::Duration> deliv_lat;
+    // (time, +1/-1) activation log for the concurrent-sessions peak.
+    std::vector<std::pair<sim::SimTime, int>> active_log;
+    std::uint64_t completed = 0;
+    std::uint64_t failed_joins = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t alloc_attempts = 0;
+    std::uint64_t alloc_denied = 0;
+    std::uint64_t alloc_timeouts = 0;
+    std::uint64_t late_grants_freed = 0;
+    std::uint64_t invites_sent = 0;
+    std::uint64_t reinvite_rounds = 0;
+    std::uint64_t members_joined = 0;
+    std::uint64_t members_pruned = 0;
+    std::uint64_t churn_leaves = 0;
+    std::uint64_t member_gc = 0;
+    std::uint64_t data_sent = 0;
+    std::uint64_t data_delivered = 0;
+  };
+
+  struct HostAgent {
+    Node* node = nullptr;
+    int index = 0;
+    bool crashed = false;
+    std::unordered_map<std::uint64_t, std::uint64_t> slots;  // sid -> stub
+    std::uint64_t granted = 0;
+    std::uint64_t killed = 0;
+  };
+
+  Impl(System& sys, WorkloadConfig cfg, std::uint64_t seed);
+
+  void generate(std::uint64_t seed);
+  void install();
+  void schedule();
+
+  // Root-side state machine.
+  void start_session(NodeAgent& ag, std::uint64_t sid);
+  void send_alloc(NodeAgent& ag, RootSession& rs);
+  void on_alloc_reply(NodeAgent& ag, const hw::Frame& f);
+  void start_invites(NodeAgent& ag, RootSession& rs, bool resend_only);
+  void on_accept(NodeAgent& ag, const hw::Frame& f);
+  void invite_timeout(NodeAgent& ag, std::uint64_t sid, std::uint32_t epoch);
+  void activate(NodeAgent& ag, RootSession& rs);
+  void spurt_step(NodeAgent& ag, std::uint64_t sid, std::uint32_t epoch);
+  void on_leave(NodeAgent& ag, const hw::Frame& f);
+  void finish(NodeAgent& ag, std::uint64_t sid);
+  void fail_join(NodeAgent& ag, std::uint64_t sid);
+  void watchdog(NodeAgent& ag, std::uint64_t sid);
+
+  // Member side.
+  void on_invite(NodeAgent& ag, const hw::Frame& f);
+  void on_data(NodeAgent& ag, const hw::Frame& f);
+  void on_bye(NodeAgent& ag, const hw::Frame& f);
+  void member_leave(NodeAgent& ag, std::uint64_t sid);
+
+  // Host side.
+  void on_alloc_req(HostAgent& h, const hw::Frame& f);
+  void on_alloc_free(HostAgent& h, const hw::Frame& f);
+  void set_host_crashed(int host, bool crashed);
+
+  void send_free(NodeAgent& ag, hw::StationId host, std::uint64_t sid);
+
+  [[nodiscard]] sim::SimTime end_time() const {
+    return cfg.horizon + ttl_eff + sim::msec(10);
+  }
+
+  System& sys;
+  WorkloadConfig cfg;
+  sim::Duration ttl_eff = 0;  // watchdog delay >= worst-case session life
+  std::vector<SessionDesc> descs;
+  std::vector<std::unique_ptr<NodeAgent>> node_agents;
+  std::vector<std::unique_ptr<HostAgent>> host_agents;
+};
+
+WorkloadGen::Impl::Impl(System& s, WorkloadConfig c, std::uint64_t seed)
+    : sys(s), cfg(std::move(c)) {
+  // The watchdog must never fire on a healthy session: bound the longest
+  // possible life from the control-plane budgets and the spurt caps.
+  const sim::Duration gap_cap = 20 * cfg.spurt_gap;
+  const sim::Duration max_life =
+      cfg.alloc_attempts * cfg.alloc_timeout +
+      cfg.invite_rounds * cfg.invite_timeout +
+      static_cast<sim::Duration>(cfg.max_spurts) *
+          (gap_cap + cfg.spurt_cap + cfg.frame_interval) +
+      sim::msec(50);
+  ttl_eff = std::max(cfg.session_ttl, max_life);
+  generate(seed);
+  install();
+  schedule();
+}
+
+// Pre-generates every session descriptor from one linear Rng stream.  The
+// result depends only on (cfg, seed) — never on shard count or on anything
+// the machine does — so the offered load is identical across engines.
+void WorkloadGen::Impl::generate(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const int nodes = sys.num_nodes();
+  const double mean_members =
+      (static_cast<double>(cfg.min_members) + cfg.max_members) / 2.0;
+  const double expected =
+      static_cast<double>(cfg.users) * cfg.sessions_per_user / mean_members;
+  if (expected <= 0.0 || cfg.horizon <= 0) return;
+  const double horizon_ns = static_cast<double>(cfg.horizon);
+  const double rate_mean = expected / horizon_ns;       // arrivals per ns
+  const double rate_max = rate_mean * (1.0 + cfg.diurnal_swing);
+  const sim::Duration gap_cap = 20 * cfg.spurt_gap;
+
+  double t = 0.0;
+  std::uint64_t next_id = 1;
+  while (true) {
+    // Homogeneous candidates at rate_max, thinned to the diurnal curve.
+    t += -det_ln(unit_open(rng)) / rate_max;
+    if (t >= horizon_ns) break;
+    // Triangle wave: 0 at the edges of the horizon, 1 at its midpoint.
+    const double x = t / horizon_ns;
+    const double tri = 1.0 - (x < 0.5 ? 1.0 - 2.0 * x : 2.0 * x - 1.0);
+    const double accept =
+        (1.0 - cfg.diurnal_swing + 2.0 * cfg.diurnal_swing * tri) /
+        (1.0 + cfg.diurnal_swing);
+    if (!rng.chance(accept)) continue;
+
+    SessionDesc d;
+    d.id = next_id++;
+    d.start = static_cast<sim::SimTime>(t);
+    d.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(nodes)));
+    const int want = static_cast<int>(
+        rng.range(cfg.min_members, cfg.max_members));
+    const int size = std::min(want, nodes);  // distinct nodes available
+    while (static_cast<int>(d.members.size()) < size - 1) {
+      const int m =
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(nodes)));
+      if (m == d.root) continue;
+      if (std::find(d.members.begin(), d.members.end(), m) !=
+          d.members.end()) {
+        continue;
+      }
+      d.members.push_back(m);
+    }
+    const int nspurts =
+        static_cast<int>(rng.range(cfg.min_spurts, cfg.max_spurts));
+    sim::Duration nominal = 0;
+    for (int i = 0; i < nspurts; ++i) {
+      SpurtDesc sp;
+      sp.gap = sample_exp(rng, cfg.spurt_gap, gap_cap);
+      const sim::Duration len =
+          sample_pareto(rng, cfg.spurt_xm, cfg.spurt_alpha, cfg.spurt_cap);
+      sp.frames = 1 + static_cast<int>(len / cfg.frame_interval);
+      nominal += sp.gap + static_cast<sim::Duration>(sp.frames) *
+                              cfg.frame_interval;
+      d.spurts.push_back(sp);
+    }
+    for (int m : d.members) {
+      if (rng.chance(cfg.churn_prob) && nominal > 0) {
+        d.leaves.emplace_back(
+            m, static_cast<sim::Duration>(
+                   rng.below(static_cast<std::uint64_t>(nominal))));
+      }
+    }
+    descs.push_back(std::move(d));
+  }
+}
+
+void WorkloadGen::Impl::install() {
+  node_agents.reserve(static_cast<std::size_t>(sys.num_nodes()));
+  for (int i = 0; i < sys.num_nodes(); ++i) {
+    auto ag = std::make_unique<NodeAgent>();
+    ag->node = &sys.node(i);
+    ag->index = i;
+    NodeAgent* a = ag.get();
+    Kernel& k = a->node->kernel();
+    k.register_handler(msg::kAllocReply,
+                       [this, a](hw::Frame f) { on_alloc_reply(*a, f); });
+    k.register_handler(msg::kSessInvite,
+                       [this, a](hw::Frame f) { on_invite(*a, f); });
+    k.register_handler(msg::kSessAccept,
+                       [this, a](hw::Frame f) { on_accept(*a, f); });
+    k.register_handler(msg::kSessData,
+                       [this, a](hw::Frame f) { on_data(*a, f); });
+    k.register_handler(msg::kSessLeave,
+                       [this, a](hw::Frame f) { on_leave(*a, f); });
+    k.register_handler(msg::kSessBye,
+                       [this, a](hw::Frame f) { on_bye(*a, f); });
+    node_agents.push_back(std::move(ag));
+  }
+  host_agents.reserve(static_cast<std::size_t>(sys.num_hosts()));
+  for (int j = 0; j < sys.num_hosts(); ++j) {
+    auto hg = std::make_unique<HostAgent>();
+    hg->node = &sys.host(j);
+    hg->index = j;
+    HostAgent* h = hg.get();
+    Kernel& k = h->node->kernel();
+    k.register_handler(msg::kAllocReq,
+                       [this, h](hw::Frame f) { on_alloc_req(*h, f); });
+    k.register_handler(msg::kAllocFree,
+                       [this, h](hw::Frame f) { on_alloc_free(*h, f); });
+    host_agents.push_back(std::move(hg));
+  }
+}
+
+// Pre-schedules every session start, root watchdog, and churn departure on
+// the owning node's own simulator — the only cross-shard-safe way to seed
+// work (R7: cross-shard effects travel only in link frames).
+void WorkloadGen::Impl::schedule() {
+  for (const SessionDesc& d : descs) {
+    NodeAgent* root = node_agents[static_cast<std::size_t>(d.root)].get();
+    sim::Simulator& rsim = root->node->simulator();
+    const std::uint64_t sid = d.id;
+    rsim.post_at(d.start,
+                 [this, root, sid] { start_session(*root, sid); });
+    rsim.post_at(d.start + ttl_eff,
+                 [this, root, sid] { watchdog(*root, sid); });
+    for (const auto& [m, offset] : d.leaves) {
+      NodeAgent* mem = node_agents[static_cast<std::size_t>(m)].get();
+      // Earliest the member could be active; if the invite never arrived
+      // (faults) the leave finds no local session and is a no-op.
+      const sim::SimTime leave_at =
+          d.start + cfg.alloc_timeout + cfg.invite_timeout + offset;
+      mem->node->simulator().post_at(
+          leave_at, [this, mem, sid] { member_leave(*mem, sid); });
+    }
+  }
+}
+
+// ---- root-side state machine ----------------------------------------------
+
+void WorkloadGen::Impl::start_session(NodeAgent& ag, std::uint64_t sid) {
+  RootSession& rs = ag.roots[sid];
+  rs.desc = &descs[sid - 1];
+  rs.accepted.assign(rs.desc->members.size(), 0);
+  send_alloc(ag, rs);
+}
+
+void WorkloadGen::Impl::send_alloc(NodeAgent& ag, RootSession& rs) {
+  if (rs.attempt >= cfg.alloc_attempts) {
+    fail_join(ag, rs.desc->id);
+    return;
+  }
+  const std::uint64_t sid = rs.desc->id;
+  const int host_ix = static_cast<int>(
+      (sid + static_cast<std::uint64_t>(rs.attempt)) %
+      static_cast<std::uint64_t>(sys.num_hosts()));
+  ++ag.alloc_attempts;
+  hw::Frame f;
+  f.kind = msg::kAllocReq;
+  f.dst = sys.host_station(host_ix);
+  f.obj = sid;
+  f.seq = static_cast<std::uint64_t>(rs.attempt);
+  ag.node->kernel().send(std::move(f));
+  const std::uint32_t e = ++rs.epoch;
+  // vorx-lint: allow(R8) ag lives in Impl's per-node table for the whole run
+  ag.node->simulator().post_after(cfg.alloc_timeout, [this, &ag, sid, e] {
+    auto it = ag.roots.find(sid);
+    if (it == ag.roots.end()) return;
+    RootSession& r = it->second;
+    if (r.phase != kAllocating || r.epoch != e) return;
+    ++ag.alloc_timeouts;
+    ++r.attempt;
+    send_alloc(ag, r);
+  });
+}
+
+void WorkloadGen::Impl::on_alloc_reply(NodeAgent& ag, const hw::Frame& f) {
+  const std::uint64_t sid = f.obj;
+  const bool grant = f.aux == 1;
+  auto it = ag.roots.find(sid);
+  if (it == ag.roots.end() || it->second.phase != kAllocating ||
+      f.seq != static_cast<std::uint64_t>(it->second.attempt)) {
+    // Late or duplicate reply.  A late *grant* holds a slot nobody will
+    // ever use — release it (the §3.1 explicit-free contract).
+    if (grant && (it == ag.roots.end() || it->second.host != f.src)) {
+      ++ag.late_grants_freed;
+      send_free(ag, f.src, sid);
+    }
+    return;
+  }
+  RootSession& rs = it->second;
+  ++rs.epoch;  // cancel the attempt timer
+  if (!grant) {
+    ++ag.alloc_denied;
+    ++rs.attempt;
+    send_alloc(ag, rs);
+    return;
+  }
+  rs.host = f.src;
+  rs.phase = kInviting;
+  if (rs.desc->members.empty()) {
+    activate(ag, rs);
+    return;
+  }
+  start_invites(ag, rs, /*resend_only=*/false);
+}
+
+void WorkloadGen::Impl::start_invites(NodeAgent& ag, RootSession& rs,
+                                      bool resend_only) {
+  const std::uint64_t sid = rs.desc->id;
+  for (std::size_t i = 0; i < rs.desc->members.size(); ++i) {
+    if (resend_only && rs.accepted[i]) continue;
+    hw::Frame f;
+    f.kind = msg::kSessInvite;
+    f.dst = sys.node_station(rs.desc->members[i]);
+    f.obj = sid;
+    ag.node->kernel().send(std::move(f));
+    ++ag.invites_sent;
+  }
+  const std::uint32_t e = ++rs.epoch;
+  ag.node->simulator().post_after(
+      cfg.invite_timeout,
+      // vorx-lint: allow(R8) ag lives in Impl's per-node table for the run
+      [this, &ag, sid, e] { invite_timeout(ag, sid, e); });
+}
+
+void WorkloadGen::Impl::on_accept(NodeAgent& ag, const hw::Frame& f) {
+  auto it = ag.roots.find(f.obj);
+  if (it == ag.roots.end() || it->second.phase != kInviting) return;
+  RootSession& rs = it->second;
+  const auto pos = std::find(rs.desc->members.begin(),
+                             rs.desc->members.end(), static_cast<int>(f.src));
+  if (pos == rs.desc->members.end()) return;
+  rs.accepted[static_cast<std::size_t>(pos - rs.desc->members.begin())] = 1;
+  if (std::find(rs.accepted.begin(), rs.accepted.end(), 0) ==
+      rs.accepted.end()) {
+    ++rs.epoch;  // cancel the round timer
+    activate(ag, rs);
+  }
+}
+
+void WorkloadGen::Impl::invite_timeout(NodeAgent& ag, std::uint64_t sid,
+                                       std::uint32_t epoch) {
+  auto it = ag.roots.find(sid);
+  if (it == ag.roots.end()) return;
+  RootSession& rs = it->second;
+  if (rs.phase != kInviting || rs.epoch != epoch) return;
+  ++rs.round;
+  if (rs.round < cfg.invite_rounds) {
+    ++ag.reinvite_rounds;
+    start_invites(ag, rs, /*resend_only=*/true);
+    return;
+  }
+  // Out of rounds: prune the silent members (the group-repair contract —
+  // the conference proceeds without them) or give up if nobody answered.
+  const std::size_t pruned = static_cast<std::size_t>(
+      std::count(rs.accepted.begin(), rs.accepted.end(), 0));
+  ag.members_pruned += pruned;
+  if (pruned == rs.accepted.size()) {
+    fail_join(ag, sid);
+    return;
+  }
+  ++rs.epoch;
+  activate(ag, rs);
+}
+
+void WorkloadGen::Impl::activate(NodeAgent& ag, RootSession& rs) {
+  rs.phase = kActive;
+  rs.live.clear();
+  for (std::size_t i = 0; i < rs.desc->members.size(); ++i) {
+    if (rs.accepted[i]) rs.live.push_back(rs.desc->members[i]);
+  }
+  ag.members_joined += rs.live.size();
+  const sim::SimTime now = ag.node->simulator().now();
+  ag.join_lat.push_back(now - rs.desc->start);
+  ag.active_log.emplace_back(now, +1);
+  if (rs.desc->spurts.empty()) {
+    finish(ag, rs.desc->id);
+    return;
+  }
+  rs.spurt = 0;
+  rs.frames_left = 0;
+  const std::uint64_t sid = rs.desc->id;
+  const std::uint32_t e = rs.epoch;
+  ag.node->simulator().post_after(
+      rs.desc->spurts[0].gap,
+      // vorx-lint: allow(R8) ag lives in Impl's per-node table for the run
+      [this, &ag, sid, e] { spurt_step(ag, sid, e); });
+}
+
+// One step of the talk-spurt chain: send the next media frame to every
+// live member, then self-schedule the next frame or the next spurt's gap.
+void WorkloadGen::Impl::spurt_step(NodeAgent& ag, std::uint64_t sid,
+                                   std::uint32_t epoch) {
+  auto it = ag.roots.find(sid);
+  if (it == ag.roots.end()) return;
+  RootSession& rs = it->second;
+  if (rs.phase != kActive || rs.epoch != epoch) return;
+  if (rs.frames_left == 0) {
+    rs.frames_left = rs.desc->spurts[rs.spurt].frames;
+  }
+  const sim::SimTime now = ag.node->simulator().now();
+  for (int m : rs.live) {
+    hw::Frame f;
+    f.kind = msg::kSessData;
+    f.dst = sys.node_station(m);
+    f.obj = sid;
+    f.aux = static_cast<std::uint64_t>(now);  // end-to-end latency origin
+    f.payload_bytes = cfg.frame_bytes;        // timing-only media frame
+    ag.node->kernel().send(std::move(f));
+    ++ag.data_sent;
+  }
+  --rs.frames_left;
+  if (rs.frames_left > 0) {
+    ag.node->simulator().post_after(
+        cfg.frame_interval,
+        // vorx-lint: allow(R8) ag lives in Impl's per-node table for the run
+        [this, &ag, sid, epoch] { spurt_step(ag, sid, epoch); });
+    return;
+  }
+  ++rs.spurt;
+  if (rs.spurt >= rs.desc->spurts.size()) {
+    finish(ag, sid);
+    return;
+  }
+  ag.node->simulator().post_after(
+      rs.desc->spurts[rs.spurt].gap,
+      // vorx-lint: allow(R8) ag lives in Impl's per-node table for the run
+      [this, &ag, sid, epoch] { spurt_step(ag, sid, epoch); });
+}
+
+void WorkloadGen::Impl::on_leave(NodeAgent& ag, const hw::Frame& f) {
+  auto it = ag.roots.find(f.obj);
+  if (it == ag.roots.end() || it->second.phase != kActive) return;
+  RootSession& rs = it->second;
+  const auto pos =
+      std::find(rs.live.begin(), rs.live.end(), static_cast<int>(f.src));
+  if (pos == rs.live.end()) return;
+  rs.live.erase(pos);
+  ++ag.churn_leaves;
+}
+
+void WorkloadGen::Impl::finish(NodeAgent& ag, std::uint64_t sid) {
+  auto it = ag.roots.find(sid);
+  assert(it != ag.roots.end());
+  RootSession& rs = it->second;
+  for (int m : rs.live) {
+    hw::Frame f;
+    f.kind = msg::kSessBye;
+    f.dst = sys.node_station(m);
+    f.obj = sid;
+    ag.node->kernel().send(std::move(f));
+  }
+  if (rs.host >= 0) send_free(ag, rs.host, sid);
+  ag.active_log.emplace_back(ag.node->simulator().now(), -1);
+  ++ag.completed;
+  ag.roots.erase(it);
+}
+
+void WorkloadGen::Impl::fail_join(NodeAgent& ag, std::uint64_t sid) {
+  auto it = ag.roots.find(sid);
+  assert(it != ag.roots.end());
+  if (it->second.host >= 0) send_free(ag, it->second.host, sid);
+  ++ag.failed_joins;
+  ag.roots.erase(it);
+}
+
+// The last line of accounting: any session still unresolved ttl after its
+// start is LOST.  This must stay zero — every recovery path above is
+// supposed to drive the session to completed or failed on its own.
+void WorkloadGen::Impl::watchdog(NodeAgent& ag, std::uint64_t sid) {
+  auto it = ag.roots.find(sid);
+  if (it == ag.roots.end()) return;  // resolved long ago
+  if (it->second.host >= 0) send_free(ag, it->second.host, sid);
+  if (it->second.phase == kActive) {
+    ag.active_log.emplace_back(ag.node->simulator().now(), -1);
+  }
+  ++ag.lost;
+  ag.roots.erase(it);
+}
+
+void WorkloadGen::Impl::send_free(NodeAgent& ag, hw::StationId host,
+                                  std::uint64_t sid) {
+  hw::Frame f;
+  f.kind = msg::kAllocFree;
+  f.dst = host;
+  f.obj = sid;
+  ag.node->kernel().send(std::move(f));
+}
+
+// ---- member side -----------------------------------------------------------
+
+void WorkloadGen::Impl::on_invite(NodeAgent& ag, const hw::Frame& f) {
+  const std::uint64_t sid = f.obj;
+  const bool fresh = ag.members.find(sid) == ag.members.end();
+  MemberSession& ms = ag.members[sid];
+  ms.root = f.src;
+  hw::Frame a;
+  a.kind = msg::kSessAccept;
+  a.dst = f.src;
+  a.obj = sid;
+  ag.node->kernel().send(std::move(a));
+  if (fresh) {
+    // Member-side GC: if the bye is lost to a fault, reclaim the entry
+    // once the session cannot possibly still be live.
+    // vorx-lint: allow(R8) ag lives in Impl's per-node table for the run
+    ag.node->simulator().post_after(ttl_eff, [this, &ag, sid] {
+      if (ag.members.erase(sid) != 0) ++ag.member_gc;
+    });
+  }
+}
+
+void WorkloadGen::Impl::on_data(NodeAgent& ag, const hw::Frame& f) {
+  if (ag.members.find(f.obj) == ag.members.end()) return;  // left / stale
+  const sim::SimTime now = ag.node->simulator().now();
+  ag.deliv_lat.push_back(now - static_cast<sim::SimTime>(f.aux));
+  ++ag.data_delivered;
+}
+
+void WorkloadGen::Impl::on_bye(NodeAgent& ag, const hw::Frame& f) {
+  ag.members.erase(f.obj);
+}
+
+void WorkloadGen::Impl::member_leave(NodeAgent& ag, std::uint64_t sid) {
+  auto it = ag.members.find(sid);
+  if (it == ag.members.end()) return;  // never joined, or already over
+  hw::Frame f;
+  f.kind = msg::kSessLeave;
+  f.dst = it->second.root;
+  f.obj = sid;
+  ag.node->kernel().send(std::move(f));
+  ag.members.erase(it);
+}
+
+// ---- host side -------------------------------------------------------------
+
+void WorkloadGen::Impl::on_alloc_req(HostAgent& h, const hw::Frame& f) {
+  if (h.crashed) return;  // dead stubs answer nothing: the timeout path
+  const std::uint64_t sid = f.obj;
+  hw::Frame r;
+  r.kind = msg::kAllocReply;
+  r.dst = f.src;
+  r.obj = sid;
+  r.seq = f.seq;
+  auto it = h.slots.find(sid);
+  if (it != h.slots.end()) {
+    r.aux = 1;  // duplicate request: same slot, idempotent grant
+  } else if (h.slots.size() >=
+             static_cast<std::size_t>(cfg.host_slots)) {
+    r.aux = 0;  // full: deny, the root retries elsewhere
+  } else {
+    // Grant: the session's host-side presence is a real VORX stub process
+    // (§3.3) tied to the slot until the explicit free.
+    Stub& st = h.node->make_stub();
+    h.slots.emplace(sid, st.id());
+    ++h.granted;
+    r.aux = 1;
+  }
+  h.node->kernel().send(std::move(r));
+}
+
+void WorkloadGen::Impl::on_alloc_free(HostAgent& h, const hw::Frame& f) {
+  auto it = h.slots.find(f.obj);
+  if (it == h.slots.end()) return;  // crashed host came back empty, or dup
+  h.node->remove_stub(it->second);
+  h.slots.erase(it);
+}
+
+void WorkloadGen::Impl::set_host_crashed(int host, bool crashed) {
+  HostAgent& h = *host_agents.at(static_cast<std::size_t>(host));
+  if (crashed == h.crashed) return;
+  h.crashed = crashed;
+  if (!crashed) return;  // restart: back with empty tables (already empty)
+  // Crash: every stub dies with the host; slots are gone.  Roots holding
+  // these slots never notice (media flows node-to-node) — their eventual
+  // kAllocFree just finds nothing, which is exactly the dead-stub story.
+  std::vector<std::uint64_t> sids;
+  sids.reserve(h.slots.size());
+  for (const auto& [sid, stub] : h.slots) sids.push_back(sid);
+  std::sort(sids.begin(), sids.end());
+  for (std::uint64_t sid : sids) h.node->remove_stub(h.slots[sid]);
+  h.killed += sids.size();
+  h.slots.clear();
+}
+
+// ---- WorkloadGen public surface -------------------------------------------
+
+WorkloadGen::WorkloadGen(System& sys, WorkloadConfig cfg, std::uint64_t seed)
+    : sys_(sys), cfg_(cfg),
+      impl_(std::make_unique<Impl>(sys, std::move(cfg), seed)) {}
+
+WorkloadGen::~WorkloadGen() = default;
+
+void WorkloadGen::run() {
+  const sim::SimTime end = impl_->end_time();
+  if (sim::ShardRuntime* rt = sys_.shard_runtime()) {
+    rt->run_until(end);
+  } else {
+    sys_.simulator().run_until(end);
+  }
+}
+
+std::uint64_t WorkloadGen::sessions_generated() const {
+  return impl_->descs.size();
+}
+
+sim::MachineShape WorkloadGen::machine_shape() {
+  sim::MachineShape shape;
+  shape.clusters = sys_.fabric().num_clusters();
+  shape.hosts = sys_.num_hosts();
+  shape.cube_edges = sys_.fabric().cube_edge_pairs();
+  return shape;
+}
+
+WorkloadReport WorkloadGen::report() {
+  WorkloadReport r;
+  r.sessions_total = impl_->descs.size();
+  r.horizon_us = cfg_.horizon / 1000;
+  std::vector<sim::Duration> join, deliv;
+  std::vector<std::pair<sim::SimTime, int>> log;
+  // Merge in node-index order: deterministic whatever the shard layout.
+  for (const auto& ag : impl_->node_agents) {
+    r.completed += ag->completed;
+    r.failed_joins += ag->failed_joins;
+    r.lost += ag->lost;
+    r.alloc_attempts += ag->alloc_attempts;
+    r.alloc_denied += ag->alloc_denied;
+    r.alloc_timeouts += ag->alloc_timeouts;
+    r.late_grants_freed += ag->late_grants_freed;
+    r.invites_sent += ag->invites_sent;
+    r.reinvite_rounds += ag->reinvite_rounds;
+    r.members_joined += ag->members_joined;
+    r.members_pruned += ag->members_pruned;
+    r.churn_leaves += ag->churn_leaves;
+    r.member_gc += ag->member_gc;
+    r.data_frames_sent += ag->data_sent;
+    r.data_frames_delivered += ag->data_delivered;
+    join.insert(join.end(), ag->join_lat.begin(), ag->join_lat.end());
+    deliv.insert(deliv.end(), ag->deliv_lat.begin(), ag->deliv_lat.end());
+    log.insert(log.end(), ag->active_log.begin(), ag->active_log.end());
+  }
+  for (const auto& h : impl_->host_agents) {
+    r.stubs_granted += h->granted;
+    r.stubs_killed += h->killed;
+  }
+  r.fabric_frames_dropped = sys_.fabric().frames_dropped();
+  std::sort(join.begin(), join.end());
+  std::sort(deliv.begin(), deliv.end());
+  r.join_p50_us = percentile_us(join, 50);
+  r.join_p99_us = percentile_us(join, 99);
+  r.delivery_p50_us = percentile_us(deliv, 50);
+  r.delivery_p99_us = percentile_us(deliv, 99);
+  // Concurrency peak: sweep the merged (time, ±1) log; -1 sorts before +1
+  // at equal times (instantaneous handovers do not count as overlap).
+  std::sort(log.begin(), log.end());
+  std::int64_t cur = 0, peak = 0;
+  for (const auto& [t, d] : log) {
+    cur += d;
+    if (cur > peak) peak = cur;
+  }
+  r.sessions_active_peak = static_cast<std::uint64_t>(peak);
+  if (cfg_.horizon > 0) {
+    r.failed_joins_per_s_milli = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(r.failed_joins) * 1'000'000'000'000ULL /
+        static_cast<std::uint64_t>(cfg_.horizon));
+  }
+  return r;
+}
+
+std::string WorkloadReport::to_text() const {
+  std::ostringstream os;
+  os << "sessions_total " << sessions_total << '\n'
+     << "completed " << completed << '\n'
+     << "failed_joins " << failed_joins << '\n'
+     << "lost " << lost << '\n'
+     << "alloc_attempts " << alloc_attempts << '\n'
+     << "alloc_denied " << alloc_denied << '\n'
+     << "alloc_timeouts " << alloc_timeouts << '\n'
+     << "late_grants_freed " << late_grants_freed << '\n'
+     << "invites_sent " << invites_sent << '\n'
+     << "reinvite_rounds " << reinvite_rounds << '\n'
+     << "members_joined " << members_joined << '\n'
+     << "members_pruned " << members_pruned << '\n'
+     << "churn_leaves " << churn_leaves << '\n'
+     << "member_gc " << member_gc << '\n'
+     << "stubs_granted " << stubs_granted << '\n'
+     << "stubs_killed " << stubs_killed << '\n'
+     << "data_frames_sent " << data_frames_sent << '\n'
+     << "data_frames_delivered " << data_frames_delivered << '\n'
+     << "fabric_frames_dropped " << fabric_frames_dropped << '\n'
+     << "slo.join_p50_us " << join_p50_us << '\n'
+     << "slo.join_p99_us " << join_p99_us << '\n'
+     << "slo.delivery_p50_us " << delivery_p50_us << '\n'
+     << "slo.delivery_p99_us " << delivery_p99_us << '\n'
+     << "slo.sessions_active_peak " << sessions_active_peak << '\n'
+     << "slo.failed_joins_per_s_milli " << failed_joins_per_s_milli << '\n'
+     << "horizon_us " << horizon_us << '\n';
+  return os.str();
+}
+
+// ---- FaultInjector ---------------------------------------------------------
+
+FaultInjector::FaultInjector(System& sys, WorkloadGen* gen)
+    : sys_(sys), gen_(gen) {}
+
+void FaultInjector::install(const sim::FaultPlan& plan) {
+  hw::Fabric& fab = sys_.fabric();
+  sim::ShardRuntime* rt = sys_.shard_runtime();
+  const int domains = rt == nullptr ? 1 : rt->num_shards();
+  auto sim_of = [&](int s) -> sim::Simulator& {
+    return rt == nullptr ? sys_.simulator() : rt->shard(s);
+  };
+  for (const sim::FaultEvent& ev : plan.events()) {
+    switch (ev.kind) {
+      case sim::FaultKind::kLinkDown:
+      case sim::FaultKind::kLinkUp: {
+        // Every shard owns one direction of the cable and its own route
+        // tables, so the fault is applied on ALL shards at the same
+        // virtual instant (hw::Fabric::apply_cube_fault's contract).
+        const bool up = ev.kind == sim::FaultKind::kLinkUp;
+        ++link_faults_;
+        for (int s = 0; s < domains; ++s) {
+          // vorx-lint: allow(R8) fab is owned by System, outlives the run
+          sim_of(s).post_at(ev.at, [&fab, s, a = ev.a, b = ev.b, up] {
+            fab.apply_cube_fault(s, a, b, up);
+          });
+        }
+        break;
+      }
+      case sim::FaultKind::kClusterRestart: {
+        const int s = fab.shard_of_cluster(ev.a);
+        ++cluster_restarts_;
+        // vorx-lint: allow(R8) fab is owned by System, outlives the run
+        sim_of(s).post_at(ev.at, [&fab, s, c = ev.a] {
+          fab.apply_cluster_restart(s, c);
+        });
+        break;
+      }
+      case sim::FaultKind::kHostCrash:
+      case sim::FaultKind::kHostRestart: {
+        if (gen_ == nullptr || sys_.num_hosts() == 0) break;
+        const bool crash = ev.kind == sim::FaultKind::kHostCrash;
+        const int j = ev.a % sys_.num_hosts();
+        ++host_faults_;
+        sys_.host(j).simulator().post_at(ev.at, [g = gen_, j, crash] {
+          g->impl_->set_host_crashed(j, crash);
+        });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace hpcvorx::vorx

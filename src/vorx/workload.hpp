@@ -1,0 +1,203 @@
+// Production traffic for the machine: vorx::WorkloadGen.
+//
+// The paper's flagship application is Rapport, a multimedia conferencing
+// system "running on top of VORX" — many concurrent conferences, each a
+// small group of users exchanging talk spurts, arriving and leaving all
+// day long.  WorkloadGen is an *open-loop* driver for that shape of
+// traffic: conference sessions arrive as a Poisson process whose rate
+// follows a diurnal curve, each session allocates a host slot (§3.1's
+// "not available to anyone else until explicitly freed" contract), invites
+// its member nodes, exchanges heavy-tailed (Pareto) talk spurts, suffers
+// member churn, and tears down.  Nothing in the driver waits for the
+// machine: session start times are fixed up front from the seed, so the
+// offered load is identical whatever the machine does with it — exactly
+// what an SLO measurement needs.
+//
+// Everything stochastic is pre-generated on the driver thread from one
+// sim::Rng before the simulation starts; in-sim behaviour is a
+// deterministic function of those descriptors plus frame arrivals.  Agents
+// interact across nodes ONLY through kernel frames (msg::kSess*,
+// msg::kAlloc*), so the same workload runs unchanged on the sequential
+// engine and on a sharded ShardRuntime, byte for byte (R6/R7).
+//
+// Fault injection rides alongside: a sim::FaultPlan (pure data) is bound
+// to the machine by FaultInjector, which pre-schedules hw::Link down/up,
+// hw::Cluster restart, and host-agent crash/restart on the owning shards'
+// event queues at fixed virtual times.  Replay from the same seed and plan
+// is byte-identical.  See DESIGN.md §14 for the model, the fault taxonomy,
+// the recovery contracts, and the slo.* metric definitions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "vorx/system.hpp"
+
+namespace hpcvorx::vorx {
+
+struct WorkloadConfig {
+  // ---- offered load ----
+  int users = 10'000;            // simulated conference users
+  double sessions_per_user = 1.0;  // mean sessions each user originates
+  sim::Duration horizon = sim::msec(500);  // arrival window (one "day")
+  int min_members = 2;           // conference size drawn uniform in
+  int max_members = 6;           //   [min_members, max_members] nodes
+  // Diurnal modulation: arrival rate ramps linearly from (1 - swing) of
+  // the mean at the horizon's edges to (1 + swing) at its midpoint — a
+  // triangle-wave "busy hour" (integer arithmetic; no libm in the path).
+  double diurnal_swing = 0.4;
+
+  // ---- talk spurts (heavy-tailed: Pareto, the classic voice model) ----
+  int min_spurts = 1;            // spurts per session, uniform
+  int max_spurts = 5;
+  sim::Duration spurt_gap = sim::msec(20);     // mean silence between spurts
+  sim::Duration spurt_xm = sim::msec(40);      // Pareto scale (minimum)
+  double spurt_alpha = 1.6;                    // Pareto shape (infinite
+                                               // variance below 2)
+  sim::Duration spurt_cap = sim::sec(2);       // truncation
+  sim::Duration frame_interval = sim::msec(40);  // media frame spacing
+  std::uint32_t frame_bytes = 160;             // per media frame (timing
+                                               // only; no payload carried)
+
+  // ---- membership churn ----
+  double churn_prob = 0.15;      // P(a non-root member leaves mid-session)
+
+  // ---- control-plane budget (the recovery contracts, DESIGN.md §14) ----
+  // Budgets must cover the worst-case control RTT on the biggest machine
+  // (a ~2^7 cube at 50 us per cable, plus convergecast queueing at the
+  // hosts) — too-tight timeouts turn a load spike into a retry spiral.
+  sim::Duration alloc_timeout = sim::msec(15);  // per-attempt reply budget
+  int alloc_attempts = 3;        // hosts tried before the join fails
+  sim::Duration invite_timeout = sim::msec(15);  // per-round accept budget
+  int invite_rounds = 2;         // rounds before non-responders are pruned
+  int host_slots = 4096;         // session slots per host workstation
+  sim::Duration session_ttl = sim::sec(3);  // watchdog: a session not done
+                                            // by start+ttl is LOST (bug)
+};
+
+/// Virtual-time summary of one workload run.  Every field is integral and
+/// derived only from virtual time and the seed, so two runs of the same
+/// configuration produce identical reports — the fault-matrix CI job and
+/// the storm example diff `to_text()` byte for byte.
+struct WorkloadReport {
+  // Session accounting.  The invariant the CI gate asserts:
+  //   completed + failed_joins + lost == sessions_total, and lost == 0.
+  // "Lost" means the root watchdog found a session that neither completed
+  // nor reported failure — an unreported loss, i.e. a bug in a recovery
+  // path, never an acceptable outcome of a fault.
+  std::uint64_t sessions_total = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed_joins = 0;
+  std::uint64_t lost = 0;
+
+  // Control-plane detail.
+  std::uint64_t alloc_attempts = 0;
+  std::uint64_t alloc_denied = 0;
+  std::uint64_t alloc_timeouts = 0;
+  std::uint64_t late_grants_freed = 0;
+  std::uint64_t invites_sent = 0;
+  std::uint64_t reinvite_rounds = 0;
+  std::uint64_t members_joined = 0;
+  std::uint64_t members_pruned = 0;
+  std::uint64_t churn_leaves = 0;
+  std::uint64_t member_gc = 0;      // member-side watchdog cleanups
+  std::uint64_t stubs_granted = 0;
+  std::uint64_t stubs_killed = 0;   // by host crashes
+
+  // Data plane.
+  std::uint64_t data_frames_sent = 0;
+  std::uint64_t data_frames_delivered = 0;
+  std::uint64_t fabric_frames_dropped = 0;  // at downed links / no-route
+
+  // SLO metrics (microseconds of *virtual* time; -1 when no samples).
+  std::int64_t join_p50_us = -1;
+  std::int64_t join_p99_us = -1;
+  std::int64_t delivery_p50_us = -1;
+  std::int64_t delivery_p99_us = -1;
+  std::uint64_t sessions_active_peak = 0;
+  std::uint64_t failed_joins_per_s_milli = 0;  // fixed-point: 1/1000 per s
+  std::int64_t horizon_us = 0;
+
+  /// True when every generated session is accounted for and none was lost.
+  [[nodiscard]] bool all_accounted() const {
+    return lost == 0 && completed + failed_joins == sessions_total;
+  }
+
+  /// Deterministic key=value text rendering (sorted lines, integers only)
+  /// — the byte-compared replay artifact.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// The open-loop conferencing workload over a vorx::System.
+///
+/// Usage:
+///   vorx::System sys(rt, scfg);
+///   vorx::WorkloadGen gen(sys, wcfg, seed);       // pre-generates + installs
+///   vorx::FaultInjector inj(sys, &gen);
+///   inj.install(sim::FaultPlan::named("link_flap", gen.machine_shape(),
+///                                     seed, wcfg.horizon));
+///   gen.run();                                    // drives the runtime
+///   vorx::WorkloadReport r = gen.report();
+class WorkloadGen {
+ public:
+  WorkloadGen(System& sys, WorkloadConfig cfg, std::uint64_t seed);
+  WorkloadGen(const WorkloadGen&) = delete;
+  WorkloadGen& operator=(const WorkloadGen&) = delete;
+  ~WorkloadGen();
+
+  /// Runs the machine until every session (and watchdog) has resolved.
+  void run();
+
+  /// Merged, deterministic run summary (call after run()).
+  [[nodiscard]] WorkloadReport report();
+
+  /// Shape handle for sim::FaultPlan::named().
+  [[nodiscard]] sim::MachineShape machine_shape();
+
+  [[nodiscard]] std::uint64_t sessions_generated() const;
+  [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
+  [[nodiscard]] System& system() { return sys_; }
+
+ private:
+  friend class FaultInjector;
+  struct Impl;
+  System& sys_;
+  WorkloadConfig cfg_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Binds a sim::FaultPlan to the machine: pre-schedules every fault on the
+/// owning shard's event queue at the plan's virtual times.  Cube-link
+/// faults are applied on EVERY shard at the same instant (each shard owns
+/// one direction of the cable and its own route tables — see
+/// hw::Fabric::apply_cube_fault); cluster restarts and host crashes are
+/// single-shard.  Install before running; replay is byte-identical.
+class FaultInjector {
+ public:
+  /// `gen` may be null when no workload is attached — host-crash events
+  /// are then ignored (they target workload host agents).
+  explicit FaultInjector(System& sys, WorkloadGen* gen = nullptr);
+
+  void install(const sim::FaultPlan& plan);
+
+  [[nodiscard]] std::uint64_t link_faults() const { return link_faults_; }
+  [[nodiscard]] std::uint64_t cluster_restarts() const {
+    return cluster_restarts_;
+  }
+  [[nodiscard]] std::uint64_t host_faults() const { return host_faults_; }
+
+ private:
+  System& sys_;
+  WorkloadGen* gen_;
+  std::uint64_t link_faults_ = 0;
+  std::uint64_t cluster_restarts_ = 0;
+  std::uint64_t host_faults_ = 0;
+};
+
+}  // namespace hpcvorx::vorx

@@ -20,6 +20,20 @@ struct Subprocess {
 // rand() and std::thread are fine inside comments.
 inline std::string banner() { return "no rand() or std::thread here"; }
 
+// Lookalikes for the broadened R1 PRNG list: qualified static factories
+// named random, members named after libc generators, and identifiers that
+// merely contain a banned name must all stay silent.
+struct Circuit {
+  static Circuit random(int gates);  // factory, not ::random()
+};
+struct LegacyRng;  // opaque: drand48()/rand_r() below are member CALLS
+double strand_mix(LegacyRng& r, LegacyRng* p) {
+  int strand = 3;                 // contains "rand"
+  int my_rand_r_count = 0;        // contains "rand_r", never called
+  (void)Circuit::random(strand + my_rand_r_count);
+  return r.drand48() + p->rand_r();
+}
+
 sim::Proc run_all(Subprocess& sp) {
   co_await sp.sleep(kSecond);
 }

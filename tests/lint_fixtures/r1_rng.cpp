@@ -1,0 +1,25 @@
+// Seeded R1 fixture: the wider PRNG family beyond plain rand()/srand().
+// Every statement draws from a generator whose state lives outside the
+// experiment config, so reruns diverge.  vorx-lint must exit non-zero.
+// (Not part of any build target — consumed by lint_selftest and ctest only.)
+
+unsigned reseed_everything(unsigned* state) {
+  unsigned a = rand_r(state);            // POSIX re-entrant libc PRNG
+  long b = ::random();                   // BSD libc PRNG (global qualified)
+  srandom(7);
+  double c = drand48();                  // the *rand48 family
+  long d = lrand48();
+  long e = mrand48();
+  srand48(42);
+  unsigned f = arc4random();             // BSD arc4random family
+  unsigned g = arc4random_uniform(100);
+  char buf[16];
+  getentropy(buf, sizeof buf);           // kernel entropy
+  std::mt19937 tw(9);                    // std engines vorx-lint names
+  std::mt19937_64 tw64(9);
+  std::minstd_rand lcg(9);
+  std::ranlux48 rl(9);
+  std::knuth_b kb(9);
+  return a + static_cast<unsigned>(b + c + d + e) + f + g +
+         static_cast<unsigned>(tw() + tw64() + lcg() + rl() + kb());
+}

@@ -75,6 +75,54 @@ TEST(LintR1, FlagsLibcPrngAndEnv) {
                            "banned-token"));
 }
 
+TEST(LintR1, FlagsBroadPrngFamily) {
+  // The wider libc/POSIX family (rand_r, *rand48, ::random) ...
+  EXPECT_EQ(1, count_check(lint_one("unsigned f(unsigned* s) { return "
+                                    "rand_r(s); }"),
+                           "R1", "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("long f() { long v = ::random(); "
+                                    "return v; }"),
+                           "R1", "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("double f() { return drand48(); }"), "R1",
+                           "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("long f() { return lrand48(); }"), "R1",
+                           "banned-token"));
+  // ... BSD arc4random by prefix ...
+  EXPECT_EQ(1, count_check(lint_one("unsigned f() { return arc4random(); }"),
+                           "R1", "banned-token"));
+  EXPECT_EQ(1,
+            count_check(lint_one("unsigned f() { return "
+                                 "arc4random_uniform(10); }"),
+                        "R1", "banned-token"));
+  // ... and the concrete <random> engines (prefix covers the _64 / 0 /
+  // sized variants).
+  EXPECT_EQ(1, count_check(lint_one("void f() { std::mt19937 g(1); }"), "R1",
+                           "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { std::mt19937_64 g(1); }"),
+                           "R1", "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { std::minstd_rand0 g(1); }"),
+                           "R1", "banned-token"));
+  EXPECT_EQ(1, count_check(lint_one("void f() { std::ranlux24 g(1); }"), "R1",
+                           "banned-token"));
+}
+
+TEST(LintR1, PrngLookalikesAreFine) {
+  // Qualified static factories named random are not the libc ::random().
+  EXPECT_TRUE(
+      lint_one("void f() { Circuit c = Circuit::random(4); (void)c; }")
+          .empty());
+  // Member calls spelled like libc generators are someone's API, not libc.
+  EXPECT_TRUE(lint_one("double f(LegacyRng& r) { return r.drand48(); }")
+                  .empty());
+  EXPECT_TRUE(lint_one("unsigned f(LegacyRng* r) { return r->rand_r(); }")
+                  .empty());
+  // Identifiers that merely contain a banned name stay silent.
+  EXPECT_TRUE(lint_one("int f() { int strand = 1; return strand; }").empty());
+  EXPECT_TRUE(lint_one("int f() { int my_rand_r_count = 0; "
+                       "return my_rand_r_count; }")
+                  .empty());
+}
+
 TEST(LintR1, FlagsBannedHeaders) {
   EXPECT_EQ(1, count_check(lint_one("#include <chrono>\n"), "R1",
                            "banned-header"));
@@ -523,6 +571,14 @@ TEST(LintFixtures, R1FixtureViolates) {
   auto d = lint({{"r1_determinism.cpp", read_fixture("r1_determinism.cpp")}});
   EXPECT_GE(count_check(d, "R1", "banned-token"), 4);
   EXPECT_GE(count_check(d, "R1", "banned-header"), 1);
+}
+
+TEST(LintFixtures, R1RngFixtureViolates) {
+  auto d = lint({{"r1_rng.cpp", read_fixture("r1_rng.cpp")}});
+  // One diagnostic per seeded generator: rand_r, ::random, srandom,
+  // drand48, lrand48, mrand48, srand48, arc4random, arc4random_uniform,
+  // getentropy, mt19937, mt19937_64, minstd_rand, ranlux48, knuth_b.
+  EXPECT_GE(count_check(d, "R1", "banned-token"), 15);
 }
 
 TEST(LintFixtures, R2FixtureViolates) {

@@ -145,5 +145,49 @@ TEST(Multicast, LimitedUseCaseInitialValuesBroadcast) {
   for (int m = 0; m < 6; ++m) EXPECT_EQ(seen[static_cast<std::size_t>(m)], want);
 }
 
+TEST(Multicast, RemoveMemberReleasesWriteBlockedOnDeadSubtree) {
+  // Group-repair contract (DESIGN.md §14): members {0,1,2,8} span two
+  // clusters; station 8 (cluster 1, a child of member 1 in the heap tree)
+  // is cut off by downing the cube cable before the root writes.  The
+  // 17-station / 8-per-cluster machine is a 3-cluster star — edges (0,1)
+  // and (0,2) only — so cable (0,1) is cluster 1's sole attachment and no
+  // reroute exists.  The data frame to 8 drops at the fabric, member 1
+  // withholds its subtree ack, and the root's flow-controlled write parks
+  // forever — until every survivor applies the same remove_member(8),
+  // which shrinks the ack set and re-evaluates the pending write.
+  sim::Simulator sim;
+  SystemConfig cfg;
+  cfg.nodes = 16;
+  cfg.stations_per_cluster = 8;  // 3 clusters: {0..7} {8..15} {16=host}
+  System sys(sim, cfg);
+  std::vector<hw::StationId> stations = {0, 1, 2, 8};
+  std::vector<Mcast*> handles;
+  for (int m : {0, 1, 2, 8}) {
+    handles.push_back(
+        sys.node(m).mcast().create_group(47, stations, sys.node_station(0)));
+  }
+  sys.fabric().apply_cube_fault(0, 0, 1, /*up=*/false);
+
+  std::vector<sim::SimTime> write_done;
+  sys.node(0).spawn_process("root", [&](Subprocess& sp) -> sim::Task<void> {
+    co_await handles[0]->write(sp, 256);
+    write_done.push_back(sim.now());
+  });
+  const sim::SimTime repair_at = sim::msec(5);
+  sim.post_at(repair_at, [&] {
+    for (int i : {0, 1, 2}) {
+      handles[static_cast<std::size_t>(i)]->remove_member(8);
+    }
+    handles[0]->remove_member(8);  // idempotent on an already-removed member
+  });
+  sim.run();
+
+  ASSERT_EQ(write_done.size(), 1u) << "write still parked after repair";
+  EXPECT_GE(write_done[0], repair_at);
+  EXPECT_EQ(handles[0]->member_count(), 3u);
+  EXPECT_EQ(handles[1]->member_count(), 3u);
+  EXPECT_GE(sys.fabric().frames_dropped(), 1u);
+}
+
 }  // namespace
 }  // namespace hpcvorx::vorx
