@@ -1,0 +1,207 @@
+// Paper-scale network sweep (DESIGN.md §15): the fabric at 64 / 256 /
+// 1024 / 4096 stations, on both topologies (incomplete hypercube vs the
+// two-level fat tree) under both routing modes (deterministic e-cube /
+// dst-hash vs congestion-aware adaptive) — the adaptive-routing ablation.
+//
+// §1 of the paper claims the HPC design scales past 1000 nodes; the 1024-
+// station cell is exactly its 256-cluster example, and the 4096-station
+// cell is the same recipe one dimension up (16-port clusters).  Every cell
+// drives the identical seeded workload — a bit-reversal permutation (the
+// classic worst case for dimension-ordered routing: heavy link overlap)
+// mixed with uniform-random traffic — and reports *simulated* fabric
+// throughput and tail latency, so cells are comparable across topologies,
+// routing modes, and machine sizes.
+//
+// Also recorded: resident routing state at each size.  Next hops are
+// computed, not tabulated, so this must grow O(clusters) — the acceptance
+// gate for the paper-scale machine (net.scale_route_kb.*).
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hw/fabric.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hpcvorx;
+
+namespace {
+
+struct Cell {
+  double frames_per_s = 0;   // delivered per simulated second
+  double p99_us = 0;         // injection -> delivery, 99th percentile
+  std::size_t route_bytes = 0;
+};
+
+// Reverses the low `bits` bits of `v`: the bit-reversal partner pattern.
+int bit_reverse(int v, int bits) {
+  int out = 0;
+  for (int b = 0; b < bits; ++b) {
+    if ((v >> b) & 1) out |= 1 << (bits - 1 - b);
+  }
+  return out;
+}
+
+int log2_ceil(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+Cell run_cell(int stations, hw::TopologyKind topo, hw::RoutingMode routing,
+              int frames_per_station) {
+  sim::Simulator sim;
+  hw::FabricParams params;
+  params.topo = topo;
+  params.routing = routing;
+  // The 4096-node cube outgrows the 12-port cluster (10 cube dims + 4
+  // station ports); the paper's recipe scales by widening the switch.
+  if (topo == hw::TopologyKind::kHypercube && stations >= 4096) {
+    params.ports_per_cluster = 16;
+  }
+  auto fab = topo == hw::TopologyKind::kFatTree
+                 ? hw::Fabric::fat_tree(sim, stations, 4, params)
+                 : hw::Fabric::hypercube(sim, stations, 4, params);
+
+  std::uint64_t delivered = 0;
+  auto latencies = std::make_shared<std::vector<sim::Duration>>();
+  latencies->reserve(static_cast<std::size_t>(stations) *
+                     static_cast<std::size_t>(frames_per_station));
+  for (int s = 0; s < stations; ++s) {
+    hw::Fabric* f = fab.get();
+    fab->endpoint(s).set_rx_cb([f, s, &sim, &delivered, latencies] {
+      hw::Endpoint& e = f->endpoint(s);
+      while (auto fr = e.rx_take()) {
+        ++delivered;
+        latencies->push_back(sim.now() - fr->injected_at);
+      }
+    });
+  }
+
+  // Seeded schedule: half the frames go to the station's bit-reversal
+  // partner (synchronized pattern, heavy e-cube link overlap), half to
+  // uniform-random destinations.  Identical across routing modes.
+  struct Inject {
+    sim::SimTime at;
+    int dst;
+  };
+  const int bits = log2_ceil(stations);
+  auto schedules = std::make_shared<std::vector<std::vector<Inject>>>(
+      static_cast<std::size_t>(stations));
+  sim::Rng rng(0x5ca1ab1e + static_cast<std::uint64_t>(stations));
+  for (int s = 0; s < stations; ++s) {
+    sim::SimTime t = 0;
+    for (int i = 0; i < frames_per_station; ++i) {
+      t += sim::usec(3 + rng.below(30));
+      int dst;
+      if (i % 2 == 0) {
+        dst = bit_reverse(s, bits) % stations;
+        if (dst == s) dst = (s + stations / 2) % stations;
+      } else {
+        dst = static_cast<int>(rng.below(static_cast<std::uint32_t>(
+            stations - 1)));
+        if (dst >= s) ++dst;
+      }
+      (*schedules)[static_cast<std::size_t>(s)].push_back({t, dst});
+    }
+  }
+
+  std::uint64_t sent = 0;
+  for (int s = 0; s < stations; ++s) {
+    hw::Fabric* f = fab.get();
+    auto idx = std::make_shared<std::size_t>(0);
+    auto pump = std::make_shared<std::function<void()>>();
+    // Keep-alive comes from the tx-ready callback's copy of `pump` (held
+    // until the fabric is destroyed, after sim.run()); the function object
+    // itself reschedules through a raw pointer so it never owns itself.
+    *pump = [f, s, idx, schedules, self = pump.get(), &sim, &sent] {
+      const auto& sched = (*schedules)[static_cast<std::size_t>(s)];
+      hw::Endpoint& ep = f->endpoint(s);
+      while (*idx < sched.size() && ep.tx_ready()) {
+        const Inject& in = sched[*idx];
+        if (sim.now() < in.at) {
+          sim.schedule_at(in.at, [self] { (*self)(); });
+          return;
+        }
+        hw::Frame fr;
+        fr.dst = in.dst;
+        fr.payload_bytes = 256;
+        ep.transmit(std::move(fr));
+        ++sent;
+        ++*idx;
+      }
+    };
+    fab->endpoint(s).set_tx_ready_cb([pump] { (*pump)(); });
+    sim.schedule_at((*schedules)[static_cast<std::size_t>(s)][0].at,
+                    [pump] { (*pump)(); });
+  }
+
+  sim.run();
+
+  Cell cell;
+  cell.route_bytes = fab->routing_state_bytes();
+  const std::uint64_t offered = static_cast<std::uint64_t>(stations) *
+                                static_cast<std::uint64_t>(frames_per_station);
+  if (sent != offered || delivered != sent || fab->frames_dropped() != 0) {
+    bench::line("  !! LOSSY CELL n=%d %s/%s: offered %llu sent %llu "
+                "delivered %llu dropped %llu",
+                stations, hw::to_string(topo).c_str(),
+                hw::to_string(routing).c_str(),
+                static_cast<unsigned long long>(offered),
+                static_cast<unsigned long long>(sent),
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(fab->frames_dropped()));
+    return cell;  // zero rows flag the failure downstream
+  }
+  std::sort(latencies->begin(), latencies->end());
+  cell.p99_us = sim::to_usec(
+      (*latencies)[latencies->size() * 99 / 100 == latencies->size()
+                       ? latencies->size() - 1
+                       : latencies->size() * 99 / 100]);
+  const double sim_seconds = sim::to_usec(sim.now()) / 1e6;
+  cell.frames_per_s =
+      sim_seconds > 0 ? static_cast<double>(delivered) / sim_seconds : 0;
+  return cell;
+}
+
+void run(bench::Reporter& r) {
+  bench::line("network scaling sweep: stations x topology x routing,");
+  bench::line("identical seeded bit-reversal + uniform traffic per cell.");
+  bench::line("throughput/latency are simulated-time (engine-independent).");
+
+  const int frames_per_station = r.iters(6, 2);
+  const std::vector<int> sizes{64, 256, 1024, 4096};
+  for (const int n : sizes) {
+    std::size_t cube_route_bytes = 0;
+    for (const hw::TopologyKind topo :
+         {hw::TopologyKind::kHypercube, hw::TopologyKind::kFatTree}) {
+      for (const hw::RoutingMode mode :
+           {hw::RoutingMode::kEcube, hw::RoutingMode::kAdaptive}) {
+        const Cell cell = run_cell(n, topo, mode, frames_per_station);
+        const std::string key = "." + hw::to_string(topo) + "." +
+                                hw::to_string(mode) + ".n" +
+                                std::to_string(n);
+        r.row("net.scale_frames_s" + key, "frames/s", cell.frames_per_s);
+        r.row("net.scale_p99_us" + key, "us", cell.p99_us);
+        if (topo == hw::TopologyKind::kHypercube &&
+            mode == hw::RoutingMode::kEcube) {
+          cube_route_bytes = cell.route_bytes;
+        }
+      }
+    }
+    // Routing state of the cube machine at this size: must track
+    // O(clusters), not O(clusters²) (see the file comment).
+    r.row("net.scale_route_kb.n" + std::to_string(n), "KB",
+          static_cast<double>(cube_route_bytes) / 1024.0);
+  }
+}
+
+HPCVORX_BENCH("net_scaling",
+              "Paper-scale network sweep (topology x routing x stations)",
+              "S1 \"systems of more than 1000 nodes\" (scaling claim)", run);
+
+}  // namespace

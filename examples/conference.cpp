@@ -9,20 +9,28 @@
 // one interconnect.
 //
 //   ./build/examples/conference [seconds] [--shards N] [--trace DIR]
+//                               [--topo cube|fattree] [--routing ecube|adaptive]
 //
 // --shards N runs the machine on the conservative-lookahead shard runtime
 // (DESIGN.md §12) with one worker thread per shard; the reported latencies
 // are identical at every N because sharding changes wall-clock execution,
 // never virtual time.
+//
+// --topo / --routing pick the interconnect shape and forwarding policy
+// (DESIGN.md §15): the same conference runs over the incomplete hypercube
+// or the two-level fat tree, under deterministic or congestion-aware
+// adaptive routing, so the media latencies can be compared across fabrics.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <cstring>
 
+#include "hw/topology.hpp"
 #include "tools/trace_export.hpp"
 #include "vorx/node.hpp"
 #include "vorx/system.hpp"
@@ -114,22 +122,37 @@ int main(int argc, char** argv) {
   int seconds = 2;
   int shards = 0;  // 0 = the plain single-simulator engine
   std::string trace_dir;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
-      shards = std::atoi(argv[++i]);
-    } else if (argv[i][0] != '-' && std::atoi(argv[i]) > 0) {
-      seconds = std::atoi(argv[i]);
-    } else {
-      std::fprintf(stderr, "usage: %s [seconds] [--shards N] [--trace DIR]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
   vorx::SystemConfig cfg;
   cfg.nodes = 8;
   cfg.hosts = 3;  // the conferees' workstations
+  for (int i = 1; i < argc; ++i) {
+    try {
+      if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        trace_dir = argv[++i];
+        continue;
+      } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+        shards = std::atoi(argv[++i]);
+        continue;
+      } else if (std::strcmp(argv[i], "--topo") == 0 && i + 1 < argc) {
+        cfg.fabric.topo = hw::parse_topology(argv[++i]);
+        continue;
+      } else if (std::strcmp(argv[i], "--routing") == 0 && i + 1 < argc) {
+        cfg.fabric.routing = hw::parse_routing(argv[++i]);
+        continue;
+      } else if (argv[i][0] != '-' && std::atoi(argv[i]) > 0) {
+        seconds = std::atoi(argv[i]);
+        continue;
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "conference: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [seconds] [--shards N] [--trace DIR]\n"
+                 "          [--topo cube|fattree] [--routing ecube|adaptive]\n",
+                 argv[0]);
+    return 2;
+  }
   // --trace: record the waveform + counter timeline and export a Perfetto
   // trace of the whole conference (interactive media against batch load is
   // the most interesting timeline the examples produce).

@@ -6,20 +6,24 @@ Usage: compare_bench_json.py BASELINE CURRENT [--threshold PCT]
        compare_bench_json.py --self-test
 
 Compares every metric whose key starts with one of the given prefixes
-(default: "engine.") between a baseline artifact (typically the previous
-build's uploaded bench-results) and the current run.  Exits nonzero when
-any compared metric regressed by more than PCT percent (default 10).
+(default: "engine.", "frame_pool.", "slo.", "net.") between a baseline
+artifact (typically the previous build's uploaded bench-results) and the
+current run.  Exits nonzero when any compared metric regressed by more
+than PCT percent (default 10).
 
 Direction is inferred from the row's unit: rates ("items/s", "frames/s",
 ...) regress when they drop; durations ("us", "ms", "s", "ns") regress
 when they rise.  A few count rows carry a known direction by name rather
 than by unit: the deterministic event-queue structure-traffic counters
-("engine.wheel_l1_*") and the frame-pool occupancy rows
-("frame_pool.occupancy_*") regress when they rise — more spill, more
-promotions, or a fatter pool for the same scripted workload is always a
-behaviour change for the worse.  Metrics present in only one file are
-reported but are not failures — new rows appear and old ones retire as
-benches evolve.
+("engine.wheel_l1_*"), the frame-pool occupancy rows
+("frame_pool.occupancy_*"), and the fabric routing-state rows
+("net.scale_route_kb.*", the O(clusters) gate of the paper-scale machine)
+regress when they rise — more spill, more promotions, a fatter pool, or a
+fatter routing table for the same machine is always a behaviour change
+for the worse.  The rest of the net.* sweep needs no special casing: the
+throughput rows end in "/s" and the p99 rows are in "us".  Metrics
+present in only one file are reported but are not failures — new rows
+appear and old ones retire as benches evolve.
 
 The slo.* rows (bench_workload_slo: service-level metrics under the
 production-traffic workload) override unit inference entirely: they are
@@ -53,8 +57,15 @@ import sys
 RATE_SUFFIX = "/s"
 DURATION_UNITS = {"ns", "us", "ms", "s", "sec", "seconds"}
 # Count rows whose direction the unit alone can't tell us, declared by
-# metric prefix: for all of these, a rise is the regression.
-LOWER_IS_BETTER_PREFIXES = ("engine.wheel_l1_", "frame_pool.occupancy_")
+# metric prefix: for all of these, a rise is the regression.  The
+# net.scale_route_kb rows are the fabric's resident routing state — the
+# O(clusters) acceptance gate for the paper-scale machine — so growth is
+# always a regression.
+LOWER_IS_BETTER_PREFIXES = (
+    "engine.wheel_l1_",
+    "frame_pool.occupancy_",
+    "net.scale_route_kb",
+)
 # ...and the mirror image: dimensionless ratio rows where a rise is the
 # improvement: the shard-scaling sweep's speedup rows (unit "x") and the
 # rx-coalescing ratio (arrival interrupts absorbed without a pump resume);
@@ -70,7 +81,7 @@ CORE_SENSITIVE_PREFIXES = ("engine.shard_speedup_",)
 # "/s" and would otherwise be read as a throughput.
 SLO_HIGHER_IS_BETTER_PREFIXES = ("slo.sessions_active_peak",)
 DEFAULT_THRESHOLD = 10.0
-DEFAULT_PREFIXES = ["engine.", "frame_pool.", "slo."]
+DEFAULT_PREFIXES = ["engine.", "frame_pool.", "slo.", "net."]
 
 
 def fail(msg):
@@ -430,6 +441,49 @@ def self_test():
     )
     if [k for k, _ in regs] != ["slo.failed_joins_per_s"]:
         fail(f"self-test: rise off zero-failure baseline not caught: {regs}")
+
+    # The net.* scaling sweep: throughput rows are rate-inferred (a drop
+    # regresses), p99 rows are duration-inferred (a rise regresses), and
+    # the routing-state rows are lower-is-better by name — their unit
+    # ("KB") is neither a rate nor a duration, and a rise would otherwise
+    # be skipped as unknown.  All three directions must be caught, and the
+    # mirror-image improvements must pass.
+    net_base = rows_of(
+        {
+            "net.scale_frames_s.cube.adaptive.n4096": ("frames/s", 5e6),
+            "net.scale_p99_us.cube.adaptive.n4096": ("us", 4000.0),
+            "net.scale_route_kb.n4096": ("KB", 32.0),
+        }
+    )
+    net_bad = rows_of(
+        {
+            "net.scale_frames_s.cube.adaptive.n4096": ("frames/s", 4e6),  # -20%
+            "net.scale_p99_us.cube.adaptive.n4096": ("us", 5200.0),  # +30%
+            "net.scale_route_kb.n4096": ("KB", 64.0),  # O(n^2) table is back
+        }
+    )
+    regs, compared, _ = compare(
+        net_base, net_bad, DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+    )
+    if sorted(k for k, _ in regs) != [
+        "net.scale_frames_s.cube.adaptive.n4096",
+        "net.scale_p99_us.cube.adaptive.n4096",
+        "net.scale_route_kb.n4096",
+    ] or compared != 3:
+        fail(f"self-test: net regressions not caught: {regs}, "
+             f"compared={compared}")
+    net_good = rows_of(
+        {
+            "net.scale_frames_s.cube.adaptive.n4096": ("frames/s", 6e6),
+            "net.scale_p99_us.cube.adaptive.n4096": ("us", 3000.0),
+            "net.scale_route_kb.n4096": ("KB", 30.0),
+        }
+    )
+    regs, _, _ = compare(
+        net_base, net_good, DEFAULT_THRESHOLD, DEFAULT_PREFIXES
+    )
+    if regs:
+        fail(f"self-test: net improvement misread as regression: {regs}")
 
     # The rx-coalescing ratio: higher is better by name, so only a drop
     # beyond the threshold regresses.

@@ -10,17 +10,22 @@ Cluster::Cluster(sim::Simulator& sim, std::string name, int num_ports)
       ins_(num_ports, nullptr),
       outs_(num_ports, nullptr),
       rr_next_(num_ports, 0),
+      out_hold_(num_ports, 0),
+      head_route_(num_ports, -1),
+      head_route_ok_(num_ports, 0),
       hol_since_(num_ports, -1) {}
 
 // Consumes the head of `in_port`, closing its head-of-line wait span and
 // opening one for the next frame (if any).  All cluster forwarding paths
-// must take input frames through here so the blocked-time counter is exact.
+// must take input frames through here so the blocked-time counter is exact
+// and the head's cached route decision is retired with it.
 Frame Cluster::take_input(int in_port) {
   const auto p = static_cast<std::size_t>(in_port);
   if (hol_since_[p] >= 0) {
     hol_blocked_ += sim_.now() - hol_since_[p];
     hol_since_[p] = -1;
   }
+  head_route_ok_[p] = 0;
   Frame f = *ins_[p]->take();
   if (ins_[p]->peek() != nullptr) hol_since_[p] = sim_.now();
   return f;
@@ -55,14 +60,6 @@ void Cluster::attach_out(int port, Link* out) {
   out->set_ready_cb([this, port] { try_output(port); });
 }
 
-void Cluster::set_route(StationId dst, int out_port) {
-  assert(dst >= 0);
-  if (static_cast<std::size_t>(dst) >= route_.size()) {
-    route_.resize(static_cast<std::size_t>(dst) + 1, -1);
-  }
-  route_[static_cast<std::size_t>(dst)] = out_port;
-}
-
 void Cluster::set_multicast_route(std::uint64_t gid,
                                   std::vector<int> out_ports) {
   mcast_routes_[gid] = std::move(out_ports);
@@ -75,10 +72,17 @@ const std::vector<int>* Cluster::mcast_route_for(const Frame& f) const {
   return &it->second;
 }
 
-int Cluster::route_for(const Frame& f) const {
-  assert(f.dst >= 0 && static_cast<std::size_t>(f.dst) < route_.size() &&
-         "frame addressed to a station this cluster never had a route for");
-  return route_[static_cast<std::size_t>(f.dst)];
+int Cluster::head_route(int in_port) {
+  const auto p = static_cast<std::size_t>(in_port);
+  if (head_route_ok_[p] == 0) {
+    const Frame* head = ins_[p]->peek();
+    assert(head != nullptr && "head_route with an empty input fifo");
+    assert(route_fn_ && "cluster forwarding before set_route_fn");
+    assert(head->dst >= 0);
+    head_route_[p] = route_fn_(*head);
+    head_route_ok_[p] = 1;
+  }
+  return head_route_[p];
 }
 
 // Consumes the head of `in_port` as a routing-fault loss: unreachable
@@ -90,7 +94,7 @@ void Cluster::drop_head(int in_port) {
 
 void Cluster::drop_unroutable(int in_port) {
   while (const Frame* head = ins_[in_port]->peek()) {
-    if (head->group != 0 || route_for(*head) >= 0) return;
+    if (head->group != 0 || head_route(in_port) >= 0) return;
     drop_head(in_port);
   }
 }
@@ -103,11 +107,15 @@ void Cluster::restart() {
     // shard — while the head-of-line clocks simply reset.
     while (ins_[static_cast<std::size_t>(p)]->take()) ++frames_dropped_;
     hol_since_[static_cast<std::size_t>(p)] = -1;
+    head_route_ok_[static_cast<std::size_t>(p)] = 0;
   }
   std::fill(rr_next_.begin(), rr_next_.end(), 0);
 }
 
 void Cluster::on_routes_changed() {
+  // Every cached head decision may reference a dead route: retire them all
+  // so the next touch re-resolves against the post-fault tables.
+  std::fill(head_route_ok_.begin(), head_route_ok_.end(), char{0});
   for (int p = 0; p < num_ports(); ++p) {
     if (ins_[static_cast<std::size_t>(p)] != nullptr) drop_unroutable(p);
   }
@@ -128,7 +136,7 @@ void Cluster::on_input(int in_port) {
     forward_head(in_port);
     return;
   }
-  const int r = route_for(*head);
+  const int r = head_route(in_port);
   if (r < 0) {
     drop_unroutable(in_port);
     return;
@@ -142,7 +150,7 @@ bool Cluster::forward_head(int in_port) {
   const Frame* head = ins_[in_port]->peek();
   if (head == nullptr) return false;
   if (head->group == 0) {
-    const int r = route_for(*head);
+    const int r = head_route(in_port);
     if (r < 0) {
       drop_unroutable(in_port);
       return true;
@@ -160,6 +168,9 @@ bool Cluster::forward_head(int in_port) {
       return false;
     }
   }
+  // Hold every replication port across the take: its upstream-notify
+  // cascade must not re-enter their arbiters and steal a checked slot.
+  for (int p : ports) ++out_hold_[static_cast<std::size_t>(p)];
   Frame f = take_input(in_port);
   ++f.hops;
   for (int p : ports) {
@@ -167,6 +178,7 @@ bool Cluster::forward_head(int in_port) {
     bytes_fwd_ += f.wire_bytes();
     outs_[static_cast<std::size_t>(p)]->send(f);
   }
+  for (int p : ports) --out_hold_[static_cast<std::size_t>(p)];
   // Replica accounting: k output ports -> k counted above, and the same k
   // attributed to the frame's group (see the invariant in cluster.hpp).
   const auto copies = static_cast<std::uint64_t>(ports.size());
@@ -179,7 +191,7 @@ bool Cluster::forward_head(int in_port) {
     if (next->group != 0) {
       forward_head(in_port);
     } else {
-      const int r = route_for(*next);
+      const int r = head_route(in_port);
       if (r < 0) {
         drop_unroutable(in_port);
       } else {
@@ -193,6 +205,14 @@ bool Cluster::forward_head(int in_port) {
 void Cluster::try_output(int out_port) {
   Link* out = outs_[out_port];
   if (out == nullptr) return;
+  // A held port is mid-forward further up the call stack (see out_hold_):
+  // bail out rather than race it for the slot; the holder rescans.
+  if (out_hold_[static_cast<std::size_t>(out_port)] != 0) return;
+  ++out_hold_[static_cast<std::size_t>(out_port)];
+  const struct Release {
+    int* hold;
+    ~Release() { --*hold; }
+  } release{&out_hold_[static_cast<std::size_t>(out_port)]};
   // Keep forwarding while the output link can accept frames and some input
   // port's head-of-line frame routes here.  Scanning starts at the
   // round-robin cursor so all inputs get fair service under contention.
@@ -213,7 +233,16 @@ void Cluster::try_output(int out_port) {
         }
         continue;
       }
-      const int r = route_for(*head);
+      int r = head_route(p);
+      if (r >= 0 && r != out_port && reroute_blocked_ &&
+          (outs_[static_cast<std::size_t>(r)] == nullptr ||
+           !outs_[static_cast<std::size_t>(r)]->ready())) {
+        // Rip-up: the head committed to a port that cannot accept it now
+        // while this one can — re-resolve against current occupancy (see
+        // set_reroute_blocked_heads).
+        head_route_ok_[static_cast<std::size_t>(p)] = 0;
+        r = head_route(p);
+      }
       if (r < 0) {
         // Destination became unreachable while the frame queued: drop it
         // and re-examine this input's new head on the next scan step.
@@ -241,7 +270,7 @@ void Cluster::try_output(int out_port) {
       if (next_head->group != 0) {
         forward_head(chosen);
       } else {
-        const int other = route_for(*next_head);
+        const int other = head_route(chosen);
         if (other < 0) {
           drop_unroutable(chosen);
         } else if (other != out_port) {

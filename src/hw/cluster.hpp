@@ -10,12 +10,19 @@
 // the port's input fifo) and forwards whole frames.  Every output port has
 // a round-robin arbiter over the input ports — the "fair hardware
 // scheduling mechanism [that] ensures that every sender is eventually
-// serviced" (§2).  Routing is table-driven: the Fabric programs, for every
-// destination station, which output port a frame must leave through.
+// serviced" (§2).  Routing is computed: the Fabric supplies a route
+// function (topology next-hop — e-cube, fat-tree up/down, adaptive — plus
+// local station delivery) and the cluster resolves it once per head frame,
+// caching the decision until that head is consumed.  The sticky cache is
+// what makes occupancy-dependent (adaptive) decisions well defined: a head
+// commits to one egress port and waits there, exactly like a self-routing
+// switch that latched the route nibble, instead of flapping between ports
+// as queue depths change (DESIGN.md §15).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,10 +47,23 @@ class Cluster {
   /// subscribes to its ready callback.
   void attach_out(int port, Link* out);
 
-  /// Programs the route for frames addressed to `dst`.  `out_port` may be
-  /// -1 ("unreachable", see route drops below) when fault-time rerouting
-  /// finds no surviving path.
-  void set_route(StationId dst, int out_port);
+  /// The Fabric-supplied routing oracle: output port for a unicast frame,
+  /// or -1 ("unreachable", see route drops below) when fault-time
+  /// rerouting finds no surviving path.  Evaluated once per head frame per
+  /// input port; the cached decision is invalidated when the head is
+  /// consumed or routes change (on_routes_changed).
+  using RouteFn = std::function<int(const Frame&)>;
+  void set_route_fn(RouteFn fn) { route_fn_ = std::move(fn); }
+
+  /// Rip-up (adaptive routing only, DESIGN.md §15): when an output port
+  /// becomes ready and an input's head is committed to a port that cannot
+  /// accept a frame right now, retire the cached decision and re-resolve
+  /// against current occupancy.  Without this a head can pin itself to one
+  /// full port inside a buffer-wait cycle and deadlock the fabric; with it
+  /// a head moves as soon as *any* of its candidate ports drains.  Off
+  /// (the default) a head's first decision is final — deterministic
+  /// routing never needs a second look.
+  void set_reroute_blocked_heads(bool on) { reroute_blocked_ = on; }
 
   /// Programs the replication set for hardware-multicast group `gid`: the
   /// output ports a group frame leaves through (tree children and/or
@@ -52,6 +72,12 @@ class Cluster {
 
   [[nodiscard]] int num_ports() const { return static_cast<int>(outs_.size()); }
   [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The outgoing link on `port` (nullptr when unattached).  Adaptive
+  /// routing reads egress queue depths through this.
+  [[nodiscard]] const Link* out_link(int port) const {
+    return outs_.at(static_cast<std::size_t>(port));
+  }
 
   // ---- fault injection (DESIGN.md §14) ----
 
@@ -103,9 +129,11 @@ class Cluster {
   }
 
  private:
-  /// Output port for `f`, or -1 when this cluster has no surviving route
-  /// to f.dst (possible only after fault-time rerouting; the caller drops).
-  [[nodiscard]] int route_for(const Frame& f) const;
+  /// Output port for the head frame of `in_port`, resolved through the
+  /// route function at most once per head (sticky cache; see above).
+  /// -1 when this cluster has no surviving route to the head's dst
+  /// (possible only after fault-time rerouting; the caller drops).
+  [[nodiscard]] int head_route(int in_port);
   [[nodiscard]] const std::vector<int>* mcast_route_for(const Frame& f) const;
   bool forward_head(int in_port);  // returns whether the head was consumed
   void on_input(int in_port);
@@ -122,7 +150,17 @@ class Cluster {
   std::vector<Link*> ins_;
   std::vector<Link*> outs_;
   std::vector<int> rr_next_;       // per-output round-robin cursor
-  std::vector<int> route_;         // station id -> output port (-1 unset)
+  // Reentrancy holds: taking an input frame frees an upstream buffer slot,
+  // and that notification can cascade around a full-duplex cable pair back
+  // into this switch before the take returns.  A held output port refuses
+  // nested arbitration so the cascade cannot steal the slot between a
+  // forwarding path's ready-check and its send; the holder rescans (or the
+  // next link event re-kicks), so suppressed calls lose nothing.
+  std::vector<int> out_hold_;
+  RouteFn route_fn_;
+  bool reroute_blocked_ = false;       // rip-up blocked heads (adaptive)
+  std::vector<int> head_route_;        // per-input cached head decision
+  std::vector<char> head_route_ok_;    // cache-valid flag per input port
   std::vector<sim::SimTime> hol_since_;  // per-input head-wait start (-1 idle)
   std::unordered_map<std::uint64_t, std::vector<int>> mcast_routes_;
   std::unordered_map<std::uint64_t, std::uint64_t> mcast_copies_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <stdexcept>
 
 #include "hw/shard_link.hpp"
 #include "sim/shard_runtime.hpp"
@@ -74,41 +75,200 @@ void Fabric::add_station(int cluster_index, int local_port) {
   station_local_port_.push_back(local_port);
 }
 
+void Fabric::add_trunk_link(int from, int to, int port_out, int port_in,
+                            const Link::Params& p) {
+  const std::string name =
+      "c" + std::to_string(from) + ">c" + std::to_string(to);
+  const int lo = std::min(from, to);
+  const int hi = std::max(from, to);
+  // The two directions of a cable register back to back, so the common
+  // case finds its registry entry at the tail — construction stays O(E).
+  CubePair* entry = nullptr;
+  if (!cube_pairs_.empty() && cube_pairs_.back().a == lo &&
+      cube_pairs_.back().b == hi) {
+    entry = &cube_pairs_.back();
+  } else if (const int idx = cube_pair_index(lo, hi); idx >= 0) {
+    entry = &cube_pairs_[static_cast<std::size_t>(idx)];
+  }
+  if (entry == nullptr) {
+    cube_pairs_.push_back(CubePair{});
+    entry = &cube_pairs_.back();
+    entry->a = lo;
+    entry->b = hi;
+    entry->port_a = from == lo ? port_out : port_in;
+    entry->port_b = from == lo ? port_in : port_out;
+  }
+  if (shard_of_cluster(from) == shard_of_cluster(to)) {
+    Link* l = new_link(cluster_sim(from), name, p);
+    clusters_[static_cast<std::size_t>(from)]->attach_out(port_out, l);
+    clusters_[static_cast<std::size_t>(to)]->attach_in(port_in, l);
+    (from < to ? entry->ab : entry->ba) = l;
+    return;
+  }
+  Link* tx = new_link(cluster_sim(from), name + ".tx", p);
+  Link* rx = new_link(cluster_sim(to), name + ".rx", p);
+  clusters_[static_cast<std::size_t>(from)]->attach_out(port_out, tx);
+  clusters_[static_cast<std::size_t>(to)]->attach_in(port_in, rx);
+  if (from < to) {
+    entry->ab = tx;
+    entry->ab_rx = rx;
+  } else {
+    entry->ba = tx;
+    entry->ba_rx = rx;
+  }
+  bridges_.push_back(std::make_unique<ShardLinkBridge>(
+      *runtime_, shard_of_cluster(from), shard_of_cluster(to), *tx, *rx));
+}
+
 void Fabric::program_routes() {
-  const int n_clusters = num_clusters();
-  // Pass 1: the cluster-pair next-hop table.  Every later consumer
-  // (unicast route programming below, multicast tree construction, and
-  // any per-frame diagnostics) reads this instead of re-deriving the hop
-  // bit by bit.
-  cluster_next_dim_.assign(
-      static_cast<std::size_t>(n_clusters) * static_cast<std::size_t>(n_clusters),
-      std::int16_t{-1});
-  for (int c = 0; c < n_clusters; ++c) {
-    for (int d = 0; d < n_clusters; ++d) {
-      if (c == d) continue;
-      const int next = next_hypercube_hop(c, d, n_clusters);
-      const int dim = dimension_of((c ^ next) + 1) - 1;  // log2 of the bit
-      cluster_next_dim_[static_cast<std::size_t>(c) *
-                            static_cast<std::size_t>(n_clusters) +
-                        static_cast<std::size_t>(d)] =
-          static_cast<std::int16_t>(dim);
-    }
+  // Every cluster routes through the fabric's computed oracle — there is
+  // no per-destination table to fill, which is exactly why routing state
+  // stays O(stations + clusters) at 4096 nodes (DESIGN.md §15).
+  for (int c = 0; c < num_clusters(); ++c) {
+    clusters_[static_cast<std::size_t>(c)]->set_route_fn(
+        [this, c](const Frame& f) { return route_port(c, f); });
+    // Adaptive heads may rip up a blocked commitment (a sticky decision
+    // through a buffer-wait cycle would deadlock); deterministic decisions
+    // are final.
+    clusters_[static_cast<std::size_t>(c)]->set_reroute_blocked_heads(
+        params_.routing == RoutingMode::kAdaptive);
   }
-  // Pass 2: the clusters' flat station->port maps.
-  for (int c = 0; c < n_clusters; ++c) {
-    for (StationId d = 0; d < num_stations(); ++d) {
-      const int dc = station_cluster_[static_cast<std::size_t>(d)];
-      if (dc == c) {
-        clusters_[c]->set_route(d, station_local_port_[static_cast<std::size_t>(d)]);
-      } else {
-        clusters_[c]->set_route(d, next_hop_dim(c, dc));
+  // Fault-time state stays unallocated until a shard's first fault.
+  shard_edge_up_.resize(static_cast<std::size_t>(num_fault_domains()));
+  fault_next_port_.resize(static_cast<std::size_t>(num_fault_domains()));
+}
+
+int Fabric::route_port(int cluster, const Frame& f) {
+  assert(f.dst >= 0 && f.dst < num_stations() &&
+         "frame addressed to a station this fabric never built");
+  const int dc = station_cluster_[static_cast<std::size_t>(f.dst)];
+  if (dc == cluster) {
+    return station_local_port_[static_cast<std::size_t>(f.dst)];
+  }
+  // A shard with live fault history routes from its BFS table (including
+  // after full recovery, when the table has converged back to the
+  // deterministic hops); adaptive choice is suspended there because the
+  // table already encodes "shortest surviving path".
+  const auto shard = static_cast<std::size_t>(shard_of_cluster(cluster));
+  const std::vector<std::int16_t>& ft = fault_next_port_[shard];
+  if (!ft.empty()) {
+    return ft[static_cast<std::size_t>(cluster) *
+                  static_cast<std::size_t>(num_clusters()) +
+              static_cast<std::size_t>(dc)];
+  }
+  return params_.routing == RoutingMode::kAdaptive
+             ? adaptive_next_port(cluster, dc)
+             : inter_next_port(cluster, dc);
+}
+
+int Fabric::inter_next_port(int from, int to) const {
+  assert(from != to);
+  switch (topo_) {
+    case TopologyKind::kHypercube: {
+      const auto a = static_cast<CubeLabel>(from);
+      const auto next = next_hypercube_hop(
+          a, static_cast<CubeLabel>(to),
+          static_cast<CubeLabel>(num_clusters()));
+      return bit_index(a ^ next);  // egress port == cube dimension
+    }
+    case TopologyKind::kFatTree:
+      return fat_.next_port(from, to);
+    case TopologyKind::kSingleCluster:
+      break;
+  }
+  assert(false && "inter_next_port on a single-cluster fabric");
+  return -1;
+}
+
+int Fabric::inter_next_cluster(int from, int to) const {
+  assert(from != to);
+  switch (topo_) {
+    case TopologyKind::kHypercube:
+      return static_cast<int>(next_hypercube_hop(
+          static_cast<CubeLabel>(from), static_cast<CubeLabel>(to),
+          static_cast<CubeLabel>(num_clusters())));
+    case TopologyKind::kFatTree:
+      return fat_.next_cluster(from, to);
+    case TopologyKind::kSingleCluster:
+      break;
+  }
+  assert(false && "inter_next_cluster on a single-cluster fabric");
+  return -1;
+}
+
+int Fabric::adaptive_next_port(int from, int to) const {
+  // The nextpnr rip-up idiom reduced to a switch: every *allowed minimal*
+  // egress candidate is scored by its congestion (queue depth), and ties
+  // break deterministically — the escape port first, then the lowest port
+  // index.  Heads are only committed to ports that can accept a frame
+  // now; when every candidate is stalled the head parks on the escape
+  // port and is ripped up as soon as any candidate drains (Cluster's
+  // reroute_blocked_heads).  What makes this deadlock-free is the shape
+  // of the candidate set, not the scoring — see each topology below and
+  // DESIGN.md §15.
+  const Cluster& cl = *clusters_[static_cast<std::size_t>(from)];
+  int escape = -1;
+  int best = -1;
+  std::size_t best_depth = 0;
+  auto consider = [&](int port) {
+    const Link* out = cl.out_link(port);
+    assert(out != nullptr);
+    if (!out->ready()) return;
+    const std::size_t depth = out->queue_depth();
+    if (best < 0 || depth < best_depth ||
+        (depth == best_depth && port == escape && best != escape)) {
+      best = port;
+      best_depth = depth;
+    }
+  };
+  switch (topo_) {
+    case TopologyKind::kHypercube: {
+      // Negative-first (turn-model) candidates: while any productive
+      // dimension clears a 1-bit of the current label, only those count;
+      // once none remain, the 0->1 dimensions do.  Labels then strictly
+      // decrease, then strictly increase, along every path, so the link
+      // wait-for graph is acyclic: deadlock-free with a single shared
+      // buffer per link, no virtual channels.  Both phases are always
+      // feasible in the incomplete cube — clearing a bit lowers the
+      // label, and in the up phase the label is a subset of the
+      // destination's bits, so every intermediate exists.  Paths stay
+      // minimal (one hop per differing bit).
+      const auto a = static_cast<CubeLabel>(from);
+      const CubeLabel diff = a ^ static_cast<CubeLabel>(to);
+      const CubeLabel down = diff & a;
+      const CubeLabel phase = down != 0 ? down : diff;
+      const int dims = dimension_of(static_cast<CubeLabel>(num_clusters()));
+      for (int d = 0; d < dims; ++d) {
+        if (((phase >> d) & 1u) == 0) continue;
+        if (escape < 0) escape = d;  // lowest allowed dimension
+        consider(d);
       }
+      break;
     }
+    case TopologyKind::kFatTree:
+      escape = inter_next_port(from, to);
+      if (!fat_.is_leaf(from)) return escape;  // spine: single down port
+      // Any spine reaches any leaf in one more hop: all uplinks are
+      // minimal candidates, and up/down routing is acyclic whichever
+      // uplink is picked (no packet goes up after coming down).
+      for (int sp = 0; sp < fat_.spines; ++sp) consider(sp);
+      break;
+    case TopologyKind::kSingleCluster:
+      return inter_next_port(from, to);
   }
-  // Fault-time state: every shard starts with every cable up.  A no-fault
-  // run never reads or writes these again.
-  shard_edge_up_.assign(static_cast<std::size_t>(num_fault_domains()),
-                        std::vector<char>(cube_pairs_.size(), 1));
+  assert(escape >= 0);
+  return best >= 0 ? best : escape;
+}
+
+std::size_t Fabric::routing_state_bytes() const {
+  std::size_t bytes = station_cluster_.capacity() * sizeof(int) +
+                      station_local_port_.capacity() * sizeof(int) +
+                      cluster_shard_.capacity() * sizeof(int);
+  for (const auto& row : shard_edge_up_) bytes += row.capacity();
+  for (const auto& t : fault_next_port_) {
+    bytes += t.capacity() * sizeof(std::int16_t);
+  }
+  return bytes;
 }
 
 std::vector<std::pair<int, int>> Fabric::cube_edge_pairs() const {
@@ -129,18 +289,25 @@ int Fabric::cube_pair_index(int a, int b) const {
   return -1;
 }
 
+std::vector<char>& Fabric::edge_mirror(int shard) {
+  std::vector<char>& row = shard_edge_up_.at(static_cast<std::size_t>(shard));
+  if (row.empty()) row.assign(cube_pairs_.size(), 1);
+  return row;
+}
+
 bool Fabric::cube_edge_up(int shard, int a, int b) const {
   const int idx = cube_pair_index(a, b);
   assert(idx >= 0);
-  return shard_edge_up_.at(static_cast<std::size_t>(shard))
-             [static_cast<std::size_t>(idx)] != 0;
+  const std::vector<char>& row =
+      shard_edge_up_.at(static_cast<std::size_t>(shard));
+  // An unallocated mirror means the shard has never seen a fault: all up.
+  return row.empty() || row[static_cast<std::size_t>(idx)] != 0;
 }
 
 void Fabric::apply_cube_fault(int shard, int a, int b, bool up) {
   const int idx = cube_pair_index(a, b);
   assert(idx >= 0 && "no cube cable between these clusters");
-  std::vector<char>& mirror =
-      shard_edge_up_.at(static_cast<std::size_t>(shard));
+  std::vector<char>& mirror = edge_mirror(shard);
   if ((mirror[static_cast<std::size_t>(idx)] != 0) == up) return;
   mirror[static_cast<std::size_t>(idx)] = up ? 1 : 0;
   const CubePair& e = cube_pairs_[static_cast<std::size_t>(idx)];
@@ -170,18 +337,23 @@ void Fabric::recompute_shard_routes(int shard) {
   const int n = num_clusters();
   const std::vector<char>& up =
       shard_edge_up_.at(static_cast<std::size_t>(shard));
-  // Adjacency over surviving cables: (neighbour, egress dim) per cluster.
+  assert(!up.empty() && "recompute before any fault on this shard");
+  // Adjacency over surviving cables: (neighbour, egress port) per cluster.
   std::vector<std::vector<std::pair<int, int>>> adj(
       static_cast<std::size_t>(n));
   for (std::size_t i = 0; i < cube_pairs_.size(); ++i) {
     if (up[i] == 0) continue;
     const CubePair& e = cube_pairs_[i];
-    adj[static_cast<std::size_t>(e.a)].emplace_back(e.b, e.dim);
-    adj[static_cast<std::size_t>(e.b)].emplace_back(e.a, e.dim);
+    adj[static_cast<std::size_t>(e.a)].emplace_back(e.b, e.port_a);
+    adj[static_cast<std::size_t>(e.b)].emplace_back(e.a, e.port_b);
   }
-  // next_port[c * n + dc]: the egress dim from cluster c towards cluster
-  // dc over surviving cables (-1 unreachable), for the shard's clusters.
-  std::vector<std::int16_t> next_port(
+  // The shard's fault-route table (materialized here, on its first fault):
+  // next_port[c * n + dc] is the egress port from cluster c towards
+  // cluster dc over surviving cables (-1 unreachable), for the shard's
+  // clusters.
+  std::vector<std::int16_t>& next_port =
+      fault_next_port_.at(static_cast<std::size_t>(shard));
+  next_port.assign(
       static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
       std::int16_t{-1});
   std::vector<int> dist(static_cast<std::size_t>(n));
@@ -194,7 +366,8 @@ void Fabric::recompute_shard_routes(int shard) {
     bfs.push_back(dc);
     for (std::size_t h = 0; h < bfs.size(); ++h) {
       const int c = bfs[h];
-      for (const auto& [nb, dim] : adj[static_cast<std::size_t>(c)]) {
+      for (const auto& [nb, port] : adj[static_cast<std::size_t>(c)]) {
+        (void)port;
         if (dist[static_cast<std::size_t>(nb)] >= 0) continue;
         dist[static_cast<std::size_t>(nb)] =
             dist[static_cast<std::size_t>(c)] + 1;
@@ -204,22 +377,21 @@ void Fabric::recompute_shard_routes(int shard) {
     for (int c = 0; c < n; ++c) {
       if (c == dc || shard_of_cluster(c) != shard) continue;
       if (dist[static_cast<std::size_t>(c)] < 0) continue;  // unreachable
-      // Prefer the build-time e-cube hop when it still lies on a shortest
-      // surviving path — a fully-recovered topology converges back to the
-      // exact original tables.  Otherwise the lowest surviving dim on a
-      // shortest path (deterministic tie-break).
+      // Prefer the computed deterministic hop when it still lies on a
+      // shortest surviving path — a fully-recovered topology converges
+      // back to the exact build-time routes.  Otherwise the lowest
+      // surviving egress port on a shortest path (deterministic
+      // tie-break).
       const int want = dist[static_cast<std::size_t>(c)] - 1;
-      const int edim = cluster_next_dim_[static_cast<std::size_t>(c) *
-                                             static_cast<std::size_t>(n) +
-                                         static_cast<std::size_t>(dc)];
+      const int eport = inter_next_port(c, dc);
       int best = -1;
-      for (const auto& [nb, dim] : adj[static_cast<std::size_t>(c)]) {
+      for (const auto& [nb, port] : adj[static_cast<std::size_t>(c)]) {
         if (dist[static_cast<std::size_t>(nb)] != want) continue;
-        if (dim == edim) {
-          best = dim;
+        if (port == eport) {
+          best = port;
           break;
         }
-        if (best < 0 || dim < best) best = dim;
+        if (best < 0 || port < best) best = port;
       }
       next_port[static_cast<std::size_t>(c) * static_cast<std::size_t>(n) +
                 static_cast<std::size_t>(dc)] =
@@ -228,14 +400,6 @@ void Fabric::recompute_shard_routes(int shard) {
   }
   for (int c = 0; c < n; ++c) {
     if (shard_of_cluster(c) != shard) continue;
-    for (StationId d = 0; d < num_stations(); ++d) {
-      const int dc = station_cluster_[static_cast<std::size_t>(d)];
-      if (dc == c) continue;  // local delivery port never changes
-      clusters_[static_cast<std::size_t>(c)]->set_route(
-          d, next_port[static_cast<std::size_t>(c) *
-                           static_cast<std::size_t>(n) +
-                       static_cast<std::size_t>(dc)]);
-    }
     clusters_[static_cast<std::size_t>(c)]->on_routes_changed();
   }
 }
@@ -247,9 +411,39 @@ std::uint64_t Fabric::frames_dropped() const {
   return total;
 }
 
+void Fabric::attach_runtime(sim::ShardRuntime& rt) {
+  runtime_ = &rt;
+  for (int i = 1; i < rt.num_shards(); ++i) {
+    shard_pools_.push_back(std::make_unique<FramePool>());
+  }
+}
+
+void Fabric::size_shard_pools() {
+  if (runtime_ == nullptr) return;  // unsharded: keep the classic default
+  const int n_shards = runtime_->num_shards();
+  std::vector<std::size_t> hosted(static_cast<std::size_t>(n_shards), 0);
+  for (const int c : station_cluster_) {
+    ++hosted[static_cast<std::size_t>(shard_of_cluster(c))];
+  }
+  for (int s = 0; s < n_shards; ++s) {
+    // Cap each shard's free lists in proportion to the stations it hosts
+    // (floor 1024 so small shards still recycle): the fabric-wide
+    // footprint tracks ~8 buffers/station instead of pinning n_shards
+    // full-size free lists at 4096 nodes.
+    pool_for_shard(s).set_max_free(
+        std::max<std::size_t>(1024, hosted[static_cast<std::size_t>(s)] * 8));
+  }
+}
+
 std::unique_ptr<Fabric> Fabric::single_cluster(sim::Simulator& sim,
                                                int stations, Params params) {
-  assert(stations >= 1 && stations <= params.ports_per_cluster);
+  if (stations < 1 || stations > params.ports_per_cluster) {
+    throw std::invalid_argument(
+        "hw::Fabric::single_cluster: " + std::to_string(stations) +
+        " stations do not fit a " + std::to_string(params.ports_per_cluster) +
+        "-port cluster (need 1 <= stations <= ports); use hypercube()/"
+        "fat_tree() or raise FabricParams::ports_per_cluster");
+  }
   std::unique_ptr<Fabric> f(new Fabric(sim, params));
   f->clusters_.push_back(
       std::make_unique<Cluster>(sim, "c0", params.ports_per_cluster));
@@ -263,20 +457,39 @@ std::unique_ptr<Fabric> Fabric::hypercube_impl(sim::Simulator& sim0,
                                                int stations,
                                                int stations_per_cluster,
                                                Params params) {
-  assert(stations >= 1 && stations_per_cluster >= 1);
+  // Always-on validation (not assert): a Release-built 4096-node
+  // misconfiguration must fail loudly, not silently build a fabric whose
+  // station ports collide with cube ports.
+  if (stations < 1 || stations_per_cluster < 1) {
+    throw std::invalid_argument(
+        "hw::Fabric::hypercube: need stations >= 1 and stations_per_cluster "
+        ">= 1 (got stations=" +
+        std::to_string(stations) + ", stations_per_cluster=" +
+        std::to_string(stations_per_cluster) + ")");
+  }
   const int n_clusters =
       (stations + stations_per_cluster - 1) / stations_per_cluster;
-  const int dims = dimension_of(n_clusters);
-  assert(dims + stations_per_cluster <= params.ports_per_cluster &&
-         "cluster port budget exceeded: dims + stations/cluster > ports");
+  const int dims = dimension_of(static_cast<CubeLabel>(n_clusters));
+  if (dims + stations_per_cluster > params.ports_per_cluster) {
+    throw std::invalid_argument(
+        "hw::Fabric::hypercube: cluster port budget exceeded — " +
+        std::to_string(stations) + " stations at " +
+        std::to_string(stations_per_cluster) + "/cluster need " +
+        std::to_string(n_clusters) + " clusters (a " + std::to_string(dims) +
+        "-dimension incomplete cube), so " + std::to_string(dims) +
+        " cube ports + " + std::to_string(stations_per_cluster) +
+        " station ports > the " + std::to_string(params.ports_per_cluster) +
+        "-port cluster; raise FabricParams::ports_per_cluster (16 fits the "
+        "4096-node machine), raise stations_per_cluster, or lower the node "
+        "count");
+  }
 
   std::unique_ptr<Fabric> f(new Fabric(sim0, params));
-  f->stations_per_cluster_ = stations_per_cluster;
+  f->topo_ = TopologyKind::kHypercube;
   if (rt != nullptr) {
     const int n_shards = rt->num_shards();
     assert(n_shards <= n_clusters &&
            "more shards than clusters: nothing to partition");
-    f->runtime_ = rt;
     // Partitioning rule (DESIGN.md §12): contiguous cluster blocks, one
     // block per shard.  Purely positional, so the assignment depends only
     // on the topology — never on run order.
@@ -284,69 +497,88 @@ std::unique_ptr<Fabric> Fabric::hypercube_impl(sim::Simulator& sim0,
     for (int c = 0; c < n_clusters; ++c) {
       f->cluster_shard_.push_back(c * n_shards / n_clusters);
     }
-    for (int i = 1; i < n_shards; ++i) {
-      f->shard_pools_.push_back(std::make_unique<FramePool>());
-    }
+    f->attach_runtime(*rt);
   }
   for (int c = 0; c < n_clusters; ++c) {
     f->clusters_.push_back(std::make_unique<Cluster>(
         f->cluster_sim(c), "c" + std::to_string(c), params.ports_per_cluster));
   }
   // Inter-cluster links: port b of cluster c carries dimension b.  Each
-  // direction is an independent link (full-duplex port sections).  A link
-  // between clusters on different shards is built as a TX/RX half pair
-  // bridged through the runtime (shard_link.hpp); same shard — including
-  // the whole unsharded fabric — gets the classic single link.
+  // direction is an independent link (full-duplex port sections),
+  // registered with the cable's fault-registry entry by add_trunk_link.
   const Link::Params cube_p =
       params.cluster_link ? *params.cluster_link : params.link;
-  // Each direction is registered with the cable's fault-registry entry so
-  // link faults can address "the cable between a and b" later.
-  auto pair_entry = [&](int from, int to, int port) -> CubePair& {
-    const int a = std::min(from, to);
-    const int b = std::max(from, to);
-    for (CubePair& e : f->cube_pairs_) {
-      if (e.a == a && e.b == b) return e;
-    }
-    f->cube_pairs_.push_back(CubePair{a, b, port, nullptr, nullptr, nullptr,
-                                      nullptr});
-    return f->cube_pairs_.back();
-  };
-  auto cube_link = [&](int from, int to, int port) {
-    const std::string name =
-        "c" + std::to_string(from) + ">c" + std::to_string(to);
-    CubePair& entry = pair_entry(from, to, port);
-    if (f->shard_of_cluster(from) == f->shard_of_cluster(to)) {
-      Link* l = f->new_link(f->cluster_sim(from), name, cube_p);
-      f->clusters_[from]->attach_out(port, l);
-      f->clusters_[to]->attach_in(port, l);
-      (from < to ? entry.ab : entry.ba) = l;
-      return;
-    }
-    Link* tx = f->new_link(f->cluster_sim(from), name + ".tx", cube_p);
-    Link* rx = f->new_link(f->cluster_sim(to), name + ".rx", cube_p);
-    f->clusters_[from]->attach_out(port, tx);
-    f->clusters_[to]->attach_in(port, rx);
-    if (from < to) {
-      entry.ab = tx;
-      entry.ab_rx = rx;
-    } else {
-      entry.ba = tx;
-      entry.ba_rx = rx;
-    }
-    f->bridges_.push_back(std::make_unique<ShardLinkBridge>(
-        *rt, f->shard_of_cluster(from), f->shard_of_cluster(to), *tx, *rx));
-  };
   for (int c = 0; c < n_clusters; ++c) {
     for (int b = 0; b < dims; ++b) {
       const int m = c ^ (1 << b);
       if (m >= n_clusters || m < c) continue;  // build each pair once
-      cube_link(c, m, b);
-      cube_link(m, c, b);
+      f->add_trunk_link(c, m, b, b, cube_p);
+      f->add_trunk_link(m, c, b, b, cube_p);
     }
   }
   for (int s = 0; s < stations; ++s) {
     f->add_station(s / stations_per_cluster, dims + s % stations_per_cluster);
   }
+  f->size_shard_pools();
+  f->program_routes();
+  return f;
+}
+
+std::unique_ptr<Fabric> Fabric::fat_tree_impl(sim::Simulator& sim0,
+                                              sim::ShardRuntime* rt,
+                                              int stations,
+                                              int stations_per_cluster,
+                                              Params params) {
+  const FatTreeShape shape =
+      FatTreeShape::plan(stations, stations_per_cluster,
+                         params.ports_per_cluster, params.fat_tree_spines);
+  const int n_clusters = shape.num_clusters();
+  std::unique_ptr<Fabric> f(new Fabric(sim0, params));
+  f->topo_ = TopologyKind::kFatTree;
+  f->fat_ = shape;
+  if (rt != nullptr) {
+    const int n_shards = rt->num_shards();
+    assert(n_shards <= shape.leaves &&
+           "more shards than leaf clusters: nothing to partition");
+    // Leaves partition as contiguous blocks (same rule as the cube);
+    // spines deal round-robin across shards so the top stage's load —
+    // which every shard's traffic crosses — spreads instead of piling
+    // onto the last shard.  Purely positional, topology-only.
+    f->cluster_shard_.reserve(static_cast<std::size_t>(n_clusters));
+    for (int l = 0; l < shape.leaves; ++l) {
+      f->cluster_shard_.push_back(l * n_shards / shape.leaves);
+    }
+    for (int sp = 0; sp < shape.spines; ++sp) {
+      f->cluster_shard_.push_back(sp % n_shards);
+    }
+    f->attach_runtime(*rt);
+  }
+  for (int l = 0; l < shape.leaves; ++l) {
+    f->clusters_.push_back(std::make_unique<Cluster>(
+        f->cluster_sim(l), "c" + std::to_string(l), params.ports_per_cluster));
+  }
+  for (int sp = 0; sp < shape.spines; ++sp) {
+    // A spine is the "fat" upper stage: one wide crossbar with a port per
+    // leaf (paper-era fat trees concentrate bandwidth upward; we model
+    // the concentration as port count).
+    const int c = shape.leaves + sp;
+    f->clusters_.push_back(std::make_unique<Cluster>(
+        f->cluster_sim(c), "c" + std::to_string(c), shape.leaves));
+  }
+  const Link::Params trunk_p =
+      params.cluster_link ? *params.cluster_link : params.link;
+  for (int l = 0; l < shape.leaves; ++l) {
+    for (int sp = 0; sp < shape.spines; ++sp) {
+      // Leaf l's uplink port sp <-> spine sp's port l, both directions.
+      f->add_trunk_link(l, shape.leaves + sp, sp, l, trunk_p);
+      f->add_trunk_link(shape.leaves + sp, l, l, sp, trunk_p);
+    }
+  }
+  for (int s = 0; s < stations; ++s) {
+    f->add_station(s / stations_per_cluster,
+                   shape.spines + s % stations_per_cluster);
+  }
+  f->size_shard_pools();
   f->program_routes();
   return f;
 }
@@ -357,12 +589,20 @@ std::unique_ptr<Fabric> Fabric::hypercube(sim::Simulator& sim, int stations,
   return hypercube_impl(sim, nullptr, stations, stations_per_cluster, params);
 }
 
+std::unique_ptr<Fabric> Fabric::fat_tree(sim::Simulator& sim, int stations,
+                                         int stations_per_cluster,
+                                         Params params) {
+  return fat_tree_impl(sim, nullptr, stations, stations_per_cluster, params);
+}
+
 std::unique_ptr<Fabric> Fabric::make(sim::Simulator& sim, int stations,
                                      int stations_per_cluster, Params params) {
   if (stations <= params.ports_per_cluster) {
     return single_cluster(sim, stations, params);
   }
-  return hypercube(sim, stations, stations_per_cluster, params);
+  return params.topo == TopologyKind::kFatTree
+             ? fat_tree(sim, stations, stations_per_cluster, params)
+             : hypercube(sim, stations, stations_per_cluster, params);
 }
 
 std::unique_ptr<Fabric> Fabric::make_sharded(sim::ShardRuntime& rt,
@@ -373,8 +613,11 @@ std::unique_ptr<Fabric> Fabric::make_sharded(sim::ShardRuntime& rt,
     // One shard is the single-threaded machine, construction order and all.
     return make(rt.shard(0), stations, stations_per_cluster, params);
   }
-  return hypercube_impl(rt.shard(0), &rt, stations, stations_per_cluster,
-                        params);
+  return params.topo == TopologyKind::kFatTree
+             ? fat_tree_impl(rt.shard(0), &rt, stations, stations_per_cluster,
+                             params)
+             : hypercube_impl(rt.shard(0), &rt, stations,
+                              stations_per_cluster, params);
 }
 
 int Fabric::cluster_of(StationId s) const {
@@ -387,18 +630,18 @@ void Fabric::add_multicast_group(std::uint64_t gid, StationId root,
   const int root_cluster = cluster_of(root);
   // Per-cluster replication set: union of the root->member unicast routes
   // (tree edges become inter-cluster ports; member clusters add the
-  // members' local ports).
+  // members' local ports).  The walk computes hops through the topology
+  // interface, so it is identical for the cube and the fat tree — and
+  // always follows the deterministic routes: replication sets are static
+  // switch configuration, independent of the unicast routing mode.
   std::vector<std::set<int>> ports(static_cast<std::size_t>(n_clusters));
   for (StationId m : members) {
     if (m == root) continue;  // the root's kernel delivers locally
     const int mc = cluster_of(m);
     int c = root_cluster;
     while (c != mc) {
-      // Walk the precomputed next-hop table: the dim is both the egress
-      // port at `c` and the bit flipped to reach the next cluster.
-      const int dim = next_hop_dim(c, mc);
-      ports[static_cast<std::size_t>(c)].insert(dim);
-      c ^= 1 << dim;
+      ports[static_cast<std::size_t>(c)].insert(inter_next_port(c, mc));
+      c = inter_next_cluster(c, mc);
     }
     ports[static_cast<std::size_t>(mc)].insert(
         station_local_port_[static_cast<std::size_t>(m)]);
@@ -415,8 +658,12 @@ void Fabric::add_multicast_group(std::uint64_t gid, StationId root,
 int Fabric::route_length(StationId a, StationId b) const {
   const int ca = cluster_of(a);
   const int cb = cluster_of(b);
-  // Entry cluster + one cluster per inter-cluster hop.
-  return 1 + hamming_distance(ca, cb);
+  // Entry cluster + one cluster per inter-cluster hop, walked through the
+  // topology interface (Hamming distance on the cube, <=2 trunk hops on
+  // the tree).
+  int len = 1;
+  for (int c = ca; c != cb; c = inter_next_cluster(c, cb)) ++len;
+  return len;
 }
 
 }  // namespace hpcvorx::hw

@@ -1,12 +1,23 @@
 // The HPC interconnect: endpoints, clusters, and topology construction.
 //
 // A Fabric assembles Links and Clusters into one of the configurations the
-// paper describes:
+// paper describes (plus one contrast shape, DESIGN.md §15):
 //   * single_cluster — up to 12 stations on one cluster (the minimal HPC);
 //   * hypercube — clusters joined as an incomplete hypercube, with the low
 //     `dims` ports of every cluster used for inter-cluster links and the
 //     remaining ports for stations (the 1024-node example in §1 uses 256
-//     clusters with 8 cube ports and 4 station ports each).
+//     clusters with 8 cube ports and 4 station ports each);
+//   * fat_tree — a two-level leaf/spine folded Clos over the same cluster
+//     hardware, the paper-era contrast topology for the scaling sweeps.
+//
+// Routing is computed, not tabulated: each cluster gets a route function
+// that derives the egress port from the frame's destination on the fly
+// (e-cube bit arithmetic on the cube, up/down on the tree, or the adaptive
+// congestion-aware variant).  Routing state is therefore O(stations +
+// clusters) — the O(clusters²) next-hop table this replaced is what kept
+// earlier fabrics under ~100 nodes.  Only fault-time rerouting, which must
+// answer "shortest *surviving* path", materializes per-shard tables, and
+// only on shards that actually saw a fault.
 //
 // Stations (processing nodes and host workstations look identical to the
 // hardware) send and receive whole frames through an Endpoint, which
@@ -27,6 +38,7 @@
 #include "hw/hypercube.hpp"
 #include "hw/link.hpp"
 #include "hw/shard_link.hpp"
+#include "hw/topology.hpp"
 #include "sim/shard_runtime.hpp"
 
 namespace hpcvorx::hw {
@@ -84,11 +96,18 @@ struct FabricParams {
   Link::Params link;            // applies to every link in the fabric
   int ports_per_cluster = kClusterPorts;
   int rx_buffer_frames = 2;     // endpoint receive-section buffer
-  // Optional override for inter-cluster (cube) links only — longer cables
-  // between cabinets.  Sharded runs raise its latency to widen the
-  // lookahead window (DESIGN.md §12); unset means cube links use `link`,
-  // exactly as before.
+  // Optional override for inter-cluster (cube/tree trunk) links only —
+  // longer cables between cabinets.  Sharded runs raise its latency to
+  // widen the lookahead window (DESIGN.md §12); unset means trunk links
+  // use `link`, exactly as before.
   std::optional<Link::Params> cluster_link;
+  // Multi-cluster shape make()/make_sharded() build (single-cluster
+  // machines ignore it) and how clusters pick egress ports (DESIGN.md §15).
+  TopologyKind topo = TopologyKind::kHypercube;
+  RoutingMode routing = RoutingMode::kEcube;
+  // Fat tree only: spine count; 0 picks the widest tree the leaf port
+  // budget allows (ports_per_cluster - stations_per_cluster uplinks).
+  int fat_tree_spines = 0;
 };
 
 class Fabric {
@@ -101,23 +120,32 @@ class Fabric {
                                                 Params params = Params());
 
   /// Incomplete hypercube of ceil(stations / stations_per_cluster)
-  /// clusters.  Requires stations_per_cluster + dimension <= ports.
+  /// clusters.  Requires stations_per_cluster + dimension <= ports (the
+  /// check is always on and throws std::invalid_argument with an
+  /// actionable message — a 4096-node misconfiguration must not silently
+  /// build a broken fabric).
   static std::unique_ptr<Fabric> hypercube(sim::Simulator& sim, int stations,
                                            int stations_per_cluster,
                                            Params params = Params());
 
-  /// Picks single_cluster when everything fits on one cluster, else a
-  /// hypercube with the given stations-per-cluster.
+  /// Two-level fat tree (topology.hpp): ceil(stations/stations_per_cluster)
+  /// leaves, each wired to every spine.  Same always-on validation.
+  static std::unique_ptr<Fabric> fat_tree(sim::Simulator& sim, int stations,
+                                          int stations_per_cluster,
+                                          Params params = Params());
+
+  /// Picks single_cluster when everything fits on one cluster, else the
+  /// shape params.topo names with the given stations-per-cluster.
   static std::unique_ptr<Fabric> make(sim::Simulator& sim, int stations,
                                       int stations_per_cluster = 4,
                                       Params params = Params());
 
-  /// Sharded hypercube: clusters are split into contiguous blocks, one
-  /// block per runtime shard, and every cube link whose endpoints land on
-  /// different shards is built as a TX/RX half pair bridged through the
-  /// runtime's exchanges (see shard_link.hpp).  With a 1-shard runtime
-  /// this is exactly make() — the same construction order, the same links,
-  /// byte-identical event sequences.
+  /// Sharded fabric: clusters are split across the runtime's shards, and
+  /// every trunk link whose endpoints land on different shards is built as
+  /// a TX/RX half pair bridged through the runtime's exchanges (see
+  /// shard_link.hpp).  With a 1-shard runtime this is exactly make() — the
+  /// same construction order, the same links, byte-identical event
+  /// sequences.
   static std::unique_ptr<Fabric> make_sharded(sim::ShardRuntime& rt,
                                               int stations,
                                               int stations_per_cluster = 4,
@@ -147,20 +175,28 @@ class Fabric {
   [[nodiscard]] int cluster_of(StationId s) const;
   [[nodiscard]] const Cluster& cluster(int c) const { return *clusters_.at(c); }
   [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] TopologyKind topology() const { return topo_; }
+  [[nodiscard]] RoutingMode routing() const { return params_.routing; }
 
-  /// Cluster hops a frame between the two stations traverses.
+  /// Cluster hops a frame between the two stations traverses (along the
+  /// deterministic route; adaptive routes are minimal, so their hop count
+  /// is identical).
   [[nodiscard]] int route_length(StationId a, StationId b) const;
 
-  /// The cube dimension (== inter-cluster port) of the first hop from
-  /// cluster `from` towards cluster `to`, from the next-hop table
-  /// precomputed at topology-build time.  Precondition: from != to.
-  [[nodiscard]] int next_hop_dim(int from, int to) const {
-    const auto d = cluster_next_dim_.at(
-        static_cast<std::size_t>(from) * clusters_.size() +
-        static_cast<std::size_t>(to));
-    assert(d >= 0);
-    return d;
-  }
+  /// The egress port at cluster `from` for the deterministic route towards
+  /// cluster `to`, computed on the fly from the topology (e-cube bit
+  /// arithmetic on the cube, up/down on the tree).  Precondition:
+  /// from != to.  O(1); no table behind it.
+  [[nodiscard]] int inter_next_port(int from, int to) const;
+
+  /// The cluster reached through inter_next_port(from, to).
+  [[nodiscard]] int inter_next_cluster(int from, int to) const;
+
+  /// Resident routing-state bytes: station->cluster/port maps plus any
+  /// fault-time per-shard tables.  O(stations + clusters) on every
+  /// no-fault run at any scale — the acceptance gate for the >1000-node
+  /// machine (the bench records it as net.scale_route_kb.*).
+  [[nodiscard]] std::size_t routing_state_bytes() const;
 
   /// The pool Frame payload buffers are recycled through (also reachable
   /// per station via Endpoint::frame_pool()).
@@ -169,11 +205,13 @@ class Fabric {
   // ---- fault injection (DESIGN.md §14) ----
   //
   // Faults mutate only per-shard state: each shard keeps its own mirror of
-  // the cube-link up/down set and its own clusters' route tables, so the
+  // the trunk-link up/down set and its own fault-route table, so the
   // injector pre-schedules the same fault on every shard's simulator at
   // the same virtual time and no shard ever writes another shard's state.
-  // No-fault runs never call these, leaving the build-time e-cube routes
-  // (and every determinism golden) untouched.
+  // Both are allocated lazily on the shard's first fault — a no-fault run
+  // never materializes them (per-shard-aware sizing at 4096 nodes), and
+  // the build-time computed routes (and every determinism golden) stay
+  // untouched.
 
   /// Every inter-cluster cable as an unordered (lo, hi) cluster pair, in
   /// topology-construction order (feeds sim::MachineShape::cube_edges).
@@ -182,10 +220,10 @@ class Fabric {
   /// Applies a cable fault between clusters `a` and `b` as seen by `shard`:
   /// updates the shard's link-state mirror, downs/ups the direction links
   /// (or cross-shard halves) the shard owns, and recomputes the shard's
-  /// clusters' routes around the failure (BFS over surviving cables,
-  /// preferring the build-time e-cube hop when it still lies on a shortest
-  /// path).  Must run on the shard's simulator at the fault's virtual
-  /// time; the injector schedules it on every shard.  Idempotent.
+  /// fault-route table around the failure (BFS over surviving cables,
+  /// preferring the computed deterministic hop when it still lies on a
+  /// shortest path).  Must run on the shard's simulator at the fault's
+  /// virtual time; the injector schedules it on every shard.  Idempotent.
   void apply_cube_fault(int shard, int a, int b, bool up);
 
   /// Power-cycles cluster `c` (input fifos dropped, arbiters reset) if the
@@ -204,9 +242,11 @@ class Fabric {
   /// Programs hardware multicast group `gid`: a frame injected by `root`
   /// with Frame::group == gid is replicated inside the clusters along the
   /// union of root->member routes and delivered to every member except the
-  /// root itself.  Concurrent group frames are flow-controlled by the
-  /// hardware like any others; the software layer keeps at most one
-  /// multicast outstanding per group.
+  /// root itself.  The tree follows the deterministic routes in every
+  /// routing mode — replication sets are static switch configuration.
+  /// Concurrent group frames are flow-controlled by the hardware like any
+  /// others; the software layer keeps at most one multicast outstanding
+  /// per group.
   void add_multicast_group(std::uint64_t gid, StationId root,
                            const std::vector<StationId>& members);
 
@@ -214,19 +254,45 @@ class Fabric {
   Fabric(sim::Simulator& sim, Params params) : sim_(sim), params_(params) {}
   Link* new_link(sim::Simulator& sim, std::string name, Link::Params p);
   void add_station(int cluster_index, int local_port);
-  /// Fills cluster_next_dim_, then the clusters' flat station->port maps.
+  /// One direction of an inter-cluster cable: out of `from` port
+  /// `port_out`, into `to` port `port_in` (full-duplex pairs share the
+  /// port index on each side).  Registers the cable in the fault registry
+  /// and splits the link into bridged TX/RX halves when it crosses shards.
+  void add_trunk_link(int from, int to, int port_out, int port_in,
+                      const Link::Params& p);
+  /// Hands every cluster its computed route function.
   void program_routes();
-  /// Shared hypercube builder; rt == nullptr builds the classic
-  /// single-simulator cube (the historical hypercube() path).
+  /// The per-cluster routing oracle (bound into Cluster::set_route_fn):
+  /// local delivery port, fault-table route when this shard has live
+  /// faults, else the computed deterministic or adaptive next hop.
+  [[nodiscard]] int route_port(int cluster, const Frame& f);
+  /// Minimal adaptive next hop: the productive egress port with the
+  /// lowest queue depth among those ready to accept a frame, ties broken
+  /// to the deterministic port and then the lowest port index; falls back
+  /// to the deterministic port when nothing is ready (DESIGN.md §15).
+  [[nodiscard]] int adaptive_next_port(int from, int to) const;
+  /// Shared builders; rt == nullptr builds the classic single-simulator
+  /// fabric (the historical hypercube() path).
   static std::unique_ptr<Fabric> hypercube_impl(sim::Simulator& sim0,
                                                 sim::ShardRuntime* rt,
                                                 int stations,
                                                 int stations_per_cluster,
                                                 Params params);
+  static std::unique_ptr<Fabric> fat_tree_impl(sim::Simulator& sim0,
+                                               sim::ShardRuntime* rt,
+                                               int stations,
+                                               int stations_per_cluster,
+                                               Params params);
+  void attach_runtime(sim::ShardRuntime& rt);
+  /// Per-shard-aware payload-pool caps: each shard's free lists scale
+  /// with the stations it hosts instead of a fabric-wide constant.
+  void size_shard_pools();
   [[nodiscard]] sim::Simulator& cluster_sim(int c);
   [[nodiscard]] FramePool& pool_for_shard(int shard);
   [[nodiscard]] int cube_pair_index(int a, int b) const;  // -1: no cable
-  /// Rebuilds `shard`'s clusters' route tables from its link-state mirror.
+  /// The shard's cable mirror, created on first use (all cables up).
+  std::vector<char>& edge_mirror(int shard);
+  /// Rebuilds `shard`'s fault-route table from its link-state mirror.
   void recompute_shard_routes(int shard);
   [[nodiscard]] int num_fault_domains() const {
     return runtime_ == nullptr ? 1 : runtime_->num_shards();
@@ -235,7 +301,8 @@ class Fabric {
   sim::Simulator& sim_;  // shard 0 (the only simulator when unsharded)
   sim::ShardRuntime* runtime_ = nullptr;
   Params params_;
-  int stations_per_cluster_ = 0;  // 0 => single cluster
+  TopologyKind topo_ = TopologyKind::kSingleCluster;
+  FatTreeShape fat_;  // valid only when topo_ == kFatTree
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
@@ -246,23 +313,26 @@ class Fabric {
   // One entry per inter-cluster cable (unordered pair, a < b), registered
   // in topology-construction order.  `ab`/`ba` are the direction links
   // (the TX half when the cable crosses shards, with the RX half beside
-  // it); faults address cables through this registry.
+  // it); faults address cables through this registry.  port_a/port_b are
+  // the egress ports at each end (equal to the cube dimension on the
+  // hypercube; uplink/leaf indices on the fat tree).
   struct CubePair {
-    int a = 0, b = 0, dim = 0;
+    int a = 0, b = 0;
+    int port_a = 0, port_b = 0;
     Link* ab = nullptr;     // a -> b (whole link, or cross-shard TX half)
     Link* ab_rx = nullptr;  // a -> b RX half (cross-shard only)
     Link* ba = nullptr;
     Link* ba_rx = nullptr;
   };
   std::vector<CubePair> cube_pairs_;
-  // Per-shard cable-state mirrors: shard_edge_up_[shard][pair] — each
-  // shard's thread reads and writes only its own row at fault time.
+  // Fault-time state, all lazily allocated on a shard's first fault (a
+  // no-fault run at 4096 nodes carries zero bytes of it):
+  //   * shard_edge_up_[shard][pair] — the shard's cable-state mirror;
+  //   * fault_next_port_[shard][c * n + dc] — the shard's rerouted egress
+  //     ports (-1 unreachable), O(clusters²) but only where faults are
+  //     live.  Each shard's thread reads and writes only its own rows.
   std::vector<std::vector<char>> shard_edge_up_;
-  // Next-hop cube dimension for every (from, to) cluster pair, computed
-  // once by program_routes (-1 on the diagonal).  Unicast route
-  // programming and multicast tree construction both walk this table
-  // instead of re-deriving hops bit by bit.
-  std::vector<std::int16_t> cluster_next_dim_;
+  std::vector<std::vector<std::int16_t>> fault_next_port_;
   FramePool pool_;  // shard 0's payload pool
   std::vector<std::unique_ptr<FramePool>> shard_pools_;  // shards 1..N-1
 };

@@ -15,42 +15,72 @@
 // the Hamming distance, and — because the (direction, dimension) pairs are
 // visited in a globally consistent order — the route set is deadlock-free
 // under whole-frame buffering.
+//
+// Labels are a fixed-width unsigned type (CubeLabel).  The label math used
+// signed int with `1 << b` masks while fabrics topped out at ~80 nodes; at
+// 4096 nodes and beyond the unsigned type keeps every mask, xor, and
+// comparison free of sign/overflow hazards by construction and makes the
+// valid range explicit: up to 2^31 labels.
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 namespace hpcvorx::hw {
 
+/// Cluster label in the (possibly incomplete) hypercube.  Unsigned and
+/// fixed-width so dimension masks and xor-distance math are well defined
+/// for every supported fabric size (label count up to 2^31).
+using CubeLabel = std::uint32_t;
+
+/// Largest supported label count: masks are `CubeLabel{1} << b` with
+/// b < 32, so N may not exceed 2^31.
+inline constexpr CubeLabel kMaxCubeLabels = CubeLabel{1} << 31;
+
 /// Number of address bits needed for N labels (dimension of the enclosing
 /// cube).  dimension_of(1) == 0.
-[[nodiscard]] constexpr int dimension_of(int n) {
-  assert(n >= 1);
+[[nodiscard]] constexpr int dimension_of(CubeLabel n) {
+  assert(n >= 1 && n <= kMaxCubeLabels);
   int bits = 0;
-  while ((1 << bits) < n) ++bits;
+  while ((CubeLabel{1} << bits) < n) ++bits;
   return bits;
 }
 
+/// The index of the single set bit of `mask` (== the cube dimension a hop
+/// across `mask` traverses).
+[[nodiscard]] constexpr int bit_index(CubeLabel mask) {
+  assert(mask != 0 && (mask & (mask - 1)) == 0);
+  int b = 0;
+  while ((mask & 1u) == 0) {
+    mask >>= 1u;
+    ++b;
+  }
+  return b;
+}
+
 /// True if labels a and b are adjacent in the hypercube (differ in one bit).
-[[nodiscard]] constexpr bool hypercube_adjacent(int a, int b) {
-  const unsigned d = static_cast<unsigned>(a ^ b);
+[[nodiscard]] constexpr bool hypercube_adjacent(CubeLabel a, CubeLabel b) {
+  const CubeLabel d = a ^ b;
   return d != 0 && (d & (d - 1)) == 0;
 }
 
 /// The next label on the route from `from` to `to` in an incomplete
-/// hypercube with `n` labels.  Preconditions: 0 <= from,to < n, from != to.
+/// hypercube with `n` labels.  Preconditions: from,to < n, from != to.
 /// The returned label is always < n and adjacent to `from`.
-[[nodiscard]] constexpr int next_hypercube_hop(int from, int to, int n) {
-  assert(from >= 0 && from < n && to >= 0 && to < n && from != to);
-  const int diff = from ^ to;
+[[nodiscard]] constexpr CubeLabel next_hypercube_hop(CubeLabel from,
+                                                     CubeLabel to,
+                                                     CubeLabel n) {
+  assert(from < n && to < n && from != to);
+  const CubeLabel diff = from ^ to;
   // Phase 1: clear bits set in `from` but not `to`, MSB first.
   for (int b = dimension_of(n) - 1; b >= 0; --b) {
-    const int mask = 1 << b;
+    const CubeLabel mask = CubeLabel{1} << b;
     if ((diff & mask) != 0 && (from & mask) != 0) return from ^ mask;
   }
   // Phase 2: set bits present in `to` but not `from`, LSB first.
   for (int b = 0;; ++b) {
-    const int mask = 1 << b;
+    const CubeLabel mask = CubeLabel{1} << b;
     if ((diff & mask) != 0) {
       assert((to & mask) != 0);
       return from ^ mask;
@@ -61,8 +91,8 @@ namespace hpcvorx::hw {
 /// Appends the route from `from` to `to` (excluding `from`, including
 /// `to`) to `out` without clearing it.  The allocation-free sibling of
 /// hypercube_route for per-frame callers that reuse a scratch vector.
-inline void hypercube_route_into(int from, int to, int n,
-                                 std::vector<int>& out) {
+inline void hypercube_route_into(CubeLabel from, CubeLabel to, CubeLabel n,
+                                 std::vector<CubeLabel>& out) {
   while (from != to) {
     from = next_hypercube_hop(from, to, n);
     out.push_back(from);
@@ -70,15 +100,17 @@ inline void hypercube_route_into(int from, int to, int n,
 }
 
 /// The full route from `from` to `to` (excluding `from`, including `to`).
-[[nodiscard]] inline std::vector<int> hypercube_route(int from, int to, int n) {
-  std::vector<int> route;
+[[nodiscard]] inline std::vector<CubeLabel> hypercube_route(CubeLabel from,
+                                                            CubeLabel to,
+                                                            CubeLabel n) {
+  std::vector<CubeLabel> route;
   hypercube_route_into(from, to, n, route);
   return route;
 }
 
 /// Hamming distance between labels (== route length).
-[[nodiscard]] constexpr int hamming_distance(int a, int b) {
-  unsigned d = static_cast<unsigned>(a ^ b);
+[[nodiscard]] constexpr int hamming_distance(CubeLabel a, CubeLabel b) {
+  CubeLabel d = a ^ b;
   int c = 0;
   while (d != 0) {
     d &= d - 1;

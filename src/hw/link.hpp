@@ -73,6 +73,23 @@ class Link {
   void set_deliver_cb(std::function<void()> cb) { deliver_cb_ = std::move(cb); }
 
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  /// Frames queued at or beyond this link's transmitter as the sender sees
+  /// them: serializing + propagating + parked downstream (or sent-but-
+  /// uncredited on a cross-shard TX half).  The per-link congestion signal
+  /// adaptive routing scores egress candidates by (DESIGN.md §15);
+  /// everything counted is shard-local state, so reading it from the
+  /// owning cluster's route decision is race-free.
+  [[nodiscard]] std::size_t queue_depth() const {
+    return (tx_busy_ ? 1u : 0u) +
+           (remote_sink_ ? remote_unacked_ : inflight_.size() + buffer_.size());
+  }
+
+  /// Downstream buffer slots still unreserved.  Adaptive routing lets a
+  /// head *deviate* from its deterministic port only into a link with >= 2
+  /// free slots (the bubble condition, DESIGN.md §15): deviations never
+  /// take the last slot that keeps the deterministic sub-network draining.
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Params& params() const { return p_; }
 

@@ -20,9 +20,9 @@ struct Rig {
           Link::Params{.ns_per_byte = 10, .latency = 100, .buffer_frames = 2}));
       cluster.attach_in(p, ins.back().get());
       cluster.attach_out(p, outs.back().get());
-      // Station `p` is reached through output port p.
-      cluster.set_route(p, p);
     }
+    // Station `dst` is reached through output port dst.
+    cluster.set_route_fn([](const Frame& f) { return f.dst; });
   }
   Cluster cluster;
   std::vector<std::unique_ptr<Link>> ins;

@@ -16,6 +16,33 @@ TEST(Hypercube, DimensionOf) {
   EXPECT_EQ(dimension_of(257), 9);
 }
 
+TEST(Hypercube, DimensionOfPowerOfTwoBoundaries) {
+  // Label math is fixed-width unsigned (CubeLabel); the old signed-int
+  // `1 << b` masks overflowed past 2^30.  Walk every 2^k boundary the
+  // label type can express.
+  for (int k = 1; k <= 31; ++k) {
+    const CubeLabel pow2 = CubeLabel{1} << k;
+    EXPECT_EQ(dimension_of(pow2), k) << "N=2^" << k;
+    if (k >= 2) {
+      EXPECT_EQ(dimension_of(pow2 - 1), k) << "N=2^" << k << "-1";
+    }
+    if (k < 31) {
+      EXPECT_EQ(dimension_of(pow2 + 1), k + 1) << "N=2^" << k << "+1";
+    }
+  }
+  EXPECT_EQ(dimension_of(kMaxCubeLabels), 31);
+  // The paper-scale sweep sizes.
+  EXPECT_EQ(dimension_of(1024), 10);
+  EXPECT_EQ(dimension_of(1025), 11);
+  EXPECT_EQ(dimension_of(4096), 12);
+}
+
+TEST(Hypercube, BitIndex) {
+  for (int k = 0; k < 32; ++k) {
+    EXPECT_EQ(bit_index(CubeLabel{1} << k), k);
+  }
+}
+
 TEST(Hypercube, Adjacency) {
   EXPECT_TRUE(hypercube_adjacent(0, 1));
   EXPECT_TRUE(hypercube_adjacent(5, 7));   // 101 vs 111
@@ -32,7 +59,7 @@ TEST(Hypercube, HammingDistance) {
 TEST(Hypercube, CompleteCubeUsesDescendingEcubeFirst) {
   // In a complete 8-node cube from 6 (110) to 1 (001): clear bit 2, clear
   // bit 1 (MSB-first), then set bit 0.
-  EXPECT_EQ(hypercube_route(6, 1, 8), (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(hypercube_route(6, 1, 8), (std::vector<CubeLabel>{2, 0, 1}));
 }
 
 TEST(Hypercube, IncompleteRouteAvoidsMissingNodes) {
@@ -40,7 +67,35 @@ TEST(Hypercube, IncompleteRouteAvoidsMissingNodes) {
   // would visit 5 (101) or 6 (110), which do not exist.  The clear-first
   // rule goes 4 -> 0 -> 1 -> 3.
   const auto route = hypercube_route(4, 3, 5);
-  EXPECT_EQ(route, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(route, (std::vector<CubeLabel>{0, 1, 3}));
+}
+
+// Paper-scale boundary sweep: next-hop validity at non-power-of-two N just
+// around 2^12, where the incomplete cube's missing-node avoidance and the
+// unsigned label masks both matter.  All-pairs at N=4095 is 16M routes —
+// instead, spot-check every pair involving labels near the boundary.
+TEST(Hypercube, BoundarySizesNearFourThousand) {
+  for (const CubeLabel n : {CubeLabel{4095}, CubeLabel{4096}, CubeLabel{4097}}) {
+    const int dims = dimension_of(n);
+    std::vector<CubeLabel> labels{0, 1, 2, n / 2, n - 3, n - 2, n - 1};
+    for (const CubeLabel s : labels) {
+      for (const CubeLabel t : labels) {
+        if (s == t) continue;
+        CubeLabel cur = s;
+        int hops = 0;
+        while (cur != t) {
+          const CubeLabel next = next_hypercube_hop(cur, t, n);
+          ASSERT_TRUE(hypercube_adjacent(cur, next))
+              << "non-edge " << cur << "->" << next << " (N=" << n << ")";
+          ASSERT_LT(next, n) << "route through missing node (N=" << n << ")";
+          cur = next;
+          ++hops;
+          ASSERT_LE(hops, dims) << s << "->" << t << " too long (N=" << n << ")";
+        }
+        ASSERT_EQ(hops, hamming_distance(s, t)) << "not minimal (N=" << n << ")";
+      }
+    }
+  }
 }
 
 // Exhaustive validity sweep: for every system size N and every pair of
